@@ -1,0 +1,58 @@
+//! Compressed-transmission kernel benchmarks (backs Fig. 16): CSR
+//! conversion, delta encode/decode, and wire codec throughput at the
+//! paper's 75 % sparsity operating point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psml_net::codec::{decode, encode};
+use psml_net::{DeltaDecoder, DeltaEncoder, Payload};
+use psml_tensor::{Csr, Matrix};
+use std::hint::black_box;
+
+fn sparse(n: usize, zero_every: usize) -> Matrix<f32> {
+    Matrix::from_fn(n, n, |r, c| {
+        if (r * n + c) % zero_every == 0 {
+            (r + c) as f32 + 1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compression");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &[64usize, 128, 256] {
+        let m = sparse(n, 4); // 75 % zeros: the paper's threshold point
+        group.bench_with_input(BenchmarkId::new("csr_from_dense", n), &n, |b, _| {
+            b.iter(|| black_box(Csr::from_dense(&m)))
+        });
+        let csr = Csr::from_dense(&m);
+        group.bench_with_input(BenchmarkId::new("csr_to_dense", n), &n, |b, _| {
+            b.iter(|| black_box(csr.to_dense()))
+        });
+        group.bench_with_input(BenchmarkId::new("delta_roundtrip", n), &n, |b, _| {
+            b.iter(|| {
+                let mut enc = DeltaEncoder::new();
+                let mut dec = DeltaDecoder::new();
+                let base = Matrix::<f32>::zeros(n, n);
+                dec.decode(enc.encode(&base)).unwrap();
+                let next = sparse(n, 16);
+                black_box(dec.decode(enc.encode(&next)).unwrap())
+            })
+        });
+        let dense_payload = Payload::Dense(m.clone());
+        let sparse_payload = Payload::SparseDelta(csr.clone());
+        group.bench_with_input(BenchmarkId::new("codec_dense", n), &n, |b, _| {
+            b.iter(|| black_box(decode::<f32>(encode(&dense_payload)).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("codec_sparse", n), &n, |b, _| {
+            b.iter(|| black_box(decode::<f32>(encode(&sparse_payload)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compression);
+criterion_main!(benches);

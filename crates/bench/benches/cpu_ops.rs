@@ -1,0 +1,40 @@
+//! CPU-parallelism kernel benchmarks (backs Fig. 14): serial vs
+//! cache-line-chunked parallel matrix add/sub, the Sec. 5.1 operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psml_parallel::{for_each_chunk_mut, CACHE_LINE_F32};
+use psml_tensor::Matrix;
+use std::hint::black_box;
+
+fn bench_cpu_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_ops");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &[64usize, 256, 512] {
+        let a = Matrix::<f32>::from_fn(n, n, |r, c| (r + c) as f32);
+        let b = Matrix::<f32>::from_fn(n, n, |r, c| (r * c % 13) as f32);
+        group.bench_with_input(BenchmarkId::new("add_serial", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.add(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("add_parallel_chunked", n), &n, |bench, &n| {
+            bench.iter(|| {
+                let mut out = vec![0f32; n * n];
+                let (asl, bsl) = (a.as_slice(), b.as_slice());
+                for_each_chunk_mut(&mut out, 4, CACHE_LINE_F32, |off, slice| {
+                    for (i, v) in slice.iter_mut().enumerate() {
+                        *v = asl[off + i] + bsl[off + i];
+                    }
+                });
+                black_box(out[0])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sub_serial", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.sub(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpu_ops);
+criterion_main!(benches);

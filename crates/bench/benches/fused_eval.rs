@@ -1,0 +1,45 @@
+//! Eq. (6) vs Eq. (8) ablation (the paper's "replace one multiplication
+//! with an addition"): real cost of the expanded vs fused server-side
+//! evaluation of `C_i`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psml_mpc::{secure_matmul_with, EvalStrategy, Fixed64, PlainMatrix};
+use psml_parallel::Mt19937;
+use std::hint::black_box;
+
+fn bench_fused(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_eval");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &[24usize, 48, 96] {
+        let a = PlainMatrix::from_fn(n, n, |r, c| ((r + 2 * c) % 9) as f64 * 0.1);
+        let b = PlainMatrix::from_fn(n, n, |r, c| ((3 * r + c) % 5) as f64 * 0.1);
+        group.bench_with_input(BenchmarkId::new("expanded_eq6", n), &n, |bench, _| {
+            let mut rng = Mt19937::new(1);
+            bench.iter(|| {
+                black_box(secure_matmul_with::<Fixed64>(
+                    &a,
+                    &b,
+                    &mut rng,
+                    EvalStrategy::Expanded,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fused_eq8", n), &n, |bench, _| {
+            let mut rng = Mt19937::new(1);
+            bench.iter(|| {
+                black_box(secure_matmul_with::<Fixed64>(
+                    &a,
+                    &b,
+                    &mut rng,
+                    EvalStrategy::Fused,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fused);
+criterion_main!(benches);

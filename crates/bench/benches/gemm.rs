@@ -1,0 +1,43 @@
+//! Real-throughput GEMM kernel benchmarks (backs Figs. 8 and 15).
+//!
+//! Measures the host kernels that the simulated GPU executes functionally:
+//! naive vs blocked vs parallel GEMM, and the Tensor-Core (through-f16)
+//! variant's overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psml_gpu::{kernels, GemmMode};
+use psml_tensor::{gemm_blocked, gemm_naive, gemm_parallel, Matrix};
+use std::hint::black_box;
+
+fn mat(n: usize, seed: u64) -> Matrix<f32> {
+    Matrix::from_fn(n, n, |r, c| {
+        (((r as u64 * 31 + c as u64 * 7) ^ seed) % 17) as f32 - 8.0
+    })
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &[32usize, 64, 128] {
+        let a = mat(n, 1);
+        let b = mat(n, 2);
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
+            bench.iter(|| black_box(gemm_naive(&a, &b)))
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bench, _| {
+            bench.iter(|| black_box(gemm_blocked(&a, &b)))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &n, |bench, _| {
+            bench.iter(|| black_box(gemm_parallel(&a, &b, 4)))
+        });
+        group.bench_with_input(BenchmarkId::new("tensor_core_f16", n), &n, |bench, _| {
+            bench.iter(|| black_box(kernels::gemm(&a, &b, GemmMode::TensorCore)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Double-pipeline ablation bench: wall-clock cost of driving the engine
+//! with and without pipelining (the simulated-time benefit is shown by
+//! `fig2_breakdown` / the examples; this measures harness overhead is sane
+//! and that the pipelined path does not add real CPU cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parsecureml::prelude::*;
+use parsecureml::SecureContext;
+use std::hint::black_box;
+
+fn run(pipeline: bool, n: usize) -> PlainMatrix {
+    let cfg = EngineConfig::parsecureml()
+        .with_pipeline(pipeline)
+        .with_policy(AdaptivePolicy::ForceGpu);
+    let mut ctx = SecureContext::<Fixed64>::new(cfg, 3);
+    let a = PlainMatrix::from_fn(n, n, |r, c| ((r + c) % 5) as f64 * 0.1);
+    let b = PlainMatrix::from_fn(n, n, |r, c| ((r * 2 + c) % 7) as f64 * 0.1);
+    ctx.secure_matmul_plain(&a, &b).unwrap()
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &[32usize, 64] {
+        group.bench_with_input(BenchmarkId::new("pipelined", n), &n, |b, &n| {
+            b.iter(|| black_box(run(true, n)))
+        });
+        group.bench_with_input(BenchmarkId::new("fenced", n), &n, |b, &n| {
+            b.iter(|| black_box(run(false, n)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Random-generation kernel benchmarks (backs Fig. 7 and the Sec. 5.1
+//! thread-safe RNG design): MT19937 vs the counter-based device RNG, and
+//! serial vs thread-local-parallel generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psml_gpu::kernels::device_random;
+use psml_parallel::{parallel_for_in, with_thread_rng, Mt19937};
+use std::hint::black_box;
+
+fn bench_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &[1024usize, 16 * 1024, 256 * 1024] {
+        group.bench_with_input(BenchmarkId::new("mt19937_serial", n), &n, |b, &n| {
+            let mut rng = Mt19937::new(7);
+            let mut buf = vec![0f32; n];
+            b.iter(|| {
+                rng.fill_f32(&mut buf, -1.0, 1.0);
+                black_box(buf[0])
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("mt19937_thread_local", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let mut total = 0u32;
+                    parallel_for_in(2, n, 16, |chunk| {
+                        with_thread_rng(|r| {
+                            for _ in chunk.start..chunk.end {
+                                black_box(r.next_u32());
+                            }
+                        });
+                    });
+                    total = total.wrapping_add(1);
+                    black_box(total)
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("device_philox_like", n), &n, |b, &n| {
+            let side = (n as f64).sqrt() as usize;
+            b.iter(|| black_box(device_random::<f32>(side, side, 3)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rng);
+criterion_main!(benches);

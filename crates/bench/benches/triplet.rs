@@ -1,0 +1,41 @@
+//! Protocol-level benchmarks: Beaver triple generation (offline) and the
+//! full secure triplet multiplication (online) over both carriers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psml_mpc::{gen_triple, secure_matmul, Fixed64, PlainMatrix};
+use psml_parallel::Mt19937;
+use psml_tensor::gemm_blocked;
+use std::hint::black_box;
+
+fn bench_triplet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triplet");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &[16usize, 48, 96] {
+        group.bench_with_input(BenchmarkId::new("gen_triple_fixed", n), &n, |b, &n| {
+            let mut rng = Mt19937::new(5);
+            b.iter(|| black_box(gen_triple::<Fixed64>(n, n, n, &mut rng, gemm_blocked)))
+        });
+        let a = PlainMatrix::from_fn(n, n, |r, c| ((r + c) % 7) as f64 * 0.1);
+        let bm = PlainMatrix::from_fn(n, n, |r, c| ((r * 3 + c) % 5) as f64 * 0.1);
+        group.bench_with_input(BenchmarkId::new("secure_matmul_fixed", n), &n, |b, &n| {
+            let _ = n;
+            let mut rng = Mt19937::new(9);
+            b.iter(|| black_box(secure_matmul::<Fixed64>(&a, &bm, &mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("secure_matmul_f32", n), &n, |b, &n| {
+            let _ = n;
+            let mut rng = Mt19937::new(11);
+            b.iter(|| black_box(secure_matmul::<f32>(&a, &bm, &mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("plain_matmul", n), &n, |b, &n| {
+            let _ = n;
+            b.iter(|| black_box(a.matmul(&bm)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_triplet);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Ablation: the profiling-guided adaptive placement (Sec. 4.2) versus
+//! forcing everything onto one device. The adaptive engine should match
+//! or beat both forced policies on every workload — small models stay on
+//! the CPU, big ones go to the GPU, and Auto picks correctly.
+
+use parsecureml::prelude::*;
+use psml_bench::*;
+
+fn main() {
+    header(
+        "Ablation — adaptive placement vs ForceCpu / ForceGpu",
+        "Per-workload online time under the three policies.",
+    );
+    println!(
+        "{:<12} {:<10} {:>12} {:>12} {:>12} {:>8}",
+        "Dataset", "Model", "ForceCpu", "ForceGpu", "Auto", "best?"
+    );
+    let mut auto_wins = 0usize;
+    let mut cells = 0usize;
+    for (dataset, model) in [
+        (DatasetKind::Mnist, ModelKind::Linear),
+        (DatasetKind::Mnist, ModelKind::Mlp),
+        (DatasetKind::Nist, ModelKind::Mlp),
+        (DatasetKind::Nist, ModelKind::Cnn),
+        (DatasetKind::Synthetic, ModelKind::Rnn),
+        (DatasetKind::VggFace2, ModelKind::Logistic),
+    ] {
+        let run = |policy: AdaptivePolicy| {
+            run_secure_training(
+                EngineConfig::parsecureml().with_policy(policy),
+                model,
+                dataset,
+                BATCH_SIZE,
+                BATCHES,
+                EPOCHS,
+            )
+            .online_time
+        };
+        let cpu = run(AdaptivePolicy::ForceCpu);
+        let gpu = run(AdaptivePolicy::ForceGpu);
+        let auto = run(AdaptivePolicy::Auto);
+        let best = cpu.min(gpu);
+        // Auto must be within a whisker of the better forced policy.
+        let ok = auto.as_secs() <= best.as_secs() * 1.05;
+        if ok {
+            auto_wins += 1;
+        }
+        cells += 1;
+        println!(
+            "{:<12} {:<10} {:>12} {:>12} {:>12} {:>8}",
+            dataset.spec().name,
+            model.name(),
+            cpu.to_string(),
+            gpu.to_string(),
+            auto.to_string(),
+            if ok { "yes" } else { "NO" }
+        );
+    }
+    println!();
+    assert_eq!(
+        auto_wins, cells,
+        "adaptive placement lost to a forced policy somewhere"
+    );
+    println!("shape check passed: Auto matches the better forced policy on all {cells} workloads");
+}

@@ -1,0 +1,50 @@
+//! Runs every table/figure harness in sequence (the full paper
+//! reproduction). Each individual binary can also be run on its own:
+//!
+//! ```text
+//! cargo run --release -p psml-bench --bin fig10_overall
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let experiments = [
+        "table1_slowdown",
+        "fig2_breakdown",
+        "fig7_rng_crossover",
+        "fig8_gemm_proportion",
+        "fig10_overall",
+        "fig11_online",
+        "fig12_offline",
+        "fig13_inference",
+        "fig14_cpu_opt",
+        "fig15_tensor_core",
+        "table2_nonsecure",
+        "table3_breakdown",
+        "fig16_communication",
+        "fig17_workload_size",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for name in experiments {
+        println!();
+        println!("##### running {name} #####");
+        let status = Command::new(exe_dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        if !status.success() {
+            failures.push(name);
+        }
+    }
+    println!();
+    if failures.is_empty() {
+        println!("all {} experiments completed with passing shape checks", experiments.len());
+    } else {
+        println!("FAILED experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

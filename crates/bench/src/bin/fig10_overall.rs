@@ -1,0 +1,53 @@
+//! Fig. 10: overall speedup of ParSecureML over SecureML, per
+//! (dataset, model) cell of the evaluation grid.
+//!
+//! Paper shape to reproduce: tens-of-x average speedup; larger datasets
+//! benefit more than MNIST.
+
+use psml_bench::*;
+use psml_data::DatasetKind;
+
+fn main() {
+    header(
+        "Fig. 10 — overall ParSecureML speedup over SecureML (training)",
+        "Scaled harness geometries; speedups are simulated-time ratios.",
+    );
+    println!(
+        "{:<12} {:<10} {:>16} {:>16} {:>10}",
+        "Dataset", "Model", "SecureML (s)", "ParSecureML (s)", "Speedup"
+    );
+    let grid = training_grid();
+    let mut all = Vec::new();
+    let mut mnist = Vec::new();
+    let mut large = Vec::new();
+    for cell in &grid {
+        let s = cell.fast.speedup_over(&cell.slow);
+        println!(
+            "{:<12} {:<10} {:>16.6} {:>16.6} {:>9.1}x",
+            cell.dataset.spec().name,
+            cell.model.name(),
+            cell.slow.total_time().as_secs(),
+            cell.fast.total_time().as_secs(),
+            s
+        );
+        all.push(s);
+        match cell.dataset {
+            DatasetKind::Mnist => mnist.push(s),
+            DatasetKind::Nist | DatasetKind::VggFace2 => large.push(s),
+            _ => {}
+        }
+    }
+    println!();
+    println!("average overall speedup : {:.1}x  (paper: 33.8x)", geomean(&all));
+    println!(
+        "large datasets (VGG/NIST): {:.1}x vs MNIST: {:.1}x",
+        geomean(&large),
+        geomean(&mnist)
+    );
+    assert!(geomean(&all) > 5.0, "shape violation: speedup must be large");
+    assert!(
+        geomean(&large) > geomean(&mnist) * 0.8,
+        "shape violation: larger datasets should benefit at least comparably"
+    );
+    println!("shape check passed: large average speedup");
+}

@@ -1,0 +1,45 @@
+//! Fig. 11: online-phase speedup of ParSecureML over SecureML.
+//!
+//! Paper shape to reproduce: the online speedup exceeds the overall
+//! speedup (64.5x vs 33.8x in the paper) — the GPU accelerates exactly
+//! the part that dominates.
+
+use psml_bench::*;
+
+fn main() {
+    header(
+        "Fig. 11 — online ParSecureML speedup over SecureML (training)",
+        "Online = server-side phase from data receipt to result.",
+    );
+    println!(
+        "{:<12} {:<10} {:>14} {:>14} {:>10}",
+        "Dataset", "Model", "SecureML", "ParSecureML", "Speedup"
+    );
+    let grid = training_grid();
+    let mut online = Vec::new();
+    let mut overall = Vec::new();
+    for cell in &grid {
+        let s = cell.fast.online_speedup_over(&cell.slow);
+        println!(
+            "{:<12} {:<10} {:>14} {:>14} {:>9.1}x",
+            cell.dataset.spec().name,
+            cell.model.name(),
+            cell.slow.online_time.to_string(),
+            cell.fast.online_time.to_string(),
+            s
+        );
+        online.push(s);
+        overall.push(cell.fast.speedup_over(&cell.slow));
+    }
+    println!();
+    println!(
+        "average online speedup : {:.1}x  (paper: 64.5x)",
+        geomean(&online)
+    );
+    println!("average overall speedup: {:.1}x", geomean(&overall));
+    assert!(
+        geomean(&online) > geomean(&overall),
+        "shape violation: online speedup must exceed overall speedup"
+    );
+    println!("shape check passed: online speedup > overall speedup");
+}

@@ -1,0 +1,47 @@
+//! Fig. 12: offline-phase speedup of ParSecureML over SecureML.
+//!
+//! Paper shape to reproduce: a modest, roughly uniform offline speedup
+//! (~1.3x in the paper) — the offline phase is generation/transfer-bound,
+//! so the GPU helps far less than online.
+
+use psml_bench::*;
+
+fn main() {
+    header(
+        "Fig. 12 — offline ParSecureML speedup over SecureML (training)",
+        "Offline = client share/triple generation + distribution.",
+    );
+    println!(
+        "{:<12} {:<10} {:>14} {:>14} {:>10}",
+        "Dataset", "Model", "SecureML", "ParSecureML", "Speedup"
+    );
+    let grid = training_grid();
+    let mut offline = Vec::new();
+    let mut online = Vec::new();
+    for cell in &grid {
+        let s = cell.fast.offline_speedup_over(&cell.slow);
+        println!(
+            "{:<12} {:<10} {:>14} {:>14} {:>9.1}x",
+            cell.dataset.spec().name,
+            cell.model.name(),
+            cell.slow.offline_time.to_string(),
+            cell.fast.offline_time.to_string(),
+            s
+        );
+        offline.push(s);
+        online.push(cell.fast.online_speedup_over(&cell.slow));
+    }
+    println!();
+    println!(
+        "average offline speedup: {:.1}x  (paper: ~1.3x — modest)",
+        geomean(&offline)
+    );
+    let spread = offline.iter().cloned().fold(f64::MIN, f64::max)
+        / offline.iter().cloned().fold(f64::MAX, f64::min);
+    println!("max/min spread across benchmarks: {spread:.1}x (paper: similar across benchmarks)");
+    assert!(
+        geomean(&offline) < geomean(&online) / 2.0,
+        "shape violation: offline speedup must be far below online speedup"
+    );
+    println!("shape check passed: offline speedup modest vs online");
+}

@@ -1,0 +1,42 @@
+//! Fig. 13: secure-inference speedup of ParSecureML over SecureML.
+//!
+//! Paper shape to reproduce: inference (the forward sub-process) speeds
+//! up by roughly the same large factor as training (31.7x average in the
+//! paper). Linear regression stands in for SVM (both infer `w^T x + b`).
+
+use psml_bench::*;
+
+fn main() {
+    header(
+        "Fig. 13 — secure inference speedup (forward passes only)",
+        "Linear regression also covers SVM (identical inference math).",
+    );
+    println!(
+        "{:<12} {:<10} {:>14} {:>14} {:>10}",
+        "Dataset", "Model", "SecureML", "ParSecureML", "Speedup"
+    );
+    let grid = inference_grid();
+    let mut speedups = Vec::new();
+    for cell in &grid {
+        let s = cell.fast.speedup_over(&cell.slow);
+        println!(
+            "{:<12} {:<10} {:>14.6} {:>14.6} {:>9.1}x",
+            cell.dataset.spec().name,
+            cell.model.name(),
+            cell.slow.total_time().as_secs(),
+            cell.fast.total_time().as_secs(),
+            s
+        );
+        speedups.push(s);
+    }
+    println!();
+    println!(
+        "average inference speedup: {:.1}x  (paper: 31.7x)",
+        geomean(&speedups)
+    );
+    assert!(
+        geomean(&speedups) > 5.0,
+        "shape violation: inference speedup must be large"
+    );
+    println!("shape check passed: large inference speedup");
+}

@@ -1,0 +1,84 @@
+//! Fig. 17: ParSecureML speedup as a function of workload size.
+//!
+//! Paper shape to reproduce: the speedup over SecureML grows with the
+//! workload (1 MB -> 4 GB in the paper). Sizes up to 8 MB execute for
+//! real through the engine; larger points continue on the same calibrated
+//! cost model (a 4 GB secure GEMM cannot be materialized on the
+//! reproduction box — see DESIGN.md).
+
+use parsecureml::adaptive::AdaptiveEngine;
+use parsecureml::prelude::*;
+use parsecureml::SecureContext;
+
+use psml_bench::*;
+
+/// Square dimension so one operand matrix is `mb` megabytes of u64.
+fn dim_for_mb(mb: usize) -> usize {
+    (((mb * (1 << 20)) / 8) as f64).sqrt() as usize
+}
+
+fn main() {
+    header(
+        "Fig. 17 — speedup vs workload size (SYNTHETIC-style GEMM)",
+        "<= 8 MB executed end-to-end; larger points cost-model-only.",
+    );
+    let fast_cfg = EngineConfig::parsecureml();
+    let slow_cfg = EngineConfig::secureml();
+    println!(
+        "{:>10} {:>8} {:>14} {:>14} {:>10} {:>10}",
+        "size", "dim n", "SecureML", "ParSecureML", "Speedup", "mode"
+    );
+    let mut last = 0.0;
+    let mut speedups = Vec::new();
+    for &mb in &[1usize, 4, 8, 64, 512, 4096] {
+        let n = dim_for_mb(mb);
+        let (slow_t, fast_t, mode) = if mb <= 8 {
+            // Real end-to-end secure multiplications.
+            let run = |cfg: EngineConfig| {
+                let mut ctx = SecureContext::<Fixed64>::new(cfg, 7);
+                let a = PlainMatrix::from_fn(n, n, |r, c| ((r + c) % 5) as f64 * 0.1);
+                let b = PlainMatrix::from_fn(n, n, |r, c| ((r * 3 + c) % 7) as f64 * 0.1);
+                ctx.secure_matmul_plain(&a, &b).unwrap();
+                ctx.report().total_time()
+            };
+            (run(slow_cfg.clone()), run(fast_cfg.clone()), "executed")
+        } else {
+            // Cost model: compute2 GEMM + masking + communication.
+            let model_time = |cfg: &EngineConfig| {
+                let gemm = if matches!(cfg.policy, AdaptivePolicy::ForceCpu) {
+                    AdaptiveEngine::cpu_cost(cfg, n, 2 * n, n)
+                } else {
+                    AdaptiveEngine::gpu_cost(cfg, n, 2 * n, n, 6 * n * n * 8)
+                };
+                let masking = cfg.machine.cpu.elementwise_time(6 * n * n * 8, cfg.cpu_threads);
+                let comm = cfg.machine.network.transfer_time(2 * n * n * 8);
+                let offline = cfg.cpu_gemm_time(n, n, n);
+                gemm + masking + comm + offline
+            };
+            (model_time(&slow_cfg), model_time(&fast_cfg), "modeled")
+        };
+        let speedup = slow_t.as_secs() / fast_t.as_secs();
+        let size_label = if mb >= 1024 {
+            format!("{} GB", mb / 1024)
+        } else {
+            format!("{mb} MB")
+        };
+        println!(
+            "{:>10} {:>8} {:>14} {:>14} {:>9.1}x {:>10}",
+            size_label,
+            n,
+            slow_t.to_string(),
+            fast_t.to_string(),
+            speedup,
+            mode
+        );
+        speedups.push(speedup);
+        last = speedup;
+    }
+    println!();
+    assert!(
+        last >= speedups[0],
+        "shape violation: speedup must grow with workload size"
+    );
+    println!("shape check passed: speedup grows with workload size");
+}

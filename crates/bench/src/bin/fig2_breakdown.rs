@@ -1,0 +1,46 @@
+//! Fig. 2: time breakdown of two-party computation (MLP on MNIST).
+//!
+//! Paper shape to reproduce: offline is dominated by share generation
+//! (transfer small); in the online phase, compute2 dwarfs compute1 and
+//! communicate.
+
+use parsecureml::prelude::*;
+use psml_bench::*;
+
+fn main() {
+    header(
+        "Fig. 2 — time breakdown for two-party computation",
+        "MLP on MNIST-like data, SecureML baseline (as in the paper's figure).",
+    );
+    let report = run_secure_training(
+        EngineConfig::secureml(),
+        ModelKind::Mlp,
+        DatasetKind::Mnist,
+        BATCH_SIZE,
+        BATCHES,
+        EPOCHS,
+    );
+    let b = report.breakdown;
+    println!("offline phase:");
+    println!("  generate shares/triples : {}", b.share_generation);
+    println!("  transmit to servers     : {}", b.distribution);
+    println!("  (end-to-end offline     : {})", report.offline_time);
+    println!();
+    println!("online phase (serialized step sums):");
+    println!("  compute1 (masking)      : {}", b.compute1);
+    println!("  communicate (E/F)       : {}", b.communicate);
+    println!("  compute2 (C_i)          : {}", b.compute2);
+    println!("  activation exchange     : {}", b.activation);
+    println!("  (end-to-end online      : {})", report.online_time);
+    println!();
+    let c2_share = b.compute2 / b.online_serialized();
+    println!(
+        "compute2 share of online work: {:.1}%  (paper: ~99% of 95.95s)",
+        c2_share * 100.0
+    );
+    assert!(
+        b.compute2 > b.compute1 && b.compute2 > b.communicate,
+        "shape violation: compute2 must dominate"
+    );
+    println!("shape check passed: compute2 >> compute1, communicate");
+}

@@ -1,0 +1,52 @@
+//! Fig. 7: cuRAND on the GPU vs MT19937 on the CPU for random-matrix
+//! generation.
+//!
+//! Paper shape to reproduce: the CPU wins small matrices; the GPU
+//! (including generator setup and the copy back to the host) wins large
+//! ones, with the crossover in the n ~ 10^3 range.
+
+use parsecureml::prelude::*;
+use psml_bench::*;
+use psml_gpu::GpuDevice;
+
+fn main() {
+    header(
+        "Fig. 7 — cuRAND (GPU) vs MT19937 (CPU) random generation",
+        "n x n matrices; GPU time includes generator setup + D2H copy.",
+    );
+    let machine = MachineConfig::v100_node();
+    println!(
+        "{:>8} {:>16} {:>16} {:>8}",
+        "dim n", "MT19937 CPU", "cuRAND GPU", "winner"
+    );
+    let mut crossover = None;
+    for shift in 6..=14 {
+        let n = 1usize << shift;
+        let cpu = machine.cpu.rng_time(n * n, 1);
+        let gpu = machine.gpu.rng_time(n * n) + machine.gpu.pcie.transfer_time(n * n * 4);
+        let winner = if gpu < cpu { "GPU" } else { "CPU" };
+        if gpu < cpu && crossover.is_none() {
+            crossover = Some(n);
+        }
+        println!(
+            "{:>8} {:>16} {:>16} {:>8}",
+            n,
+            cpu.to_string(),
+            gpu.to_string(),
+            winner
+        );
+    }
+    println!();
+    // Execute the small end for real to validate the functional kernels.
+    let mut dev = GpuDevice::<f32>::new(machine.gpu.clone());
+    let h = dev.random(256, 256, 7, SimTime::ZERO).expect("device rng");
+    let (m, _) = dev.download(h).expect("d2h");
+    assert!(m.as_slice().iter().all(|v| (-1.0..1.0).contains(v)));
+    let cross = crossover.expect("no crossover found");
+    println!("crossover at n = {cross} (paper's figure: order 10^3)");
+    assert!(
+        (256..=4096).contains(&cross),
+        "crossover {cross} outside the paper's range"
+    );
+    println!("shape check passed: CPU wins small, GPU wins large");
+}

@@ -1,0 +1,67 @@
+//! Table 1: slowdown of SecureML over the original (non-secure) CPU
+//! implementation, on the MNIST workload.
+//!
+//! Paper shape to reproduce: SecureML ~2x slower than the original
+//! implementation across CNN / MLP / linear / logistic.
+
+use parsecureml::baseline::PlainBackend;
+use parsecureml::prelude::*;
+use psml_bench::*;
+
+fn main() {
+    header(
+        "Table 1 — SecureML vs original (non-secure) implementation",
+        "MNIST workload; original = plaintext CPU, SecureML = CPU 2PC.",
+    );
+    println!(
+        "{:<22} {:>14} {:>14} {:>12}",
+        "Method", "Original (s)", "SecureML (s)", "Slowdown (x)"
+    );
+    let mut ratios = Vec::new();
+    // The paper's batch size (128) so GEMM work dominates fixed overheads,
+    // and several epochs so the one-time offline cost amortizes the way the
+    // paper's 469 batches amortize it.
+    let batch = 128;
+    let epochs = 4;
+    for model in [
+        ModelKind::Cnn,
+        ModelKind::Mlp,
+        ModelKind::Linear,
+        ModelKind::Logistic,
+    ] {
+        // Both systems on the same (untuned, single-thread) CPU model —
+        // the paper's SecureML testbed.
+        let original = run_plain_training(
+            EngineConfig::secureml(),
+            model,
+            DatasetKind::Mnist,
+            PlainBackend::Cpu,
+            batch,
+            BATCHES,
+            epochs,
+        );
+        let secure = run_secure_training(
+            EngineConfig::secureml(),
+            model,
+            DatasetKind::Mnist,
+            batch,
+            BATCHES,
+            epochs,
+        );
+        let slowdown = secure.total_time().as_secs() / original.as_secs();
+        ratios.push(slowdown);
+        println!(
+            "{:<22} {:>14.6} {:>14.6} {:>12.2}",
+            model.name(),
+            original.as_secs(),
+            secure.total_time().as_secs(),
+            slowdown
+        );
+    }
+    println!();
+    println!(
+        "average slowdown: {:.2}x   (paper: ~2x; shape: secure 2PC costs a",
+        geomean(&ratios)
+    );
+    println!("small constant factor over plaintext on the same hardware)");
+}

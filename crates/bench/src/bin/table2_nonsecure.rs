@@ -1,0 +1,76 @@
+//! Table 2: slowdown of the secure systems versus the original,
+//! non-secure machine learning tasks running on the GPU.
+//!
+//! Paper shape to reproduce: SecureML is two orders of magnitude slower
+//! than plain GPU ML (249x average), while ParSecureML shrinks that gap
+//! to roughly one order (11x average).
+
+use parsecureml::baseline::PlainBackend;
+use parsecureml::prelude::*;
+use psml_bench::*;
+
+fn main() {
+    header(
+        "Table 2 — slowdown vs non-secure GPU machine learning",
+        "Plain GPU baseline keeps weights resident; secure runs as usual.",
+    );
+    println!(
+        "{:<12} {:<10} {:>12} {:>16} {:>18}",
+        "Dataset", "Model", "GPU (s)", "SecureML (x)", "ParSecureML (x)"
+    );
+    let mut slow_ratios = Vec::new();
+    let mut fast_ratios = Vec::new();
+    for (dataset, model) in evaluation_grid() {
+        let gpu = run_plain_training(
+            EngineConfig::parsecureml(),
+            model,
+            dataset,
+            PlainBackend::Gpu,
+            BATCH_SIZE,
+            BATCHES,
+            EPOCHS,
+        );
+        let secure_slow = run_secure_training(
+            EngineConfig::secureml(),
+            model,
+            dataset,
+            BATCH_SIZE,
+            BATCHES,
+            EPOCHS,
+        );
+        let secure_fast = run_secure_training(
+            EngineConfig::parsecureml(),
+            model,
+            dataset,
+            BATCH_SIZE,
+            BATCHES,
+            EPOCHS,
+        );
+        let rs = secure_slow.total_time().as_secs() / gpu.as_secs();
+        let rf = secure_fast.total_time().as_secs() / gpu.as_secs();
+        println!(
+            "{:<12} {:<10} {:>12.6} {:>15.1}x {:>17.1}x",
+            dataset.spec().name,
+            model.name(),
+            gpu.as_secs(),
+            rs,
+            rf
+        );
+        slow_ratios.push(rs);
+        fast_ratios.push(rf);
+    }
+    println!();
+    println!(
+        "average SecureML slowdown    : {:.1}x  (paper: 249.34x)",
+        geomean(&slow_ratios)
+    );
+    println!(
+        "average ParSecureML slowdown : {:.1}x  (paper: 10.98x)",
+        geomean(&fast_ratios)
+    );
+    assert!(
+        geomean(&fast_ratios) * 3.0 < geomean(&slow_ratios),
+        "shape violation: ParSecureML must close most of the gap"
+    );
+    println!("shape check passed: ParSecureML shrinks the gap by >3x");
+}

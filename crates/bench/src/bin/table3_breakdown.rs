@@ -1,0 +1,50 @@
+//! Table 3: online/total time breakdown and occupancy for both systems.
+//!
+//! Paper shape to reproduce: under SecureML the online phase is >90 % of
+//! total time; ParSecureML's acceleration drops occupancy to ~54 % on
+//! average.
+
+use psml_bench::*;
+
+fn main() {
+    header(
+        "Table 3 — online/total breakdown and occupancy",
+        "Occupancy = online / (offline + online).",
+    );
+    println!(
+        "{:<12} {:<10} {:>12} {:>12} {:>10} | {:>12} {:>12} {:>10}",
+        "Dataset", "Model", "SML online", "SML total", "SML occ",
+        "PSML online", "PSML total", "PSML occ"
+    );
+    let grid = training_grid();
+    let mut slow_occ = Vec::new();
+    let mut fast_occ = Vec::new();
+    for cell in &grid {
+        println!(
+            "{:<12} {:<10} {:>12} {:>12} {:>9.1}% | {:>12} {:>12} {:>9.1}%",
+            cell.dataset.spec().name,
+            cell.model.name(),
+            cell.slow.online_time.to_string(),
+            cell.slow.total_time().to_string(),
+            cell.slow.occupancy() * 100.0,
+            cell.fast.online_time.to_string(),
+            cell.fast.total_time().to_string(),
+            cell.fast.occupancy() * 100.0,
+        );
+        slow_occ.push(cell.slow.occupancy());
+        fast_occ.push(cell.fast.occupancy());
+    }
+    println!();
+    let avg_slow = slow_occ.iter().sum::<f64>() / slow_occ.len() as f64;
+    let avg_fast = fast_occ.iter().sum::<f64>() / fast_occ.len() as f64;
+    println!(
+        "average occupancy — SecureML: {:.1}% (paper: >90%), ParSecureML: {:.1}% (paper: 54.2%)",
+        avg_slow * 100.0,
+        avg_fast * 100.0
+    );
+    assert!(
+        avg_fast < avg_slow,
+        "shape violation: acceleration must reduce online occupancy"
+    );
+    println!("shape check passed: ParSecureML reduces online occupancy");
+}

@@ -1,0 +1,172 @@
+//! Profiling-guided adaptive GPU utilization (paper Section 4.2).
+//!
+//! For each triplet multiplication the engine asks: is this GEMM worth the
+//! PCIe round trip? The decision uses the calibrated cost models — CPU GEMM
+//! at the configured thread count vs GPU GEMM *plus* the H2D transfers of
+//! its operands and the D2H of the result — which is exactly the
+//! comparison the paper's profiling produces. A small hysteresis cache
+//! avoids re-deciding identical shapes.
+
+use crate::config::{AdaptivePolicy, EngineConfig};
+use psml_simtime::SimDuration;
+use std::collections::HashMap;
+
+/// Where a multiplication was placed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// Run on the host CPU.
+    Cpu,
+    /// Run on the GPU (pay PCIe transfers).
+    Gpu,
+}
+
+/// The placement decision engine.
+#[derive(Clone, Debug)]
+pub struct AdaptiveEngine {
+    policy: AdaptivePolicy,
+    cache: HashMap<(usize, usize, usize), Placement>,
+    cpu_decisions: usize,
+    gpu_decisions: usize,
+}
+
+impl AdaptiveEngine {
+    /// Builds the engine for a given policy.
+    pub fn new(policy: AdaptivePolicy) -> Self {
+        AdaptiveEngine {
+            policy,
+            cache: HashMap::new(),
+            cpu_decisions: 0,
+            gpu_decisions: 0,
+        }
+    }
+
+    /// Estimated CPU time for an `(m x k) * (k x n)` product under `cfg`.
+    pub fn cpu_cost(cfg: &EngineConfig, m: usize, k: usize, n: usize) -> SimDuration {
+        cfg.cpu_gemm_time(m, k, n)
+    }
+
+    /// Estimated GPU time including the PCIe round trip for operands the
+    /// size of the Eq. (8) blocks (`bytes_moved` total).
+    pub fn gpu_cost(
+        cfg: &EngineConfig,
+        m: usize,
+        k: usize,
+        n: usize,
+        bytes_moved: usize,
+    ) -> SimDuration {
+        cfg.machine.gpu.gemm_time(m, k, n, cfg.tensor_cores)
+            + cfg.machine.gpu.pcie.transfer_time(bytes_moved)
+    }
+
+    /// Decides placement for an `(m x k) * (k x n)` product whose operands
+    /// and result move `bytes_moved` bytes over PCIe if offloaded.
+    pub fn place(
+        &mut self,
+        cfg: &EngineConfig,
+        m: usize,
+        k: usize,
+        n: usize,
+        bytes_moved: usize,
+    ) -> Placement {
+        let placement = match self.policy {
+            AdaptivePolicy::ForceCpu => Placement::Cpu,
+            AdaptivePolicy::ForceGpu => Placement::Gpu,
+            AdaptivePolicy::Auto => *self.cache.entry((m, k, n)).or_insert_with(|| {
+                if Self::gpu_cost(cfg, m, k, n, bytes_moved)
+                    <= Self::cpu_cost(cfg, m, k, n)
+                {
+                    Placement::Gpu
+                } else {
+                    Placement::Cpu
+                }
+            }),
+        };
+        match placement {
+            Placement::Cpu => self.cpu_decisions += 1,
+            Placement::Gpu => self.gpu_decisions += 1,
+        }
+        placement
+    }
+
+    /// `(cpu, gpu)` decision counts so far.
+    pub fn decision_counts(&self) -> (usize, usize) {
+        (self.cpu_decisions, self.gpu_decisions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> EngineConfig {
+        EngineConfig::parsecureml()
+    }
+
+    fn bytes_for(m: usize, k: usize, n: usize) -> usize {
+        (m * k + k * n + m * n) * 8
+    }
+
+    #[test]
+    fn forced_policies_ignore_size() {
+        let cfg = cfg();
+        let mut cpu = AdaptiveEngine::new(AdaptivePolicy::ForceCpu);
+        let mut gpu = AdaptiveEngine::new(AdaptivePolicy::ForceGpu);
+        for n in [4, 4096] {
+            assert_eq!(cpu.place(&cfg, n, n, n, bytes_for(n, n, n)), Placement::Cpu);
+            assert_eq!(gpu.place(&cfg, n, n, n, bytes_for(n, n, n)), Placement::Gpu);
+        }
+    }
+
+    #[test]
+    fn auto_places_small_on_cpu_large_on_gpu() {
+        let cfg = cfg();
+        let mut auto = AdaptiveEngine::new(AdaptivePolicy::Auto);
+        assert_eq!(auto.place(&cfg, 8, 8, 8, bytes_for(8, 8, 8)), Placement::Cpu);
+        assert_eq!(
+            auto.place(&cfg, 2048, 2048, 2048, bytes_for(2048, 2048, 2048)),
+            Placement::Gpu
+        );
+        let (c, g) = auto.decision_counts();
+        assert_eq!((c, g), (1, 1));
+    }
+
+    #[test]
+    fn decisions_are_cached_per_shape() {
+        let cfg = cfg();
+        let mut auto = AdaptiveEngine::new(AdaptivePolicy::Auto);
+        for _ in 0..10 {
+            auto.place(&cfg, 1024, 1024, 1024, bytes_for(1024, 1024, 1024));
+        }
+        assert_eq!(auto.cache.len(), 1);
+        let (_, g) = auto.decision_counts();
+        assert_eq!(g, 10);
+    }
+
+    #[test]
+    fn crossover_is_monotone_in_size() {
+        // Once the GPU wins at size s, it keeps winning for every larger
+        // cubic size (with proportional transfer bytes).
+        let cfg = cfg();
+        let mut auto = AdaptiveEngine::new(AdaptivePolicy::Auto);
+        let mut seen_gpu = false;
+        for shift in 2..12 {
+            let n = 1usize << shift;
+            let p = auto.place(&cfg, n, n, n, bytes_for(n, n, n));
+            if seen_gpu {
+                assert_eq!(p, Placement::Gpu, "regression at n={n}");
+            }
+            if p == Placement::Gpu {
+                seen_gpu = true;
+            }
+        }
+        assert!(seen_gpu, "GPU never chosen up to 2048^3");
+    }
+
+    #[test]
+    fn cost_functions_visible_for_reports() {
+        let cfg = cfg();
+        let c = AdaptiveEngine::cpu_cost(&cfg, 256, 256, 256);
+        let g = AdaptiveEngine::gpu_cost(&cfg, 256, 256, 256, bytes_for(256, 256, 256));
+        assert!(c.as_secs() > 0.0 && g.as_secs() > 0.0);
+    }
+}

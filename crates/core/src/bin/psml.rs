@@ -1,0 +1,250 @@
+//! `psml` — command-line front end for ParSecureML-rs.
+//!
+//! ```text
+//! psml train  --model mlp --dataset mnist [--batch 32] [--batches 4]
+//!             [--epochs 2] [--secureml] [--no-pipeline] [--no-compression]
+//!             [--client-aided] [--seed 42]
+//! psml infer  --model cnn --dataset cifar10 [--batch 16] [--batches 2]
+//! psml bench  --model linear --dataset synthetic    # ParSecureML vs SecureML
+//! psml models                                        # list models/datasets
+//! ```
+
+use parsecureml::prelude::*;
+use std::process::exit;
+
+struct Args {
+    cmd: String,
+    model: ModelKind,
+    dataset: DatasetKind,
+    batch: usize,
+    batches: usize,
+    epochs: usize,
+    seed: u32,
+    secureml: bool,
+    pipeline: bool,
+    compression: bool,
+    client_aided: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: psml <train|infer|bench|models> --model <cnn|mlp|rnn|linear|logistic|svm> \
+         --dataset <mnist|vggface2|nist|cifar10|synthetic> [--batch N] [--batches N] \
+         [--epochs N] [--seed N] [--secureml] [--no-pipeline] [--no-compression] [--client-aided]"
+    );
+    exit(2);
+}
+
+fn parse_model(s: &str) -> Option<ModelKind> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "cnn" => ModelKind::Cnn,
+        "mlp" => ModelKind::Mlp,
+        "rnn" => ModelKind::Rnn,
+        "linear" => ModelKind::Linear,
+        "logistic" => ModelKind::Logistic,
+        "svm" => ModelKind::Svm,
+        _ => return None,
+    })
+}
+
+fn parse_dataset(s: &str) -> Option<DatasetKind> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "mnist" => DatasetKind::Mnist,
+        "vggface2" => DatasetKind::VggFace2,
+        "nist" => DatasetKind::Nist,
+        "cifar10" | "cifar-10" => DatasetKind::Cifar10,
+        "synthetic" => DatasetKind::Synthetic,
+        _ => return None,
+    })
+}
+
+fn parse_args() -> Args {
+    let mut argv = std::env::args().skip(1);
+    let cmd = argv.next().unwrap_or_else(|| usage());
+    let mut args = Args {
+        cmd,
+        model: ModelKind::Mlp,
+        dataset: DatasetKind::Mnist,
+        batch: 16,
+        batches: 2,
+        epochs: 2,
+        seed: 42,
+        secureml: false,
+        pipeline: true,
+        compression: true,
+        client_aided: false,
+    };
+    let next_usize = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
+        argv.next()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                eprintln!("missing/invalid value for {flag}");
+                usage()
+            })
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--model" => {
+                let v = argv.next().unwrap_or_else(|| usage());
+                args.model = parse_model(&v).unwrap_or_else(|| {
+                    eprintln!("unknown model '{v}'");
+                    usage()
+                });
+            }
+            "--dataset" => {
+                let v = argv.next().unwrap_or_else(|| usage());
+                args.dataset = parse_dataset(&v).unwrap_or_else(|| {
+                    eprintln!("unknown dataset '{v}'");
+                    usage()
+                });
+            }
+            "--batch" => args.batch = next_usize(&mut argv, "--batch"),
+            "--batches" => args.batches = next_usize(&mut argv, "--batches"),
+            "--epochs" => args.epochs = next_usize(&mut argv, "--epochs"),
+            "--seed" => args.seed = next_usize(&mut argv, "--seed") as u32,
+            "--secureml" => args.secureml = true,
+            "--no-pipeline" => args.pipeline = false,
+            "--no-compression" => args.compression = false,
+            "--client-aided" => args.client_aided = true,
+            other => {
+                eprintln!("unknown flag '{other}'");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn config_of(args: &Args) -> EngineConfig {
+    let base = if args.secureml {
+        EngineConfig::secureml()
+    } else {
+        EngineConfig::parsecureml()
+    };
+    base.with_pipeline(args.pipeline && !args.secureml)
+        .with_compression(args.compression && !args.secureml)
+        .with_client_aided_activation(args.client_aided)
+}
+
+fn spec_of(args: &Args) -> ModelSpec {
+    let spec = args.dataset.spec();
+    ModelSpec::build(
+        args.model,
+        spec.features(),
+        Some((spec.channels, spec.height, spec.width)),
+        spec.classes,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot build {} on {}: {e}", args.model.name(), spec.name);
+        exit(1);
+    })
+}
+
+fn print_report(r: &RunReport) {
+    println!("  offline time     : {}", r.offline_time);
+    println!("  online time      : {}", r.online_time);
+    println!("  total time       : {}", r.total_time());
+    println!("  occupancy        : {:.1}%", r.occupancy() * 100.0);
+    println!("  secure muls      : {}", r.secure_muls);
+    let (cpu, gpu) = r.placements;
+    println!("  placements       : {cpu} CPU / {gpu} GPU");
+    println!(
+        "  network          : {} msgs, {} bytes ({:.1}% saved)",
+        r.traffic.total_messages(),
+        r.traffic.total_wire_bytes(),
+        r.traffic.savings() * 100.0
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    match args.cmd.as_str() {
+        "models" => {
+            println!("models  : cnn mlp rnn linear logistic svm");
+            println!("datasets: mnist vggface2 nist cifar10 synthetic");
+            for d in DatasetKind::ALL {
+                let s = d.spec();
+                println!(
+                    "  {:<10} {}x{}x{}, {} classes, {} samples",
+                    s.name, s.channels, s.height, s.width, s.classes, s.train_samples
+                );
+            }
+        }
+        "train" => {
+            let mut trainer =
+                SecureTrainer::<Fixed64>::new(config_of(&args), spec_of(&args), args.seed)
+                    .unwrap_or_else(|e| {
+                        eprintln!("trainer: {e}");
+                        exit(1);
+                    });
+            let result = trainer
+                .train_epochs(args.dataset, args.batch, args.batches, args.epochs, args.seed)
+                .unwrap_or_else(|e| {
+                    eprintln!("training: {e}");
+                    exit(1);
+                });
+            println!(
+                "trained {} on {} ({} x {} samples, {} epochs)",
+                args.model.name(),
+                args.dataset.spec().name,
+                args.batches,
+                args.batch,
+                args.epochs
+            );
+            for (e, loss) in result.losses.iter().enumerate() {
+                println!("  epoch {e}: mean loss {loss:.5}");
+            }
+            println!("  accuracy (train) : {:.1}%", result.accuracy * 100.0);
+            print_report(&result.report);
+        }
+        "infer" => {
+            let mut trainer =
+                SecureTrainer::<Fixed64>::new(config_of(&args), spec_of(&args), args.seed)
+                    .unwrap_or_else(|e| {
+                        eprintln!("trainer: {e}");
+                        exit(1);
+                    });
+            let result = trainer
+                .infer(args.dataset, args.batch, args.batches, args.seed)
+                .unwrap_or_else(|e| {
+                    eprintln!("inference: {e}");
+                    exit(1);
+                });
+            println!(
+                "secure inference: {} on {} ({} x {} samples)",
+                args.model.name(),
+                args.dataset.spec().name,
+                args.batches,
+                args.batch
+            );
+            println!("  accuracy         : {:.1}%", result.accuracy * 100.0);
+            print_report(&result.report);
+        }
+        "bench" => {
+            let run = |cfg: EngineConfig| {
+                let mut t = SecureTrainer::<Fixed64>::new(cfg, spec_of(&args), args.seed)
+                    .unwrap_or_else(|e| {
+                        eprintln!("trainer: {e}");
+                        exit(1);
+                    });
+                t.train_epochs(args.dataset, args.batch, args.batches, args.epochs, args.seed)
+                    .map(|r| r.report)
+                    .unwrap_or_else(|e| {
+                        eprintln!("run: {e}");
+                        exit(1);
+                    })
+            };
+            println!("ParSecureML:");
+            let fast = run(EngineConfig::parsecureml());
+            print_report(&fast);
+            println!("SecureML baseline:");
+            let slow = run(EngineConfig::secureml());
+            print_report(&slow);
+            println!();
+            println!("overall speedup : {:.1}x", fast.speedup_over(&slow));
+            println!("online speedup  : {:.1}x", fast.online_speedup_over(&slow));
+            println!("offline speedup : {:.1}x", fast.offline_speedup_over(&slow));
+        }
+        _ => usage(),
+    }
+}

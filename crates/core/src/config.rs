@@ -1,0 +1,276 @@
+//! Engine configuration: which of the paper's techniques are enabled.
+
+use psml_gpu::MachineConfig;
+use psml_mpc::EvalStrategy;
+use psml_tensor::sparse::DEFAULT_SPARSITY_THRESHOLD;
+
+/// Where the heavy *compute2* multiplication runs.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum AdaptivePolicy {
+    /// Always CPU — the SecureML baseline.
+    ForceCpu,
+    /// Always GPU, regardless of size.
+    ForceGpu,
+    /// Profiling-guided: compare the calibrated CPU and GPU cost models
+    /// (including PCIe transfers) per multiplication and pick the winner —
+    /// the paper's adaptive engine.
+    #[default]
+    Auto,
+}
+
+/// Full engine configuration.
+///
+/// The three presets mirror the paper's evaluated systems:
+/// [`EngineConfig::parsecureml`] (everything on),
+/// [`EngineConfig::secureml`] (the CPU baseline), and
+/// [`EngineConfig::parsecureml_unoptimized`] (GPU on, Sec. 5 optimizations
+/// off — the baseline of Figs. 14/15).
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Hardware model for every node.
+    pub machine: MachineConfig,
+    /// *compute2* placement policy.
+    pub policy: AdaptivePolicy,
+    /// Enable the double pipeline (Fig. 5 + Fig. 6). When off, every
+    /// transfer/kernel/reconstruct step is fenced.
+    pub pipeline: bool,
+    /// Enable delta+CSR compressed transmission (Sec. 4.4).
+    pub compression: bool,
+    /// Zero-fraction threshold for compression (default 0.75).
+    pub sparsity_threshold: f64,
+    /// Use Tensor Cores for GPU GEMMs (Sec. 5.2).
+    pub tensor_cores: bool,
+    /// CPU threads used for server-side host work. 1 = serial.
+    pub cpu_threads: usize,
+    /// CPU threads used for the *client's* offline work — random-matrix
+    /// generation and the share additions/subtractions, the operations
+    /// Sec. 5.1 parallelizes. 1 = the pre-optimization client.
+    pub client_cpu_threads: usize,
+    /// Whether CPU GEMMs run at the tuned (blocked/SIMD) rate. The
+    /// SecureML reference implementation is modeled with `false`.
+    pub tuned_cpu_gemm: bool,
+    /// Generate offline randomness on the client GPU when it wins
+    /// (the Fig. 7 decision); otherwise thread-parallel MT19937.
+    pub gpu_offline: bool,
+    /// How servers evaluate `C_i` (Eq. 6 vs the fused Eq. 8).
+    pub eval_strategy: EvalStrategy,
+    /// Route activations through the client (no server-side leakage) at
+    /// the cost of a client round trip per activation. Default `false`
+    /// (the reference implementation's server-exchange behavior).
+    pub client_aided_activation: bool,
+    /// Reuse Beaver-triple masks across iterations of the same call site
+    /// (the paper's Eq. (11) premise, which enables delta compression).
+    /// Set `false` for the security-conservative fresh-triple-per-use
+    /// SecureML behavior (more offline work, no compressible deltas).
+    pub reuse_triples: bool,
+    /// Learning rate for training tasks.
+    pub learning_rate: f64,
+}
+
+impl EngineConfig {
+    /// The full ParSecureML system: GPU adaptive offload, double pipeline,
+    /// compression, Tensor Cores, CPU parallelism.
+    pub fn parsecureml() -> Self {
+        EngineConfig {
+            machine: MachineConfig::v100_node(),
+            policy: AdaptivePolicy::Auto,
+            pipeline: true,
+            compression: true,
+            sparsity_threshold: DEFAULT_SPARSITY_THRESHOLD,
+            tensor_cores: true,
+            cpu_threads: MachineConfig::v100_node().cpu.cores,
+            client_cpu_threads: MachineConfig::v100_node().cpu.cores,
+            tuned_cpu_gemm: true,
+            gpu_offline: true,
+            eval_strategy: EvalStrategy::Fused,
+            client_aided_activation: false,
+            reuse_triples: true,
+            learning_rate: 0.05,
+        }
+    }
+
+    /// The SecureML baseline: CPU-only two-party computation, serial host
+    /// code, no pipeline, no compression.
+    pub fn secureml() -> Self {
+        EngineConfig {
+            machine: MachineConfig::secureml_node(),
+            policy: AdaptivePolicy::ForceCpu,
+            pipeline: false,
+            compression: false,
+            sparsity_threshold: DEFAULT_SPARSITY_THRESHOLD,
+            tensor_cores: false,
+            cpu_threads: 1,
+            client_cpu_threads: 1,
+            tuned_cpu_gemm: false,
+            gpu_offline: false,
+            eval_strategy: EvalStrategy::Expanded,
+            client_aided_activation: false,
+            reuse_triples: true,
+            learning_rate: 0.05,
+        }
+    }
+
+    /// ParSecureML *without* the Section 5 optimizations (serial CPU, no
+    /// Tensor Cores) — the baseline for Figs. 14 and 15.
+    pub fn parsecureml_unoptimized() -> Self {
+        EngineConfig {
+            tensor_cores: false,
+            cpu_threads: 1,
+            client_cpu_threads: 1,
+            ..Self::parsecureml()
+        }
+    }
+
+    /// Returns this config with the double pipeline toggled.
+    pub fn with_pipeline(mut self, on: bool) -> Self {
+        self.pipeline = on;
+        self
+    }
+
+    /// Returns this config with compressed transmission toggled.
+    pub fn with_compression(mut self, on: bool) -> Self {
+        self.compression = on;
+        self
+    }
+
+    /// Returns this config with Tensor Cores toggled.
+    pub fn with_tensor_cores(mut self, on: bool) -> Self {
+        self.tensor_cores = on;
+        self
+    }
+
+    /// Returns this config with the given CPU thread count (both server
+    /// and client sides).
+    pub fn with_cpu_threads(mut self, threads: usize) -> Self {
+        self.cpu_threads = threads.max(1);
+        self.client_cpu_threads = threads.max(1);
+        self
+    }
+
+    /// Returns this config with the given *client* thread count only (the
+    /// Fig. 14 ablation: Sec. 5.1's CPU parallelism on/off).
+    pub fn with_client_cpu_threads(mut self, threads: usize) -> Self {
+        self.client_cpu_threads = threads.max(1);
+        self
+    }
+
+    /// Returns this config with the given placement policy.
+    pub fn with_policy(mut self, policy: AdaptivePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Returns this config with client-aided activation toggled.
+    pub fn with_client_aided_activation(mut self, on: bool) -> Self {
+        self.client_aided_activation = on;
+        self
+    }
+
+    /// Returns this config with triple reuse toggled.
+    pub fn with_reuse_triples(mut self, on: bool) -> Self {
+        self.reuse_triples = on;
+        self
+    }
+
+    /// Time for an `(m x k) * (k x n)` CPU GEMM under this config's
+    /// thread count and kernel tuning.
+    pub fn cpu_gemm_time(&self, m: usize, k: usize, n: usize) -> psml_simtime::SimDuration {
+        self.machine
+            .cpu
+            .gemm_time_with(m, k, n, self.cpu_threads, self.tuned_cpu_gemm)
+    }
+
+    /// Time for an element-wise CPU pass over `bytes` under this config's
+    /// thread count and loop tuning.
+    pub fn cpu_elementwise_time(&self, bytes: usize) -> psml_simtime::SimDuration {
+        self.machine
+            .cpu
+            .elementwise_time_with(bytes, self.cpu_threads, self.tuned_cpu_gemm)
+    }
+
+    /// Client-side offline GEMM time (Z = U x V on the CPU fallback).
+    pub fn client_gemm_time(&self, m: usize, k: usize, n: usize) -> psml_simtime::SimDuration {
+        self.machine
+            .cpu
+            .gemm_time_with(m, k, n, self.client_cpu_threads, self.tuned_cpu_gemm)
+    }
+
+    /// Client-side element-wise time (share splits / encodes).
+    pub fn client_elementwise_time(&self, bytes: usize) -> psml_simtime::SimDuration {
+        self.machine
+            .cpu
+            .elementwise_time_with(bytes, self.client_cpu_threads, self.tuned_cpu_gemm)
+    }
+
+    /// Client-side random-generation time (thread-local MT19937s).
+    pub fn client_rng_time(&self, n: usize) -> psml_simtime::SimDuration {
+        self.machine.cpu.rng_time(n, self.client_cpu_threads)
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.sparsity_threshold) {
+            return Err(format!(
+                "sparsity_threshold {} outside [0,1]",
+                self.sparsity_threshold
+            ));
+        }
+        if self.cpu_threads == 0 {
+            return Err("cpu_threads must be >= 1".into());
+        }
+        if !(self.learning_rate.is_finite() && self.learning_rate > 0.0) {
+            return Err(format!("bad learning rate {}", self.learning_rate));
+        }
+        Ok(())
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::parsecureml()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_as_documented() {
+        let p = EngineConfig::parsecureml();
+        let s = EngineConfig::secureml();
+        let u = EngineConfig::parsecureml_unoptimized();
+        assert_eq!(p.policy, AdaptivePolicy::Auto);
+        assert_eq!(s.policy, AdaptivePolicy::ForceCpu);
+        assert!(p.pipeline && !s.pipeline);
+        assert!(p.compression && !s.compression);
+        assert!(p.tensor_cores && !u.tensor_cores);
+        assert!(p.cpu_threads > 1 && u.cpu_threads == 1 && s.cpu_threads == 1);
+        for cfg in [p, s, u] {
+            cfg.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn builders_toggle_fields() {
+        let cfg = EngineConfig::parsecureml()
+            .with_pipeline(false)
+            .with_compression(false)
+            .with_tensor_cores(false)
+            .with_cpu_threads(0)
+            .with_policy(AdaptivePolicy::ForceGpu);
+        assert!(!cfg.pipeline && !cfg.compression && !cfg.tensor_cores);
+        assert_eq!(cfg.cpu_threads, 1, "zero threads clamps to one");
+        assert_eq!(cfg.policy, AdaptivePolicy::ForceGpu);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut cfg = EngineConfig::parsecureml();
+        cfg.sparsity_threshold = 1.5;
+        assert!(cfg.validate().is_err());
+        let mut cfg = EngineConfig::parsecureml();
+        cfg.learning_rate = -1.0;
+        assert!(cfg.validate().is_err());
+    }
+}

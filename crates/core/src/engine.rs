@@ -1,0 +1,1331 @@
+//! The secure execution engine: one client, two servers, simulated time.
+//!
+//! # Execution model
+//!
+//! All three parties run in-process; every matrix operation *really
+//! executes* (so results are verifiable against plaintext), while simulated
+//! clocks advance on each party's resources — CPU, GPU engines (via
+//! `psml-gpu`), and NIC (via `psml-net`).
+//!
+//! Phases follow SecureML's offline/online split strictly: offline work
+//! (share and triple generation + distribution) is timed on the *client's*
+//! resources and the client->server links; online work is timed on the
+//! *servers'* resources and the server<->server link. The offline phase
+//! completes before the online phase begins, so data produced offline is
+//! ready at online `t = 0`.
+//!
+//! # Dataflow timing and the double pipeline
+//!
+//! Every share carries the simulated instant it becomes valid
+//! ([`Timed`]). Operations start at the max of their operands' ready times
+//! and their resource's availability — so with `pipeline: true` the Fig. 5
+//! overlap (H2D copies under kernels) and the Fig. 6 overlap (reconstruct
+//! of one step under the GPU operation of another) emerge from dataflow.
+//! With `pipeline: false` the engine inserts a device fence and a CPU/NIC
+//! barrier after every step, reproducing the serialized baseline.
+
+// The protocol loops index parallel per-server arrays (`masked[i]`,
+// `publics[i]`, `self.servers[i]`) while calling `&mut self` helpers, so
+// iterator adapters cannot replace the indexed form.
+#![allow(clippy::needless_range_loop)]
+
+use crate::adaptive::{AdaptiveEngine, Placement};
+use crate::config::EngineConfig;
+use crate::error::{EngineError, Result};
+use crate::report::{PhaseBreakdown, RunReport};
+use psml_gpu::{GemmMode, GpuDevice, GpuElement};
+use psml_mpc::{
+    EvalStrategy, Party, PlainMatrix, SecureRing, ServerMulSession, TripleShare,
+};
+use psml_net::{build_network, DeltaDecoder, DeltaEncoder, Endpoint, NodeId, Payload, TransmitForm};
+use psml_parallel::Mt19937;
+use psml_simtime::{Resource, SimDuration, SimTime};
+use psml_tensor::{gemm_blocked, ConvShape, Matrix};
+use std::collections::HashMap;
+
+/// A value plus the simulated instant it becomes available.
+#[derive(Clone, Debug)]
+pub struct Timed<T> {
+    /// The value.
+    pub v: T,
+    /// When it is ready on its party's clock.
+    pub ready: SimTime,
+}
+
+impl<T> Timed<T> {
+    /// A value ready at `t = 0`.
+    pub fn at_zero(v: T) -> Self {
+        Timed {
+            v,
+            ready: SimTime::ZERO,
+        }
+    }
+}
+
+/// A matrix additively shared between the two servers, each share tagged
+/// with its readiness on that server's online clock.
+#[derive(Clone, Debug)]
+pub struct SharedMatrix<R: SecureRing> {
+    parts: [Timed<Matrix<R>>; 2],
+}
+
+impl<R: SecureRing> SharedMatrix<R> {
+    /// Wraps two server-resident shares.
+    pub fn new(p0: Timed<Matrix<R>>, p1: Timed<Matrix<R>>) -> Self {
+        assert_eq!(p0.v.shape(), p1.v.shape(), "share shape mismatch");
+        SharedMatrix { parts: [p0, p1] }
+    }
+
+    /// The share held by `party`.
+    pub fn part(&self, party: Party) -> &Timed<Matrix<R>> {
+        &self.parts[party.index()]
+    }
+
+    /// Logical `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        self.parts[0].v.shape()
+    }
+
+    /// Diagnostic reconstruction (test use — a real deployment never holds
+    /// both shares in one place outside the client).
+    pub fn reveal_insecure(&self) -> PlainMatrix {
+        R::decode_matrix(&self.parts[0].v.add(&self.parts[1].v))
+    }
+}
+
+/// A distributed Beaver triple: each server's `TripleShare` with readiness.
+#[derive(Clone, Debug)]
+pub struct DistTriple<R: SecureRing> {
+    shares: [Timed<TripleShare<R>>; 2],
+    dims: (usize, usize, usize),
+}
+
+impl<R: SecureRing> DistTriple<R> {
+    /// `(m, k, n)` of the product this triple serves.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        self.dims
+    }
+}
+
+struct ClientState<R: SecureRing + GpuElement> {
+    cpu: Resource,
+    device: GpuDevice<R>,
+    endpoint: Endpoint<R>,
+    now: SimTime,
+}
+
+struct ServerState<R: SecureRing + GpuElement> {
+    cpu: Resource,
+    device: GpuDevice<R>,
+    endpoint: Endpoint<R>,
+    encoders: HashMap<String, DeltaEncoder<R>>,
+    decoders: HashMap<String, DeltaDecoder<R>>,
+    end: SimTime,
+}
+
+impl<R: SecureRing + GpuElement> ServerState<R> {
+    fn note(&mut self, t: SimTime) -> SimTime {
+        self.end = self.end.max(t);
+        t
+    }
+}
+
+/// The three-party secure execution context.
+pub struct SecureContext<R: SecureRing + GpuElement> {
+    cfg: EngineConfig,
+    adaptive: AdaptiveEngine,
+    rng: Mt19937,
+    client: ClientState<R>,
+    servers: [ServerState<R>; 2],
+    breakdown: PhaseBreakdown,
+    offline_end: SimTime,
+    secure_muls: usize,
+    curand_seed: u64,
+    triple_cache: HashMap<String, DistTriple<R>>,
+    activation_roundtrips: usize,
+}
+
+impl<R: SecureRing + GpuElement> SecureContext<R> {
+    /// Builds a context with the given configuration and client RNG seed.
+    pub fn new(cfg: EngineConfig, seed: u32) -> Self {
+        cfg.validate().map_err(EngineError::Config).unwrap();
+        let [c_ep, s0_ep, s1_ep] = build_network::<R>(cfg.machine.network);
+        let mk_server = |ep: Endpoint<R>| ServerState {
+            cpu: Resource::new("cpu"),
+            device: GpuDevice::new(cfg.machine.gpu.clone()),
+            endpoint: ep,
+            encoders: HashMap::new(),
+            decoders: HashMap::new(),
+            end: SimTime::ZERO,
+        };
+        SecureContext {
+            adaptive: AdaptiveEngine::new(cfg.policy),
+            rng: Mt19937::new(seed),
+            client: ClientState {
+                cpu: Resource::new("client-cpu"),
+                device: GpuDevice::new(cfg.machine.gpu.clone()),
+                endpoint: c_ep,
+                now: SimTime::ZERO,
+            },
+            servers: [mk_server(s0_ep), mk_server(s1_ep)],
+            breakdown: PhaseBreakdown::default(),
+            offline_end: SimTime::ZERO,
+            secure_muls: 0,
+            curand_seed: seed as u64,
+            triple_cache: HashMap::new(),
+            activation_roundtrips: 0,
+            cfg,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    // ---------------------------------------------------------------
+    // Offline phase (client resources, client->server links)
+    // ---------------------------------------------------------------
+
+    /// Client-side randomness: returns the generated ring matrix and
+    /// charges simulated time on the CPU (parallel MT19937, Sec. 5.1) or
+    /// the client GPU (cuRAND incl. D2H, Fig. 7), whichever the config and
+    /// cost model select.
+    fn client_random(&mut self, rows: usize, cols: usize) -> Matrix<R> {
+        let n = rows * cols;
+        let cpu_cost = self.cfg.client_rng_time(n);
+        let gpu_cost = self.cfg.machine.gpu.rng_time(n)
+            + self.cfg.machine.gpu.pcie.transfer_time(n * R::BYTES);
+        if self.cfg.gpu_offline && gpu_cost < cpu_cost {
+            self.curand_seed = self.curand_seed.wrapping_add(1);
+            let id = self
+                .client
+                .device
+                .random(rows, cols, self.curand_seed, self.client.now)
+                .expect("client device rng");
+            let (m, done) = self.client.device.download(id).expect("client device d2h");
+            self.client.device.free(id).expect("free rng buffer");
+            self.client.now = self.client.now.max(done);
+            self.breakdown.share_generation += gpu_cost;
+            m
+        } else {
+            let (_, end) = self.client.cpu.schedule(self.client.now, cpu_cost);
+            self.client.now = self.client.now.max(end);
+            self.breakdown.share_generation += cpu_cost;
+            R::random_matrix(rows, cols, &mut self.rng)
+        }
+    }
+
+    /// Client-side product `Z = U x V` for triple generation — the step
+    /// that is >90 % of the offline phase and the first GPU target.
+    fn client_product(&mut self, u: &Matrix<R>, v: &Matrix<R>) -> Matrix<R> {
+        let (m, k, n) = (u.rows(), u.cols(), v.cols());
+        let bytes = (u.byte_size() + v.byte_size()) + m * n * R::BYTES;
+        let cpu_cost = self.cfg.client_gemm_time(m, k, n);
+        let gpu_cost = self
+            .cfg
+            .machine
+            .gpu
+            .gemm_time(m, k, n, self.cfg.tensor_cores)
+            + self.cfg.machine.gpu.pcie.transfer_time(bytes);
+        if self.cfg.gpu_offline && gpu_cost < cpu_cost {
+            let hu = self.client.device.upload(u, self.client.now).expect("h2d U");
+            let hv = self.client.device.upload(v, self.client.now).expect("h2d V");
+            let mode = if self.cfg.tensor_cores {
+                GemmMode::TensorCore
+            } else {
+                GemmMode::Fp32
+            };
+            let hz = self.client.device.gemm(hu, hv, mode).expect("gemm Z");
+            let (z, done) = self.client.device.download(hz).expect("d2h Z");
+            for h in [hu, hv, hz] {
+                self.client.device.free(h).expect("free");
+            }
+            self.client.now = self.client.now.max(done);
+            self.breakdown.share_generation += gpu_cost;
+            z
+        } else {
+            let (_, end) = self.client.cpu.schedule(self.client.now, cpu_cost);
+            self.client.now = self.client.now.max(end);
+            self.breakdown.share_generation += cpu_cost;
+            gemm_blocked(u, v)
+        }
+    }
+
+    /// Charges client CPU time for an element-wise pass over `bytes`.
+    fn client_cpu(&mut self, bytes: usize) {
+        let dur = self.cfg.client_elementwise_time(bytes);
+        let (_, end) = self.client.cpu.schedule(self.client.now, dur);
+        self.client.now = self.client.now.max(end);
+        self.breakdown.share_generation += dur;
+    }
+
+    /// Distributes a pair of matrices to the two servers, returning their
+    /// online-era shares (ready at zero) and advancing offline accounting.
+    fn distribute(
+        &mut self,
+        s0: Matrix<R>,
+        s1: Matrix<R>,
+    ) -> Result<SharedMatrix<R>> {
+        let t0 = self
+            .client
+            .endpoint
+            .send(NodeId::Server0, &Payload::Dense(s0.clone()), self.client.now)?;
+        let t1 = self
+            .client
+            .endpoint
+            .send(NodeId::Server1, &Payload::Dense(s1.clone()), self.client.now)?;
+        // Drain the messages on the server side (offline era: server online
+        // clocks are not advanced).
+        let p0 = self.servers[0].endpoint.recv(NodeId::Client)?;
+        let p1 = self.servers[1].endpoint.recv(NodeId::Client)?;
+        let arrive = p0.available_at.max(p1.available_at);
+        self.breakdown.distribution +=
+            arrive.saturating_since(self.client.now.min(arrive));
+        self.client.now = self.client.now.max(t0).max(t1);
+        self.offline_end = self.offline_end.max(arrive).max(self.client.now);
+        let (m0, m1) = match (p0.payload, p1.payload) {
+            (Payload::Dense(a), Payload::Dense(b)) => (a, b),
+            _ => {
+                return Err(EngineError::Protocol(
+                    "expected dense share distribution".into(),
+                ))
+            }
+        };
+        debug_assert_eq!(m0, s0);
+        debug_assert_eq!(m1, s1);
+        Ok(SharedMatrix::new(Timed::at_zero(m0), Timed::at_zero(m1)))
+    }
+
+    /// Offline: encodes a client plaintext and distributes its two shares
+    /// (the Fig. 1b partitioning step).
+    pub fn share_input(&mut self, m: &PlainMatrix) -> Result<SharedMatrix<R>> {
+        let secret = R::encode_matrix(m);
+        let mask = self.client_random(m.rows(), m.cols());
+        self.client_cpu(2 * secret.byte_size());
+        let other = secret.sub(&mask);
+        self.distribute(mask, other)
+    }
+
+    /// Offline: generates one Beaver triple for an `(m x k) * (k x n)`
+    /// product and distributes the shares.
+    pub fn gen_triple(&mut self, m: usize, k: usize, n: usize) -> Result<DistTriple<R>> {
+        let u = self.client_random(m, k);
+        let v = self.client_random(k, n);
+        let z = self.client_product(&u, &v);
+
+        let split = |mat: &Matrix<R>, ctx: &mut Self| -> (Matrix<R>, Matrix<R>) {
+            let mask = ctx.client_random(mat.rows(), mat.cols());
+            ctx.client_cpu(2 * mat.byte_size());
+            let other = mat.sub(&mask);
+            (mask, other)
+        };
+        let (u0, u1) = split(&u, self);
+        let (v0, v1) = split(&v, self);
+        let (z0, z1) = split(&z, self);
+
+        let us = self.distribute(u0, u1)?;
+        let vs = self.distribute(v0, v1)?;
+        let zs = self.distribute(z0, z1)?;
+        let [u0, u1] = us.parts;
+        let [v0, v1] = vs.parts;
+        let [z0, z1] = zs.parts;
+        Ok(DistTriple {
+            shares: [
+                Timed::at_zero(TripleShare {
+                    u: u0.v,
+                    v: v0.v,
+                    z: z0.v,
+                }),
+                Timed::at_zero(TripleShare {
+                    u: u1.v,
+                    v: v1.v,
+                    z: z1.v,
+                }),
+            ],
+            dims: (m, k, n),
+        })
+    }
+
+    // ---------------------------------------------------------------
+    // Online phase (server resources, server<->server link)
+    // ---------------------------------------------------------------
+
+    fn cpu_dur(&self, bytes: usize) -> SimDuration {
+        self.cfg.cpu_elementwise_time(bytes)
+    }
+
+    /// Schedules a CPU pass on one server.
+    fn server_cpu(&mut self, i: usize, ready: SimTime, dur: SimDuration) -> SimTime {
+        let (_, end) = self.servers[i].cpu.schedule(ready, dur);
+        self.servers[i].note(end)
+    }
+
+    /// Global barrier on both servers (used between steps when the
+    /// pipeline is disabled, and at batch boundaries).
+    pub fn barrier(&mut self) -> SimTime {
+        let mut t = SimTime::ZERO;
+        for s in &mut self.servers {
+            let dev = s.device.fence();
+            t = t.max(dev).max(s.cpu.free_at()).max(s.end);
+        }
+        for s in &mut self.servers {
+            s.end = s.end.max(t);
+        }
+        t
+    }
+
+    fn send_mat(
+        &mut self,
+        i: usize,
+        to: NodeId,
+        key: &str,
+        m: &Matrix<R>,
+        now: SimTime,
+    ) -> Result<SimTime> {
+        let s = &mut self.servers[i];
+        let payload = if self.cfg.compression {
+            let enc = s
+                .encoders
+                .entry(key.to_string())
+                .or_insert_with(|| DeltaEncoder::with_threshold(self.cfg.sparsity_threshold));
+            match enc.encode(m) {
+                TransmitForm::Full(full) => Payload::Dense(full),
+                TransmitForm::Delta(csr) => Payload::SparseDelta(csr),
+            }
+        } else {
+            Payload::Dense(m.clone())
+        };
+        let t = s.endpoint.send(to, &payload, now)?;
+        s.note(t);
+        Ok(t)
+    }
+
+    fn recv_mat(&mut self, i: usize, from: NodeId, key: &str) -> Result<Timed<Matrix<R>>> {
+        let s = &mut self.servers[i];
+        let pkt = s.endpoint.recv(from)?;
+        let form = match pkt.payload {
+            Payload::Dense(m) => TransmitForm::Full(m),
+            Payload::SparseDelta(c) => TransmitForm::Delta(c),
+            Payload::Control(c) => {
+                return Err(EngineError::Protocol(format!(
+                    "unexpected control message '{c}'"
+                )))
+            }
+        };
+        let dec = s.decoders.entry(key.to_string()).or_default();
+        let m = dec
+            .decode(form)
+            .map_err(|e| EngineError::Protocol(e.to_string()))?;
+        s.note(pkt.available_at);
+        Ok(Timed {
+            v: m,
+            ready: pkt.available_at,
+        })
+    }
+
+    /// One secure triplet multiplication (the paper's core operation):
+    /// *compute1* -> *communicate* -> *compute2*, with the configured
+    /// placement, pipeline and compression behavior. `key` identifies the
+    /// logical stream for delta compression (e.g. `"l0.fwd"`).
+    pub fn secure_mul(
+        &mut self,
+        a: &SharedMatrix<R>,
+        b: &SharedMatrix<R>,
+        triple: &DistTriple<R>,
+        key: &str,
+    ) -> Result<SharedMatrix<R>> {
+        let (m, k) = a.shape();
+        let (k2, n) = b.shape();
+        if k != k2 {
+            return Err(EngineError::Shape(format!(
+                "secure_mul: {:?} x {:?}",
+                a.shape(),
+                b.shape()
+            )));
+        }
+        if triple.dims != (m, k, n) {
+            return Err(EngineError::Shape(format!(
+                "triple dims {:?} do not match product ({m},{k},{n})",
+                triple.dims
+            )));
+        }
+        self.secure_muls += 1;
+        if !self.cfg.pipeline {
+            self.barrier();
+        }
+
+        // --- compute1: E_i = A_i - U_i, F_i = B_i - V_i (CPU) ---
+        let mut masked: Vec<(Matrix<R>, Matrix<R>, SimTime)> = Vec::with_capacity(2);
+        let c1_dur = self.cpu_dur(3 * (m * k + k * n) * R::BYTES);
+        for i in 0..2 {
+            let tri = &triple.shares[i];
+            let e = a.parts[i].v.sub(&tri.v.u);
+            let f = b.parts[i].v.sub(&tri.v.v);
+            let ready = a.parts[i]
+                .ready
+                .max(b.parts[i].ready)
+                .max(tri.ready);
+            let t = self.server_cpu(i, ready, c1_dur);
+            masked.push((e, f, t));
+        }
+        self.breakdown.compute1 += c1_dur;
+
+        // --- communicate: exchange E_i, F_i; reconstruct E, F ---
+        let comm_start = masked[0].2.max(masked[1].2);
+        for i in 0..2 {
+            let to = if i == 0 { NodeId::Server1 } else { NodeId::Server0 };
+            let (e, f, t) = (&masked[i].0, &masked[i].1, masked[i].2);
+            let te = self.send_mat(i, to, &format!("{key}.E"), &e.clone(), t)?;
+            self.send_mat(i, to, &format!("{key}.F"), &f.clone(), te)?;
+        }
+        let mut publics: Vec<(Matrix<R>, Matrix<R>, SimTime)> = Vec::with_capacity(2);
+        let add_dur = self.cpu_dur(3 * (m * k + k * n) * R::BYTES);
+        for i in 0..2 {
+            let from = if i == 0 { NodeId::Server1 } else { NodeId::Server0 };
+            let e_theirs = self.recv_mat(i, from, &format!("{key}.E"))?;
+            let f_theirs = self.recv_mat(i, from, &format!("{key}.F"))?;
+            let e_pub = masked[i].0.add(&e_theirs.v);
+            let f_pub = masked[i].1.add(&f_theirs.v);
+            let ready = masked[i]
+                .2
+                .max(e_theirs.ready)
+                .max(f_theirs.ready);
+            let t = self.server_cpu(i, ready, add_dur);
+            publics.push((e_pub, f_pub, t));
+        }
+        let comm_end = publics[0].2.max(publics[1].2);
+        self.breakdown.communicate += comm_end.saturating_since(comm_start);
+
+        if !self.cfg.pipeline {
+            self.barrier();
+        }
+
+        // --- compute2: C_i = [D | E] x [F ; B_i] + Z_i ---
+        let bytes_moved = (2 * m * k + 2 * k * n + 2 * m * n) * R::BYTES;
+        let placement = self.adaptive.place(&self.cfg, m, 2 * k, n, bytes_moved);
+        let c2_start = comm_end;
+        let mut outs: Vec<Timed<Matrix<R>>> = Vec::with_capacity(2);
+        for i in 0..2 {
+            let party = Party::BOTH[i];
+            let (e_pub, f_pub, t_pub) = (&publics[i].0, &publics[i].1, publics[i].2);
+            let out = match placement {
+                Placement::Cpu => {
+                    self.compute2_cpu(i, party, a, b, triple, e_pub, f_pub, t_pub)?
+                }
+                Placement::Gpu => {
+                    self.compute2_gpu(i, party, a, b, triple, e_pub, f_pub, t_pub)?
+                }
+            };
+            outs.push(out);
+        }
+        let c2_end = outs[0].ready.max(outs[1].ready);
+        self.breakdown.compute2 += c2_end.saturating_since(c2_start);
+
+        let mut it = outs.into_iter();
+        Ok(SharedMatrix::new(it.next().unwrap(), it.next().unwrap()))
+    }
+
+    /// Offline + online in one call: generates the triple on demand.
+    ///
+    /// Triples are cached per call-site `key` and **reused across
+    /// iterations** (the paper's Eq. (11) keeps `U_i` fixed across epochs
+    /// so that `E` evolves by the sparse delta `dA` — the premise of the
+    /// compressed-transmission design). The offline cost is therefore paid
+    /// once per call site.
+    pub fn secure_mul_auto(
+        &mut self,
+        a: &SharedMatrix<R>,
+        b: &SharedMatrix<R>,
+        key: &str,
+    ) -> Result<SharedMatrix<R>> {
+        let (m, k) = a.shape();
+        let n = b.shape().1;
+        let cached = if self.cfg.reuse_triples {
+            self.triple_cache
+                .get(key)
+                .filter(|t| t.dims == (m, k, n))
+                .cloned()
+        } else {
+            None
+        };
+        let triple = match cached {
+            Some(t) => t,
+            None => {
+                let t = self.gen_triple(m, k, n)?;
+                if self.cfg.reuse_triples {
+                    self.triple_cache.insert(key.to_string(), t.clone());
+                }
+                t
+            }
+        };
+        self.secure_mul(a, b, &triple, key)
+    }
+
+    /// Secure element-wise (Hadamard) multiplication — the CNN
+    /// point-to-point product path (Sec. 7.2). Local math is element-wise,
+    /// so *compute2* always stays on the CPU (there is no GEMM to offload).
+    pub fn secure_hadamard(
+        &mut self,
+        a: &SharedMatrix<R>,
+        b: &SharedMatrix<R>,
+        key: &str,
+    ) -> Result<SharedMatrix<R>> {
+        if a.shape() != b.shape() {
+            return Err(EngineError::Shape(format!(
+                "secure_hadamard: {:?} vs {:?}",
+                a.shape(),
+                b.shape()
+            )));
+        }
+        let (m, n) = a.shape();
+        // Offline: element-wise triple (cached per key, like matmul).
+        let hkey = format!("{key}.had");
+        let triple = match self
+            .triple_cache
+            .get(&hkey)
+            .filter(|t| t.dims == (m, 0, n))
+            .cloned()
+        {
+            Some(t) => t,
+            None => {
+                let u = self.client_random(m, n);
+                let v = self.client_random(m, n);
+                self.client_cpu(3 * u.byte_size());
+                let z = u.hadamard(&v);
+                let split = |mat: &Matrix<R>, ctx: &mut Self| {
+                    let mask = ctx.client_random(mat.rows(), mat.cols());
+                    ctx.client_cpu(2 * mat.byte_size());
+                    (mask.clone(), mat.sub(&mask))
+                };
+                let (u0, u1) = split(&u, self);
+                let (v0, v1) = split(&v, self);
+                let (z0, z1) = split(&z, self);
+                let us = self.distribute(u0, u1)?;
+                let vs = self.distribute(v0, v1)?;
+                let zs = self.distribute(z0, z1)?;
+                let [u0, u1] = us.parts;
+                let [v0, v1] = vs.parts;
+                let [z0, z1] = zs.parts;
+                let t = DistTriple {
+                    shares: [
+                        Timed::at_zero(TripleShare {
+                            u: u0.v,
+                            v: v0.v,
+                            z: z0.v,
+                        }),
+                        Timed::at_zero(TripleShare {
+                            u: u1.v,
+                            v: v1.v,
+                            z: z1.v,
+                        }),
+                    ],
+                    dims: (m, 0, n),
+                };
+                self.triple_cache.insert(hkey.clone(), t.clone());
+                t
+            }
+        };
+        self.secure_muls += 1;
+        if !self.cfg.pipeline {
+            self.barrier();
+        }
+
+        // compute1 + communicate, identical structure to secure_mul.
+        let c1_dur = self.cpu_dur(6 * m * n * R::BYTES);
+        let mut masked: Vec<(Matrix<R>, Matrix<R>, SimTime)> = Vec::with_capacity(2);
+        for i in 0..2 {
+            let tri = &triple.shares[i];
+            let e = a.parts[i].v.sub(&tri.v.u);
+            let f = b.parts[i].v.sub(&tri.v.v);
+            let ready = a.parts[i].ready.max(b.parts[i].ready).max(tri.ready);
+            let t = self.server_cpu(i, ready, c1_dur);
+            masked.push((e, f, t));
+        }
+        self.breakdown.compute1 += c1_dur;
+        let comm_start = masked[0].2.max(masked[1].2);
+        for i in 0..2 {
+            let to = if i == 0 { NodeId::Server1 } else { NodeId::Server0 };
+            let (e, f, t) = (masked[i].0.clone(), masked[i].1.clone(), masked[i].2);
+            let te = self.send_mat(i, to, &format!("{hkey}.E"), &e, t)?;
+            self.send_mat(i, to, &format!("{hkey}.F"), &f, te)?;
+        }
+        let mut outs: Vec<Timed<Matrix<R>>> = Vec::with_capacity(2);
+        let c2_dur = self.cpu_dur(8 * m * n * R::BYTES);
+        for i in 0..2 {
+            let from = if i == 0 { NodeId::Server1 } else { NodeId::Server0 };
+            let e_theirs = self.recv_mat(i, from, &format!("{hkey}.E"))?;
+            let f_theirs = self.recv_mat(i, from, &format!("{hkey}.F"))?;
+            let e_pub = masked[i].0.add(&e_theirs.v);
+            let f_pub = masked[i].1.add(&f_theirs.v);
+            let party = Party::BOTH[i];
+            let mut c = a.parts[i].v.hadamard(&f_pub);
+            c.add_assign(&e_pub.hadamard(&b.parts[i].v));
+            if party == Party::P1 {
+                c.sub_assign(&e_pub.hadamard(&f_pub));
+            }
+            c.add_assign(&triple.shares[i].v.z);
+            let c = R::truncate_matrix(&c, party);
+            let ready = masked[i].2.max(e_theirs.ready).max(f_theirs.ready);
+            let t = self.server_cpu(i, ready, c2_dur);
+            outs.push(Timed { v: c, ready: t });
+        }
+        let c2_end = outs[0].ready.max(outs[1].ready);
+        self.breakdown.compute2 += c2_end.saturating_since(comm_start);
+        let mut it = outs.into_iter();
+        Ok(SharedMatrix::new(it.next().unwrap(), it.next().unwrap()))
+    }
+
+    #[allow(clippy::too_many_arguments)] // one call per protocol operand
+    fn compute2_cpu(
+        &mut self,
+        i: usize,
+        party: Party,
+        a: &SharedMatrix<R>,
+        b: &SharedMatrix<R>,
+        triple: &DistTriple<R>,
+        e_pub: &Matrix<R>,
+        f_pub: &Matrix<R>,
+        ready: SimTime,
+    ) -> Result<Timed<Matrix<R>>> {
+        let (m, k, n) = triple.dims;
+        let session = ServerMulSession::new(
+            party,
+            a.parts[i].v.clone(),
+            b.parts[i].v.clone(),
+            triple.shares[i].v.clone(),
+        );
+        let c = session.finish(e_pub, f_pub, self.cfg.eval_strategy, gemm_blocked);
+        let mut dur = self.cfg.cpu_gemm_time(m, 2 * k, n);
+        if matches!(self.cfg.eval_strategy, EvalStrategy::Expanded) && party == Party::P1 {
+            dur += self.cfg.cpu_gemm_time(m, k, n);
+        }
+        // Truncation / final additions.
+        dur += self.cpu_dur(2 * m * n * R::BYTES);
+        let t = self.server_cpu(i, ready, dur);
+        Ok(Timed { v: c, ready: t })
+    }
+
+    /// GPU compute2 per Fig. 5: upload E and A_i, compute `D = (-i)E + A_i`
+    /// while F transfers, `D x F` while B_i transfers, then `E x B_i`,
+    /// the sum, and `+ Z_i`; download C_i.
+    #[allow(clippy::too_many_arguments)] // one call per protocol operand
+    fn compute2_gpu(
+        &mut self,
+        i: usize,
+        party: Party,
+        a: &SharedMatrix<R>,
+        b: &SharedMatrix<R>,
+        triple: &DistTriple<R>,
+        e_pub: &Matrix<R>,
+        f_pub: &Matrix<R>,
+        ready: SimTime,
+    ) -> Result<Timed<Matrix<R>>> {
+        let fenced = !self.cfg.pipeline;
+        let mode = if self.cfg.tensor_cores {
+            GemmMode::TensorCore
+        } else {
+            GemmMode::Fp32
+        };
+        let (m, n) = (triple.dims.0, triple.dims.2);
+        let dev = &mut self.servers[i].device;
+
+        let fence = |dev: &mut GpuDevice<R>| {
+            if fenced {
+                dev.fence();
+            }
+        };
+
+        // Fig. 5 transfer/kernel interleaving.
+        let he = dev.upload(e_pub, ready)?;
+        fence(dev);
+        let ha = dev.upload(&a.parts[i].v, a.parts[i].ready.max(ready))?;
+        fence(dev);
+        let hd = match party {
+            Party::P0 => ha, // (-0)E + A_0 = A_0
+            Party::P1 => {
+                let hd = dev.sub(ha, he)?;
+                fence(dev);
+                hd
+            }
+        };
+        let hf = dev.upload(f_pub, ready)?;
+        fence(dev);
+        let hdf = dev.gemm(hd, hf, mode)?;
+        fence(dev);
+        let hb = dev.upload(&b.parts[i].v, b.parts[i].ready.max(ready))?;
+        fence(dev);
+        let heb = dev.gemm(he, hb, mode)?;
+        fence(dev);
+        let hz = dev.upload(&triple.shares[i].v.z, triple.shares[i].ready.max(ready))?;
+        fence(dev);
+        let hsum = dev.add(hdf, heb)?;
+        fence(dev);
+        let hc = dev.add(hsum, hz)?;
+        fence(dev);
+        let (c_raw, done) = dev.download(hc)?;
+        for h in [he, ha, hf, hdf, hb, heb, hz, hsum, hc] {
+            // `hd` aliases `ha` for P0 and is freed separately for P1.
+            let _ = dev.free(h);
+        }
+        if party == Party::P1 {
+            let _ = dev.free(hd);
+        }
+
+        // Local truncation on the CPU after download.
+        let c = R::truncate_matrix(&c_raw, party);
+        let trunc_dur = self.cpu_dur(2 * m * n * R::BYTES);
+        let t = self.server_cpu(i, done, trunc_dur);
+        Ok(Timed { v: c, ready: t })
+    }
+
+    // ---------------------------------------------------------------
+    // Local (non-interactive) share operations
+    // ---------------------------------------------------------------
+
+    /// Element-wise sum of two shared matrices (local on each server).
+    pub fn add_shared(&mut self, a: &SharedMatrix<R>, b: &SharedMatrix<R>) -> Result<SharedMatrix<R>> {
+        self.local_zip(a, b, "add", |x, y| x.add(y))
+    }
+
+    /// Element-wise difference of two shared matrices.
+    pub fn sub_shared(&mut self, a: &SharedMatrix<R>, b: &SharedMatrix<R>) -> Result<SharedMatrix<R>> {
+        self.local_zip(a, b, "sub", |x, y| x.sub(y))
+    }
+
+    fn local_zip(
+        &mut self,
+        a: &SharedMatrix<R>,
+        b: &SharedMatrix<R>,
+        what: &str,
+        f: impl Fn(R, R) -> R,
+    ) -> Result<SharedMatrix<R>> {
+        if a.shape() != b.shape() {
+            return Err(EngineError::Shape(format!(
+                "{what}: {:?} vs {:?}",
+                a.shape(),
+                b.shape()
+            )));
+        }
+        let dur = self.cpu_dur(3 * a.parts[0].v.byte_size());
+        let mut parts = Vec::with_capacity(2);
+        for i in 0..2 {
+            let v = a.parts[i].v.zip_map(&b.parts[i].v, &f);
+            let t = self.server_cpu(i, a.parts[i].ready.max(b.parts[i].ready), dur);
+            parts.push(Timed { v, ready: t });
+        }
+        let mut it = parts.into_iter();
+        Ok(SharedMatrix::new(it.next().unwrap(), it.next().unwrap()))
+    }
+
+    /// Multiplies a shared matrix by a *public* scalar (e.g. the learning
+    /// rate). Local: each server scales its share and truncates.
+    pub fn scale_public(&mut self, a: &SharedMatrix<R>, c: f64) -> SharedMatrix<R> {
+        let enc = R::encode(c);
+        let dur = self.cpu_dur(2 * a.parts[0].v.byte_size());
+        let mut parts = Vec::with_capacity(2);
+        for i in 0..2 {
+            let party = Party::BOTH[i];
+            let scaled = a.parts[i].v.map(|x| x.mul(enc));
+            let v = R::truncate_matrix(&scaled, party);
+            let t = self.server_cpu(i, a.parts[i].ready, dur);
+            parts.push(Timed { v, ready: t });
+        }
+        let mut it = parts.into_iter();
+        SharedMatrix::new(it.next().unwrap(), it.next().unwrap())
+    }
+
+    /// Multiplies a shared matrix element-wise by a *public* 0/1 mask
+    /// (activation derivatives). Local, exact (no truncation needed).
+    pub fn mask_public(&mut self, a: &SharedMatrix<R>, mask: &PlainMatrix) -> Result<SharedMatrix<R>> {
+        if a.shape() != mask.shape() {
+            return Err(EngineError::Shape(format!(
+                "mask: {:?} vs {:?}",
+                a.shape(),
+                mask.shape()
+            )));
+        }
+        let dur = self.cpu_dur(3 * a.parts[0].v.byte_size());
+        let mut parts = Vec::with_capacity(2);
+        for i in 0..2 {
+            let v = Matrix::from_fn(mask.rows(), mask.cols(), |r, c| {
+                if mask[(r, c)] != 0.0 {
+                    a.parts[i].v[(r, c)]
+                } else {
+                    R::zero()
+                }
+            });
+            let t = self.server_cpu(i, a.parts[i].ready, dur);
+            parts.push(Timed { v, ready: t });
+        }
+        let mut it = parts.into_iter();
+        Ok(SharedMatrix::new(it.next().unwrap(), it.next().unwrap()))
+    }
+
+    /// Applies a share-respecting (linear, data-independent) local
+    /// transformation to both shares — transposes, reshapes, im2col,
+    /// column slicing. Charges one streaming CPU pass per server.
+    pub fn map_local(
+        &mut self,
+        a: &SharedMatrix<R>,
+        f: impl Fn(&Matrix<R>) -> Matrix<R>,
+    ) -> SharedMatrix<R> {
+        let dur = self.cpu_dur(2 * a.parts[0].v.byte_size());
+        let mut parts = Vec::with_capacity(2);
+        for i in 0..2 {
+            let v = f(&a.parts[i].v);
+            let t = self.server_cpu(i, a.parts[i].ready, dur);
+            parts.push(Timed { v, ready: t });
+        }
+        let mut it = parts.into_iter();
+        let p0 = it.next().unwrap();
+        let p1 = it.next().unwrap();
+        SharedMatrix::new(p0, p1)
+    }
+
+    /// A shared all-zeros matrix (both shares zero), ready immediately.
+    pub fn zeros_shared(&mut self, rows: usize, cols: usize) -> SharedMatrix<R> {
+        SharedMatrix::new(
+            Timed::at_zero(Matrix::zeros(rows, cols)),
+            Timed::at_zero(Matrix::zeros(rows, cols)),
+        )
+    }
+
+    /// Shares a *public* matrix without communication: server 0 holds the
+    /// encoding, server 1 holds zero. Used for public constants.
+    pub fn share_public(&mut self, m: &PlainMatrix) -> SharedMatrix<R> {
+        SharedMatrix::new(
+            Timed::at_zero(R::encode_matrix(m)),
+            Timed::at_zero(Matrix::zeros(m.rows(), m.cols())),
+        )
+    }
+
+    /// Transposes a shared matrix (local data movement).
+    pub fn transpose_shared(&mut self, a: &SharedMatrix<R>) -> SharedMatrix<R> {
+        self.map_local(a, Matrix::transpose)
+    }
+
+    /// im2col on a shared image (local data movement; linear, so it
+    /// commutes with sharing).
+    pub fn im2col_shared(&mut self, a: &SharedMatrix<R>, shape: &ConvShape) -> SharedMatrix<R> {
+        let shape = *shape;
+        self.map_local(a, move |m| psml_tensor::im2col(m, &shape))
+    }
+
+    // ---------------------------------------------------------------
+    // Activation (interactive) and reveal
+    // ---------------------------------------------------------------
+
+    /// Applies a non-linear activation to a shared pre-activation.
+    ///
+    /// Two modes, selected by [`EngineConfig::client_aided_activation`]:
+    ///
+    /// - **Server exchange** (default; faithful to the reference
+    ///   implementation): the servers exchange their shares of `z`,
+    ///   jointly rebuild it, apply the scalar function, and re-share
+    ///   deterministically (server 0 holds `f(z)`, server 1 holds zero).
+    ///   Fast, but the servers learn the pre-activations — see the
+    ///   security note in `psml-mpc`.
+    /// - **Client-aided**: each server ships its share to the *client*,
+    ///   which reconstructs, applies `f`, and returns fresh random shares.
+    ///   The servers learn nothing, at the cost of a client round trip
+    ///   per activation ([`SecureContext::activation_roundtrips`] counts
+    ///   them). The derivative mask stays client-side knowledge in a real
+    ///   deployment; here it is returned for the backward pass exactly as
+    ///   the other mode returns it.
+    ///
+    /// Returns the new shares plus the 0/1 derivative mask used by
+    /// backward passes.
+    pub fn secure_activation(
+        &mut self,
+        z: &SharedMatrix<R>,
+        f: impl Fn(f64) -> f64,
+        df: impl Fn(f64) -> f64,
+        key: &str,
+    ) -> Result<(SharedMatrix<R>, PlainMatrix)> {
+        if self.cfg.client_aided_activation {
+            return self.client_aided_activation(z, f, df);
+        }
+        if !self.cfg.pipeline {
+            self.barrier();
+        }
+        let start = z.parts[0].ready.max(z.parts[1].ready);
+        // Exchange shares.
+        for i in 0..2 {
+            let to = if i == 0 { NodeId::Server1 } else { NodeId::Server0 };
+            let share = z.parts[i].v.clone();
+            let t = z.parts[i].ready;
+            self.send_mat(i, to, &format!("{key}.act"), &share, t)?;
+        }
+        let mut rebuilt: Vec<Timed<Matrix<R>>> = Vec::with_capacity(2);
+        let dur = self.cpu_dur(4 * z.parts[0].v.byte_size());
+        for i in 0..2 {
+            let from = if i == 0 { NodeId::Server1 } else { NodeId::Server0 };
+            let theirs = self.recv_mat(i, from, &format!("{key}.act"))?;
+            let sum = z.parts[i].v.add(&theirs.v);
+            let t = self.server_cpu(i, z.parts[i].ready.max(theirs.ready), dur);
+            rebuilt.push(Timed { v: sum, ready: t });
+        }
+        // Both servers hold identical z; apply f / f'.
+        let z_plain = R::decode_matrix(&rebuilt[0].v);
+        debug_assert_eq!(rebuilt[0].v, rebuilt[1].v);
+        let activated = z_plain.map(&f);
+        let mask = z_plain.map(|x| if df(x) != 0.0 { 1.0 } else { 0.0 });
+        let s0 = R::encode_matrix(&activated);
+        let s1 = Matrix::zeros(s0.rows(), s0.cols());
+        let out = SharedMatrix::new(
+            Timed {
+                v: s0,
+                ready: rebuilt[0].ready,
+            },
+            Timed {
+                v: s1,
+                ready: rebuilt[1].ready,
+            },
+        );
+        let end = out.parts[0].ready.max(out.parts[1].ready);
+        self.breakdown.activation += end.saturating_since(start);
+        Ok((out, mask))
+    }
+
+    /// Client-aided activation (see [`SecureContext::secure_activation`]).
+    fn client_aided_activation(
+        &mut self,
+        z: &SharedMatrix<R>,
+        f: impl Fn(f64) -> f64,
+        df: impl Fn(f64) -> f64,
+    ) -> Result<(SharedMatrix<R>, PlainMatrix)> {
+        if !self.cfg.pipeline {
+            self.barrier();
+        }
+        let start = z.parts[0].ready.max(z.parts[1].ready);
+        // Servers -> client: ship the shares (online-era traffic on the
+        // client links).
+        let mut arrive = SimTime::ZERO;
+        for i in 0..2 {
+            let share = z.parts[i].v.clone();
+            let t = z.parts[i].ready;
+            let s = &mut self.servers[i];
+            let done = s
+                .endpoint
+                .send(NodeId::Client, &Payload::Dense(share), t)?;
+            s.note(done);
+        }
+        let p0 = self.client.endpoint.recv(NodeId::Server0)?;
+        let p1 = self.client.endpoint.recv(NodeId::Server1)?;
+        let (z0, z1) = match (p0.payload, p1.payload) {
+            (Payload::Dense(a), Payload::Dense(b)) => (a, b),
+            _ => return Err(EngineError::Protocol("expected dense z shares".into())),
+        };
+        arrive = arrive.max(p0.available_at).max(p1.available_at);
+
+        // Client: reconstruct, apply, and re-share with a fresh mask.
+        let z_plain = R::decode_matrix(&z0.add(&z1));
+        let activated = z_plain.map(&f);
+        let mask = z_plain.map(|x| if df(x) != 0.0 { 1.0 } else { 0.0 });
+        let secret = R::encode_matrix(&activated);
+        let fresh_mask = R::random_matrix(secret.rows(), secret.cols(), &mut self.rng);
+        let other = secret.sub(&fresh_mask);
+        // Client compute time: reconstruct + apply + split (client rates).
+        let client_dur = self.cfg.client_rng_time(secret.len())
+            + self.cfg.client_elementwise_time(5 * secret.byte_size());
+        let client_done = arrive + client_dur;
+
+        // Client -> servers: return the fresh shares; servers resume when
+        // their share lands.
+        let wire = self.cfg.machine.network.transfer_time(secret.byte_size());
+        let mut parts = Vec::with_capacity(2);
+        for (i, share) in [fresh_mask, other].into_iter().enumerate() {
+            let ready = client_done + wire;
+            self.servers[i].note(ready);
+            // Account the return traffic on the client's counters.
+            self.client
+                .endpoint
+                .send(
+                    if i == 0 { NodeId::Server0 } else { NodeId::Server1 },
+                    &Payload::Dense(share.clone()),
+                    client_done,
+                )
+                .ok();
+            // Drain so the channel does not accumulate.
+            let _ = self.servers[i].endpoint.recv(NodeId::Client)?;
+            parts.push(Timed { v: share, ready });
+        }
+        self.activation_roundtrips += 1;
+        let mut it = parts.into_iter();
+        let out = SharedMatrix::new(it.next().unwrap(), it.next().unwrap());
+        let end = out.parts[0].ready.max(out.parts[1].ready);
+        self.breakdown.activation += end.saturating_since(start);
+        Ok((out, mask))
+    }
+
+    /// Number of client round trips taken by client-aided activations.
+    pub fn activation_roundtrips(&self) -> usize {
+        self.activation_roundtrips
+    }
+
+    /// Online-phase reveal: both servers ship their `C_i` back to the
+    /// client, which merges them (Eq. (6)'s final step).
+    pub fn reveal(&mut self, c: &SharedMatrix<R>) -> Result<Timed<PlainMatrix>> {
+        for i in 0..2 {
+            let share = c.parts[i].v.clone();
+            let t = c.parts[i].ready;
+            let s = &mut self.servers[i];
+            let done = s
+                .endpoint
+                .send(NodeId::Client, &Payload::Dense(share), t)?;
+            s.note(done);
+        }
+        let p0 = self.client.endpoint.recv(NodeId::Server0)?;
+        let p1 = self.client.endpoint.recv(NodeId::Server1)?;
+        let (m0, m1) = match (p0.payload, p1.payload) {
+            (Payload::Dense(a), Payload::Dense(b)) => (a, b),
+            _ => return Err(EngineError::Protocol("expected dense reveal".into())),
+        };
+        let ready = p0.available_at.max(p1.available_at);
+        for s in &mut self.servers {
+            s.end = s.end.max(ready);
+        }
+        Ok(Timed {
+            v: R::decode_matrix(&m0.add(&m1)),
+            ready,
+        })
+    }
+
+    /// Convenience quickstart: share two plaintext matrices, run one secure
+    /// multiplication, reveal the product.
+    pub fn secure_matmul_plain(
+        &mut self,
+        a: &PlainMatrix,
+        b: &PlainMatrix,
+    ) -> Result<PlainMatrix> {
+        let sa = self.share_input(a)?;
+        let sb = self.share_input(b)?;
+        let c = self.secure_mul_auto(&sa, &sb, "quickstart")?;
+        Ok(self.reveal(&c)?.v)
+    }
+
+    // ---------------------------------------------------------------
+    // Reporting
+    // ---------------------------------------------------------------
+
+    /// Simulated end of the online phase so far.
+    pub fn online_end(&self) -> SimTime {
+        self.servers
+            .iter()
+            .map(|s| s.end.max(s.cpu.free_at()).max(s.device.now()))
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Snapshot of the run's simulated performance.
+    pub fn report(&self) -> RunReport {
+        let mut traffic = self.client.endpoint.stats().clone();
+        for s in &self.servers {
+            traffic.merge(s.endpoint.stats());
+        }
+        RunReport {
+            offline_time: self.offline_end.saturating_since(SimTime::ZERO),
+            online_time: self.online_end().saturating_since(SimTime::ZERO),
+            breakdown: self.breakdown,
+            traffic,
+            placements: self.adaptive.decision_counts(),
+            secure_muls: self.secure_muls,
+        }
+    }
+
+    /// The two servers' GPU profiles (nvprof-style), `[server0, server1]`.
+    pub fn gpu_profiles(&self) -> [psml_gpu::ProfileReport; 2] {
+        [self.servers[0].device.profile(), self.servers[1].device.profile()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AdaptivePolicy;
+    use psml_mpc::Fixed64;
+
+    fn ctx(cfg: EngineConfig) -> SecureContext<Fixed64> {
+        SecureContext::new(cfg, 99)
+    }
+
+    fn plain(r: usize, c: usize, k: f64) -> PlainMatrix {
+        PlainMatrix::from_fn(r, c, |i, j| ((i * 3 + j) % 7) as f64 * 0.1 * k - 0.2)
+    }
+
+    #[test]
+    fn share_input_reconstructs() {
+        let mut ctx = ctx(EngineConfig::parsecureml());
+        let m = plain(5, 7, 1.0);
+        let shared = ctx.share_input(&m).unwrap();
+        assert_eq!(shared.shape(), (5, 7));
+        assert!(shared.reveal_insecure().max_abs_diff(&m) < 1e-3);
+    }
+
+    #[test]
+    fn gen_triple_has_consistent_dims_and_offline_time() {
+        let mut ctx = ctx(EngineConfig::parsecureml());
+        let t = ctx.gen_triple(3, 5, 2).unwrap();
+        assert_eq!(t.dims(), (3, 5, 2));
+        let report = ctx.report();
+        assert!(report.offline_time.as_secs() > 0.0);
+        assert_eq!(report.online_time.as_secs(), 0.0, "no online work yet");
+    }
+
+    #[test]
+    fn secure_mul_matches_plain_on_both_placements() {
+        let a = plain(6, 9, 1.0);
+        let b = plain(9, 4, 2.0);
+        let expect = a.matmul(&b);
+        for policy in [AdaptivePolicy::ForceCpu, AdaptivePolicy::ForceGpu] {
+            let mut ctx = ctx(EngineConfig::parsecureml().with_policy(policy));
+            let c = ctx.secure_matmul_plain(&a, &b).unwrap();
+            assert!(
+                c.max_abs_diff(&expect) < 1e-2,
+                "{policy:?} diff {}",
+                c.max_abs_diff(&expect)
+            );
+        }
+    }
+
+    #[test]
+    fn expanded_and_fused_strategies_agree_in_engine() {
+        let a = plain(4, 6, 1.0);
+        let b = plain(6, 3, 1.5);
+        let mut fused_cfg = EngineConfig::parsecureml();
+        fused_cfg.eval_strategy = EvalStrategy::Fused;
+        let mut expanded_cfg =
+            EngineConfig::parsecureml().with_policy(AdaptivePolicy::ForceCpu);
+        expanded_cfg.eval_strategy = EvalStrategy::Expanded;
+        let c1 = ctx(fused_cfg).secure_matmul_plain(&a, &b).unwrap();
+        let c2 = ctx(expanded_cfg).secure_matmul_plain(&a, &b).unwrap();
+        assert_eq!(c1.as_slice(), c2.as_slice());
+    }
+
+    #[test]
+    fn local_share_ops_are_linear() {
+        let mut ctx = ctx(EngineConfig::parsecureml());
+        let a = plain(4, 4, 1.0);
+        let b = plain(4, 4, 3.0);
+        let sa = ctx.share_input(&a).unwrap();
+        let sb = ctx.share_input(&b).unwrap();
+        let sum = ctx.add_shared(&sa, &sb).unwrap();
+        assert!(sum.reveal_insecure().max_abs_diff(&a.add(&b)) < 1e-2);
+        let diff = ctx.sub_shared(&sa, &sb).unwrap();
+        assert!(diff.reveal_insecure().max_abs_diff(&a.sub(&b)) < 1e-2);
+        let scaled = ctx.scale_public(&sa, 0.5);
+        assert!(scaled.reveal_insecure().max_abs_diff(&a.scale(0.5)) < 1e-2);
+        let t = ctx.transpose_shared(&sa);
+        assert!(t.reveal_insecure().max_abs_diff(&a.transpose()) < 1e-3);
+    }
+
+    #[test]
+    fn mask_public_zeroes_exactly() {
+        let mut ctx = ctx(EngineConfig::parsecureml());
+        let a = plain(3, 4, 2.0);
+        let sa = ctx.share_input(&a).unwrap();
+        let mask = PlainMatrix::from_fn(3, 4, |r, c| ((r + c) % 2) as f64);
+        let masked = ctx.mask_public(&sa, &mask).unwrap();
+        let revealed = masked.reveal_insecure();
+        for r in 0..3 {
+            for c in 0..4 {
+                if mask[(r, c)] == 0.0 {
+                    assert_eq!(revealed[(r, c)], 0.0, "({r},{c}) not zeroed");
+                } else {
+                    assert!((revealed[(r, c)] - a[(r, c)]).abs() < 1e-3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn secure_activation_applies_function_and_returns_mask() {
+        let mut ctx = ctx(EngineConfig::parsecureml());
+        let z = PlainMatrix::from_fn(2, 5, |r, c| (r as f64 + c as f64) * 0.4 - 1.0);
+        let sz = ctx.share_input(&z).unwrap();
+        let (a, mask) = ctx
+            .secure_activation(
+                &sz,
+                psml_mpc::activation::relu,
+                psml_mpc::activation::relu_derivative,
+                "t",
+            )
+            .unwrap();
+        let revealed = a.reveal_insecure();
+        for r in 0..2 {
+            for c in 0..5 {
+                assert!((revealed[(r, c)] - z[(r, c)].max(0.0)).abs() < 1e-3);
+                let expected_mask = if z[(r, c)] > 1e-3 { 1.0 } else { 0.0 };
+                assert_eq!(mask[(r, c)], expected_mask, "mask at ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn zeros_and_public_shares() {
+        let mut ctx = ctx(EngineConfig::parsecureml());
+        let z = ctx.zeros_shared(3, 3);
+        assert_eq!(
+            z.reveal_insecure().max_abs_diff(&PlainMatrix::zeros(3, 3)),
+            0.0
+        );
+        let p = plain(3, 3, 1.0);
+        let sp = ctx.share_public(&p);
+        assert!(sp.reveal_insecure().max_abs_diff(&p) < 1e-3);
+    }
+
+    #[test]
+    fn im2col_shared_commutes_with_sharing() {
+        let mut ctx = ctx(EngineConfig::parsecureml());
+        let shape = ConvShape {
+            channels: 1,
+            height: 5,
+            width: 5,
+            kernel: 3,
+            filters: 1,
+        };
+        let img = plain(1, 25, 1.0);
+        let si = ctx.share_input(&img).unwrap();
+        let patches = ctx.im2col_shared(&si, &shape);
+        let expect = psml_tensor::im2col(&img, &shape);
+        assert!(patches.reveal_insecure().max_abs_diff(&expect) < 1e-3);
+    }
+
+    #[test]
+    fn barrier_synchronizes_server_clocks() {
+        let mut ctx = ctx(EngineConfig::parsecureml());
+        let a = plain(8, 8, 1.0);
+        let sa = ctx.share_input(&a).unwrap();
+        let _ = ctx.secure_mul_auto(&sa, &sa, "k").unwrap();
+        let t = ctx.barrier();
+        assert_eq!(t, ctx.online_end());
+        // A second barrier with no work in between is a no-op.
+        assert_eq!(ctx.barrier(), t);
+    }
+
+    #[test]
+    fn traffic_accounting_includes_all_three_parties() {
+        let mut ctx = ctx(EngineConfig::parsecureml());
+        let a = plain(4, 4, 1.0);
+        let _ = ctx.secure_matmul_plain(&a, &a).unwrap();
+        let traffic = ctx.report().traffic;
+        use psml_net::NodeId;
+        // Client distributed shares, servers exchanged E/F, servers revealed.
+        assert!(traffic.link(NodeId::Client, NodeId::Server0).messages > 0);
+        assert!(traffic.link(NodeId::Server0, NodeId::Server1).messages > 0);
+        assert!(traffic.link(NodeId::Server1, NodeId::Server0).messages > 0);
+        assert!(traffic.link(NodeId::Server0, NodeId::Client).messages > 0);
+    }
+
+    #[test]
+    fn report_counts_secure_muls() {
+        let mut ctx = ctx(EngineConfig::parsecureml());
+        let a = plain(4, 4, 1.0);
+        let sa = ctx.share_input(&a).unwrap();
+        let _ = ctx.secure_mul_auto(&sa, &sa, "k1").unwrap();
+        let _ = ctx.secure_mul_auto(&sa, &sa, "k2").unwrap();
+        let _ = ctx.secure_hadamard(&sa, &sa, "k3").unwrap();
+        assert_eq!(ctx.report().secure_muls, 3);
+    }
+}

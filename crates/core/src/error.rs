@@ -1,0 +1,73 @@
+//! Unified error type for the framework.
+
+use psml_gpu::GpuError;
+use psml_net::NetError;
+
+/// Anything that can go wrong while running the secure framework.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// A simulated-GPU operation failed.
+    Gpu(GpuError),
+    /// A network operation failed.
+    Net(NetError),
+    /// Operand shapes are inconsistent.
+    Shape(String),
+    /// The model/configuration combination is invalid.
+    Config(String),
+    /// A protocol invariant was violated (e.g. an unexpected message).
+    Protocol(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Gpu(e) => write!(f, "gpu: {e}"),
+            EngineError::Net(e) => write!(f, "net: {e}"),
+            EngineError::Shape(s) => write!(f, "shape: {s}"),
+            EngineError::Config(s) => write!(f, "config: {s}"),
+            EngineError::Protocol(s) => write!(f, "protocol: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<GpuError> for EngineError {
+    fn from(e: GpuError) -> Self {
+        EngineError::Gpu(e)
+    }
+}
+
+impl From<NetError> for EngineError {
+    fn from(e: NetError) -> Self {
+        EngineError::Net(e)
+    }
+}
+
+/// Framework-wide result alias.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = EngineError::Shape("2x3 vs 4x5".into());
+        assert!(e.to_string().contains("2x3 vs 4x5"));
+        let e = EngineError::Net(NetError::SelfSend);
+        assert!(e.to_string().contains("self"));
+    }
+
+    #[test]
+    fn conversions_wrap() {
+        let g: EngineError = GpuError::OutOfMemory {
+            requested: 1,
+            available: 0,
+        }
+        .into();
+        assert!(matches!(g, EngineError::Gpu(_)));
+        let n: EngineError = NetError::SelfSend.into();
+        assert!(matches!(n, EngineError::Net(_)));
+    }
+}

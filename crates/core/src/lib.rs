@@ -1,0 +1,69 @@
+//! # ParSecureML-rs
+//!
+//! A Rust reproduction of **ParSecureML** (Zhang et al., ICPP 2020 / TPDS
+//! 2021): a parallel secure machine learning framework that accelerates
+//! SecureML-style two-party computation with GPUs.
+//!
+//! The framework executes real secret-shared machine learning — CNN, MLP,
+//! RNN, linear/logistic regression and SVM over additive shares in
+//! `Z_{2^64}` (or `f32`) — across one client and two servers, while a
+//! calibrated machine model (see `psml-gpu` and `psml-net`) accounts
+//! simulated time for every CPU op, GPU kernel, PCIe transfer and network
+//! message. The three paper contributions are all here and all togglable:
+//!
+//! - **profiling-guided adaptive GPU utilization** ([`adaptive`]),
+//! - **double pipeline** for intra-node CPU-GPU cooperation ([`engine`],
+//!   [`trainer`]),
+//! - **compressed transmission** for inter-node communication (via
+//!   `psml-net`'s delta+CSR encoders).
+//!
+//! Quickstart — one secure triplet multiplication end to end:
+//!
+//! ```
+//! use parsecureml::prelude::*;
+//!
+//! let cfg = EngineConfig::parsecureml();
+//! let mut ctx = SecureContext::<Fixed64>::new(cfg, 42);
+//! let a = PlainMatrix::from_fn(16, 32, |r, c| (r + c) as f64 * 0.01);
+//! let b = PlainMatrix::from_fn(32, 8, |r, c| (r as f64 - c as f64) * 0.01);
+//! let c = ctx.secure_matmul_plain(&a, &b).unwrap();
+//! assert!(c.max_abs_diff(&a.matmul(&b)) < 1e-2);
+//! println!("simulated online time: {}", ctx.report().online_time);
+//! ```
+
+pub mod adaptive;
+pub mod baseline;
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod io;
+pub mod layers;
+pub mod models;
+pub mod report;
+pub mod trainer;
+
+pub use adaptive::{AdaptiveEngine, Placement};
+pub use config::{AdaptivePolicy, EngineConfig};
+pub use engine::SecureContext;
+pub use error::EngineError;
+pub use layers::{Activation, LayerSpec};
+pub use models::{ModelKind, ModelSpec};
+pub use report::{PhaseBreakdown, RunReport};
+pub use trainer::{InferenceResult, SecureTrainer, TrainResult};
+
+/// Convenient re-exports for application code.
+pub mod prelude {
+    pub use crate::baseline::{PlainBackend, PlainModel};
+    pub use crate::{
+        Activation, AdaptivePolicy, EngineConfig, EngineError, LayerSpec, ModelKind,
+        ModelSpec, RunReport, SecureContext, SecureTrainer,
+    };
+    pub use psml_data::{batch, Batch, DatasetKind};
+    pub use psml_gpu::MachineConfig;
+    pub use psml_mpc::{Fixed64, Party, PlainMatrix, SecureRing};
+    pub use psml_simtime::{SimDuration, SimTime};
+    pub use psml_tensor::Matrix;
+}
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,300 @@
+//! The six benchmark models of the paper's evaluation (Sec. 7.1).
+
+use crate::error::{EngineError, Result};
+use crate::layers::{Activation, LayerSpec};
+use psml_tensor::ConvShape;
+
+/// Which benchmark to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Convolutional neural network: one 5x5 conv layer + two dense layers.
+    Cnn,
+    /// Multilayer perceptron: 128 -> 64 -> 10 dense stack.
+    Mlp,
+    /// Elman RNN over the SYNTHETIC sequence data.
+    Rnn,
+    /// Linear regression (single linear output).
+    Linear,
+    /// Logistic regression (piecewise-sigmoid output).
+    Logistic,
+    /// Linear SVM trained with hinge-loss subgradients.
+    ///
+    /// *Substitution note:* the paper trains SVM with SMO; a dual SMO solve
+    /// is not expressible as triplet multiplications, and the paper itself
+    /// evaluates the SVM like the other models (its inference is
+    /// `w^T x + b`). We train the same linear-SVM objective by subgradient
+    /// descent, which uses the identical secure-GEMM path.
+    Svm,
+}
+
+impl ModelKind {
+    /// All six benchmarks in the paper's order.
+    pub const ALL: [ModelKind; 6] = [
+        ModelKind::Cnn,
+        ModelKind::Mlp,
+        ModelKind::Rnn,
+        ModelKind::Linear,
+        ModelKind::Logistic,
+        ModelKind::Svm,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Cnn => "CNN",
+            ModelKind::Mlp => "MLP",
+            ModelKind::Rnn => "RNN",
+            ModelKind::Linear => "linear",
+            ModelKind::Logistic => "logistic",
+            ModelKind::Svm => "SVM",
+        }
+    }
+}
+
+/// Training loss.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Loss {
+    /// Mean squared error (regression + the paper's classification setup).
+    Mse,
+    /// Hinge loss with +-1 labels (SVM).
+    Hinge,
+}
+
+/// A complete model description.
+#[derive(Clone, Debug)]
+pub struct ModelSpec {
+    /// Which benchmark this is.
+    pub kind: ModelKind,
+    /// Layer stack, first to last.
+    pub layers: Vec<LayerSpec>,
+    /// Training loss.
+    pub loss: Loss,
+    /// Output width (1 for regression/SVM, `classes` otherwise).
+    pub outputs: usize,
+}
+
+impl ModelSpec {
+    /// Builds the paper's architecture for `kind` on inputs of
+    /// `features` flattened features (with optional image geometry for the
+    /// CNN) and `classes` classes.
+    pub fn build(
+        kind: ModelKind,
+        features: usize,
+        image: Option<(usize, usize, usize)>,
+        classes: usize,
+    ) -> Result<ModelSpec> {
+        let spec = match kind {
+            ModelKind::Cnn => {
+                let (channels, height, width) = image.ok_or_else(|| {
+                    EngineError::Config("CNN requires image geometry".into())
+                })?;
+                if channels * height * width != features {
+                    return Err(EngineError::Config(format!(
+                        "image {channels}x{height}x{width} != features {features}"
+                    )));
+                }
+                let kernel = 5.min(height).min(width);
+                let shape = ConvShape {
+                    channels,
+                    height,
+                    width,
+                    kernel,
+                    filters: 8,
+                };
+                let conv_out = shape.patches() * shape.filters;
+                ModelSpec {
+                    kind,
+                    layers: vec![
+                        LayerSpec::Conv2D {
+                            shape,
+                            activation: Activation::Relu,
+                        },
+                        LayerSpec::Dense {
+                            inputs: conv_out,
+                            outputs: 64,
+                            activation: Activation::Relu,
+                        },
+                        LayerSpec::Dense {
+                            inputs: 64,
+                            outputs: classes,
+                            activation: Activation::None,
+                        },
+                    ],
+                    loss: Loss::Mse,
+                    outputs: classes,
+                }
+            }
+            ModelKind::Mlp => ModelSpec {
+                kind,
+                layers: vec![
+                    LayerSpec::Dense {
+                        inputs: features,
+                        outputs: 128,
+                        activation: Activation::Relu,
+                    },
+                    LayerSpec::Dense {
+                        inputs: 128,
+                        outputs: 64,
+                        activation: Activation::Relu,
+                    },
+                    LayerSpec::Dense {
+                        inputs: 64,
+                        outputs: classes,
+                        activation: Activation::None,
+                    },
+                ],
+                loss: Loss::Mse,
+                outputs: classes,
+            },
+            ModelKind::Rnn => {
+                let seq_len = 4;
+                if !features.is_multiple_of(seq_len) {
+                    return Err(EngineError::Config(format!(
+                        "RNN needs features divisible by seq_len={seq_len}, got {features}"
+                    )));
+                }
+                let hidden = 32;
+                ModelSpec {
+                    kind,
+                    layers: vec![
+                        LayerSpec::Rnn {
+                            step_inputs: features / seq_len,
+                            hidden,
+                            seq_len,
+                            activation: Activation::Piecewise,
+                        },
+                        LayerSpec::Dense {
+                            inputs: hidden,
+                            outputs: classes,
+                            activation: Activation::None,
+                        },
+                    ],
+                    loss: Loss::Mse,
+                    outputs: classes,
+                }
+            }
+            ModelKind::Linear => ModelSpec {
+                kind,
+                layers: vec![LayerSpec::Dense {
+                    inputs: features,
+                    outputs: 1,
+                    activation: Activation::None,
+                }],
+                loss: Loss::Mse,
+                outputs: 1,
+            },
+            ModelKind::Logistic => ModelSpec {
+                kind,
+                layers: vec![LayerSpec::Dense {
+                    inputs: features,
+                    outputs: 1,
+                    activation: Activation::Piecewise,
+                }],
+                loss: Loss::Mse,
+                outputs: 1,
+            },
+            ModelKind::Svm => ModelSpec {
+                kind,
+                layers: vec![LayerSpec::Dense {
+                    inputs: features,
+                    outputs: 1,
+                    activation: Activation::None,
+                }],
+                loss: Loss::Hinge,
+                outputs: 1,
+            },
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Checks that consecutive layers' features line up.
+    pub fn validate(&self) -> Result<()> {
+        if self.layers.is_empty() {
+            return Err(EngineError::Config("model has no layers".into()));
+        }
+        for pair in self.layers.windows(2) {
+            if pair[0].output_features() != pair[1].input_features() {
+                return Err(EngineError::Config(format!(
+                    "layer mismatch: {} outputs vs {} inputs",
+                    pair[0].output_features(),
+                    pair[1].input_features()
+                )));
+            }
+        }
+        if self.layers.last().unwrap().output_features() != self.outputs {
+            return Err(EngineError::Config("output width mismatch".into()));
+        }
+        Ok(())
+    }
+
+    /// Input features the model consumes.
+    pub fn input_features(&self) -> usize {
+        self.layers[0].input_features()
+    }
+
+    /// Total triplet multiplications per forward pass.
+    pub fn forward_muls(&self) -> usize {
+        self.layers.iter().map(LayerSpec::forward_muls).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_build_on_mnist_shapes() {
+        for kind in ModelKind::ALL {
+            let spec = ModelSpec::build(kind, 784, Some((1, 28, 28)), 10).unwrap();
+            assert_eq!(spec.input_features(), 784, "{kind:?}");
+            spec.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn cnn_structure_matches_paper() {
+        let spec = ModelSpec::build(ModelKind::Cnn, 784, Some((1, 28, 28)), 10).unwrap();
+        assert_eq!(spec.layers.len(), 3, "one conv + two dense");
+        match &spec.layers[0] {
+            LayerSpec::Conv2D { shape, .. } => {
+                assert_eq!(shape.kernel, 5);
+            }
+            other => panic!("expected conv first, got {other:?}"),
+        }
+        assert_eq!(spec.outputs, 10);
+    }
+
+    #[test]
+    fn mlp_structure_matches_paper() {
+        let spec = ModelSpec::build(ModelKind::Mlp, 784, None, 10).unwrap();
+        let widths: Vec<usize> = spec.layers.iter().map(|l| l.output_features()).collect();
+        assert_eq!(widths, vec![128, 64, 10]);
+    }
+
+    #[test]
+    fn regressions_have_single_output() {
+        for kind in [ModelKind::Linear, ModelKind::Logistic, ModelKind::Svm] {
+            let spec = ModelSpec::build(kind, 100, None, 10).unwrap();
+            assert_eq!(spec.outputs, 1);
+            assert_eq!(spec.layers.len(), 1);
+        }
+        assert_eq!(
+            ModelSpec::build(ModelKind::Svm, 100, None, 10).unwrap().loss,
+            Loss::Hinge
+        );
+    }
+
+    #[test]
+    fn cnn_without_geometry_errors() {
+        assert!(ModelSpec::build(ModelKind::Cnn, 784, None, 10).is_err());
+        assert!(ModelSpec::build(ModelKind::Cnn, 784, Some((1, 20, 20)), 10).is_err());
+    }
+
+    #[test]
+    fn rnn_requires_divisible_features() {
+        assert!(ModelSpec::build(ModelKind::Rnn, 783, None, 10).is_err());
+        let spec = ModelSpec::build(ModelKind::Rnn, 2048, None, 10).unwrap();
+        assert_eq!(spec.forward_muls(), 2 * 4 + 1);
+    }
+}

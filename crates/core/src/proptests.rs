@@ -1,0 +1,85 @@
+//! Property-based tests over the full engine.
+
+use crate::config::{AdaptivePolicy, EngineConfig};
+use crate::engine::SecureContext;
+use proptest::prelude::*;
+use psml_mpc::{Fixed64, PlainMatrix};
+
+fn plain(rows: usize, cols: usize) -> impl Strategy<Value = PlainMatrix> {
+    prop::collection::vec(-4.0f64..4.0, rows * cols)
+        .prop_map(move |v| PlainMatrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The distributed three-party engine computes correct products for
+    /// arbitrary inputs, under every placement policy.
+    #[test]
+    fn engine_matmul_correct(a in plain(4, 6), b in plain(6, 3), seed in any::<u32>(),
+                             policy in prop::sample::select(vec![
+                                 AdaptivePolicy::ForceCpu,
+                                 AdaptivePolicy::ForceGpu,
+                                 AdaptivePolicy::Auto,
+                             ])) {
+        let cfg = EngineConfig::parsecureml().with_policy(policy);
+        let mut ctx = SecureContext::<Fixed64>::new(cfg, seed);
+        let c = ctx.secure_matmul_plain(&a, &b).unwrap();
+        prop_assert!(c.max_abs_diff(&a.matmul(&b)) < 2e-2);
+    }
+
+    /// Pipeline on/off and compression on/off never change results, only
+    /// simulated time / bytes.
+    #[test]
+    fn toggles_preserve_results(a in plain(3, 5), b in plain(5, 4), seed in any::<u32>()) {
+        let base = {
+            let cfg = EngineConfig::parsecureml();
+            let mut ctx = SecureContext::<Fixed64>::new(cfg, seed);
+            ctx.secure_matmul_plain(&a, &b).unwrap()
+        };
+        for cfg in [
+            EngineConfig::parsecureml().with_pipeline(false),
+            EngineConfig::parsecureml().with_compression(false),
+            EngineConfig::parsecureml().with_tensor_cores(false),
+        ] {
+            let mut ctx = SecureContext::<Fixed64>::new(cfg, seed);
+            let c = ctx.secure_matmul_plain(&a, &b).unwrap();
+            prop_assert_eq!(c.as_slice(), base.as_slice());
+        }
+    }
+
+    /// Simulated times are positive and the pipeline never hurts.
+    #[test]
+    fn pipeline_never_slower(a in plain(6, 8), b in plain(8, 5), seed in any::<u32>()) {
+        let run = |pipeline: bool| {
+            let cfg = EngineConfig::parsecureml()
+                .with_pipeline(pipeline)
+                .with_policy(AdaptivePolicy::ForceGpu);
+            let mut ctx = SecureContext::<Fixed64>::new(cfg, seed);
+            ctx.secure_matmul_plain(&a, &b).unwrap();
+            ctx.report()
+        };
+        let piped = run(true);
+        let fenced = run(false);
+        prop_assert!(piped.online_time <= fenced.online_time);
+        prop_assert!(piped.online_time.as_secs() > 0.0);
+        prop_assert!(piped.offline_time.as_secs() > 0.0);
+    }
+
+    /// Compression never increases total wire bytes.
+    #[test]
+    fn compression_never_grows_traffic(a in plain(4, 4), b in plain(4, 4), seed in any::<u32>()) {
+        let bytes = |compress: bool| {
+            let cfg = EngineConfig::parsecureml().with_compression(compress);
+            let mut ctx = SecureContext::<Fixed64>::new(cfg, seed);
+            // Two multiplications through the same stream key so the delta
+            // path can engage on the second.
+            let sa = ctx.share_input(&a).unwrap();
+            let sb = ctx.share_input(&b).unwrap();
+            let _ = ctx.secure_mul_auto(&sa, &sb, "s").unwrap();
+            let _ = ctx.secure_mul_auto(&sa, &sb, "s").unwrap();
+            ctx.report().traffic.total_wire_bytes()
+        };
+        prop_assert!(bytes(true) <= bytes(false));
+    }
+}

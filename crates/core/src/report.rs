@@ -1,0 +1,162 @@
+//! Run reports: simulated-time totals, phase breakdowns, traffic.
+
+use psml_net::TrafficStats;
+use psml_simtime::SimDuration;
+
+/// Accumulated simulated durations per protocol step (the paper's Fig. 2
+/// categories). Sums are *serialized equivalents* — with the double
+/// pipeline enabled, the end-to-end `online_time` is smaller than
+/// `compute1 + communicate + compute2` because steps overlap.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseBreakdown {
+    /// Client-side share/triple generation (offline).
+    pub share_generation: SimDuration,
+    /// Client -> server distribution of encrypted shares (offline).
+    pub distribution: SimDuration,
+    /// Server-side masking `E_i = A_i - U_i` etc. ("compute1").
+    pub compute1: SimDuration,
+    /// Server <-> server exchange of `E_i`, `F_i` ("communicate").
+    pub communicate: SimDuration,
+    /// The heavy `C_i` evaluation ("compute2", the GPU step).
+    pub compute2: SimDuration,
+    /// Activation reconstruct/exchange/re-share steps.
+    pub activation: SimDuration,
+}
+
+impl PhaseBreakdown {
+    /// Sum of the online step durations (serialized equivalent).
+    pub fn online_serialized(&self) -> SimDuration {
+        self.compute1 + self.communicate + self.compute2 + self.activation
+    }
+
+    /// Sum of the offline step durations.
+    pub fn offline_serialized(&self) -> SimDuration {
+        self.share_generation + self.distribution
+    }
+
+    /// Accumulates another breakdown.
+    pub fn merge(&mut self, other: &PhaseBreakdown) {
+        self.share_generation += other.share_generation;
+        self.distribution += other.distribution;
+        self.compute1 += other.compute1;
+        self.communicate += other.communicate;
+        self.compute2 += other.compute2;
+        self.activation += other.activation;
+    }
+}
+
+/// The complete simulated-performance report of a run.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// End-to-end offline (client/preparation) simulated time.
+    pub offline_time: SimDuration,
+    /// End-to-end online (server) simulated time, overlap included.
+    pub online_time: SimDuration,
+    /// Per-step accumulated durations.
+    pub breakdown: PhaseBreakdown,
+    /// Merged traffic counters across all endpoints.
+    pub traffic: TrafficStats,
+    /// `(cpu, gpu)` placement decisions made by the adaptive engine.
+    pub placements: (usize, usize),
+    /// Number of secure multiplications executed.
+    pub secure_muls: usize,
+}
+
+impl RunReport {
+    /// Total simulated time (offline + online).
+    pub fn total_time(&self) -> SimDuration {
+        self.offline_time + self.online_time
+    }
+
+    /// Online share of total time — Table 3's "occupancy" column.
+    pub fn occupancy(&self) -> f64 {
+        let total = self.total_time();
+        if total == SimDuration::ZERO {
+            0.0
+        } else {
+            self.online_time / total
+        }
+    }
+
+    /// Simulated speedup of this run over a baseline run (total time).
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        let own = self.total_time().as_secs();
+        if own == 0.0 {
+            0.0
+        } else {
+            baseline.total_time().as_secs() / own
+        }
+    }
+
+    /// Online-only speedup over a baseline run.
+    pub fn online_speedup_over(&self, baseline: &RunReport) -> f64 {
+        let own = self.online_time.as_secs();
+        if own == 0.0 {
+            0.0
+        } else {
+            baseline.online_time.as_secs() / own
+        }
+    }
+
+    /// Offline-only speedup over a baseline run.
+    pub fn offline_speedup_over(&self, baseline: &RunReport) -> f64 {
+        let own = self.offline_time.as_secs();
+        if own == 0.0 {
+            0.0
+        } else {
+            baseline.offline_time.as_secs() / own
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn breakdown_sums() {
+        let b = PhaseBreakdown {
+            share_generation: secs(2.0),
+            distribution: secs(1.0),
+            compute1: secs(0.5),
+            communicate: secs(0.25),
+            compute2: secs(4.0),
+            activation: secs(0.25),
+        };
+        assert!((b.online_serialized().as_secs() - 5.0).abs() < 1e-12);
+        assert!((b.offline_serialized().as_secs() - 3.0).abs() < 1e-12);
+        let mut c = b;
+        c.merge(&b);
+        assert!((c.compute2.as_secs() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_and_speedups() {
+        let fast = RunReport {
+            offline_time: secs(1.0),
+            online_time: secs(1.0),
+            ..Default::default()
+        };
+        let slow = RunReport {
+            offline_time: secs(2.0),
+            online_time: secs(18.0),
+            ..Default::default()
+        };
+        assert!((slow.occupancy() - 0.9).abs() < 1e-12);
+        assert!((fast.speedup_over(&slow) - 10.0).abs() < 1e-12);
+        assert!((fast.online_speedup_over(&slow) - 18.0).abs() < 1e-12);
+        assert!((fast.offline_speedup_over(&slow) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = RunReport::default();
+        assert_eq!(r.occupancy(), 0.0);
+        assert_eq!(r.total_time(), SimDuration::ZERO);
+        assert_eq!(r.speedup_over(&r), 0.0);
+    }
+}

@@ -1,0 +1,581 @@
+//! The simulated GPU device: memory, engines, and operations.
+
+use crate::config::GpuConfig;
+use crate::element::GpuElement;
+use crate::kernels::{self, GemmMode};
+use crate::profiler::ProfileReport;
+use psml_simtime::{ResourceId, SimTime, Timeline};
+use psml_tensor::Matrix;
+use std::fmt;
+
+/// Handle to a matrix resident in (simulated) device memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BufferId(usize);
+
+/// Errors raised by the device, mirroring their CUDA counterparts.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GpuError {
+    /// `cudaErrorMemoryAllocation`: the requested allocation exceeds free
+    /// device memory.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes currently free.
+        available: usize,
+    },
+    /// Operation on a freed or never-allocated buffer.
+    InvalidBuffer(BufferId),
+    /// Operand shapes are incompatible.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+        /// The operation that rejected them.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} B, {available} B free"
+            ),
+            GpuError::InvalidBuffer(id) => write!(f, "invalid device buffer {id:?}"),
+            GpuError::ShapeMismatch { left, right, op } => {
+                write!(f, "{op}: incompatible shapes {left:?} and {right:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+struct Slot<R: GpuElement> {
+    data: Matrix<R>,
+    /// Simulated instant at which the buffer's contents become valid.
+    ready: SimTime,
+    bytes: usize,
+}
+
+/// A simulated GPU.
+///
+/// Three serial engines model the hardware: an H2D copy engine, a compute
+/// engine, and a D2H copy engine — so PCIe transfers overlap kernels exactly
+/// as with CUDA streams on distinct engines (the paper's Fig. 5 pipeline).
+/// Every buffer carries the simulated instant its contents become valid;
+/// an operation starts at the max of its operands' ready times and its
+/// engine's availability.
+pub struct GpuDevice<R: GpuElement> {
+    config: GpuConfig,
+    timeline: Timeline,
+    h2d: ResourceId,
+    d2h: ResourceId,
+    compute: ResourceId,
+    slots: Vec<Option<Slot<R>>>,
+    free_ids: Vec<usize>,
+    allocated: usize,
+    fence: SimTime,
+}
+
+impl<R: GpuElement> GpuDevice<R> {
+    /// Creates an idle device.
+    pub fn new(config: GpuConfig) -> Self {
+        let mut timeline = Timeline::new();
+        let h2d = timeline.add_resource("pcie:h2d");
+        let compute = timeline.add_resource("gpu:compute");
+        let d2h = timeline.add_resource("pcie:d2h");
+        GpuDevice {
+            config,
+            timeline,
+            h2d,
+            d2h,
+            compute,
+            slots: Vec::new(),
+            free_ids: Vec::new(),
+            allocated: 0,
+            fence: SimTime::ZERO,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Bytes currently allocated on the device.
+    pub fn allocated_bytes(&self) -> usize {
+        self.allocated
+    }
+
+    /// The simulated instant at which all issued work completes.
+    pub fn now(&self) -> SimTime {
+        self.timeline.makespan()
+    }
+
+    /// Inserts a full-device fence: every subsequently issued operation
+    /// starts no earlier than the current makespan. This is how the
+    /// *non*-pipelined baseline serializes transfers and kernels
+    /// (`cudaDeviceSynchronize` between every step).
+    pub fn fence(&mut self) -> SimTime {
+        self.fence = self.timeline.makespan();
+        self.fence
+    }
+
+    /// Read access to the simulated trace.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// nvprof-style profile of everything executed so far.
+    pub fn profile(&self) -> ProfileReport {
+        ProfileReport::from_timeline(&self.timeline)
+    }
+
+    fn alloc(&mut self, data: Matrix<R>, ready: SimTime) -> Result<BufferId, GpuError> {
+        let bytes = data.byte_size();
+        let available = self.config.memory_bytes.saturating_sub(self.allocated);
+        if bytes > available {
+            return Err(GpuError::OutOfMemory {
+                requested: bytes,
+                available,
+            });
+        }
+        self.allocated += bytes;
+        let slot = Slot { data, ready, bytes };
+        let id = match self.free_ids.pop() {
+            Some(i) => {
+                self.slots[i] = Some(slot);
+                i
+            }
+            None => {
+                self.slots.push(Some(slot));
+                self.slots.len() - 1
+            }
+        };
+        Ok(BufferId(id))
+    }
+
+    fn slot(&self, id: BufferId) -> Result<&Slot<R>, GpuError> {
+        self.slots
+            .get(id.0)
+            .and_then(Option::as_ref)
+            .ok_or(GpuError::InvalidBuffer(id))
+    }
+
+    /// Releases a buffer's device memory.
+    pub fn free(&mut self, id: BufferId) -> Result<(), GpuError> {
+        let slot = self
+            .slots
+            .get_mut(id.0)
+            .and_then(Option::take)
+            .ok_or(GpuError::InvalidBuffer(id))?;
+        self.allocated -= slot.bytes;
+        self.free_ids.push(id.0);
+        Ok(())
+    }
+
+    /// Shape of a resident buffer.
+    pub fn shape(&self, id: BufferId) -> Result<(usize, usize), GpuError> {
+        Ok(self.slot(id)?.data.shape())
+    }
+
+    /// The simulated instant a buffer's contents become valid.
+    pub fn ready_at(&self, id: BufferId) -> Result<SimTime, GpuError> {
+        Ok(self.slot(id)?.ready)
+    }
+
+    /// Copies a host matrix to the device (H2D over PCIe). `after` is the
+    /// instant the host data becomes available (e.g. when the CPU finished
+    /// producing it).
+    pub fn upload(&mut self, m: &Matrix<R>, after: SimTime) -> Result<BufferId, GpuError> {
+        let dur = self.config.pcie.transfer_time(m.byte_size());
+        let ready = self
+            .timeline
+            .schedule(self.h2d, after.max(self.fence), dur, "h2d");
+        self.alloc(m.clone(), ready)
+    }
+
+    /// Copies a buffer back to the host (D2H). Returns the matrix and the
+    /// simulated completion instant. The buffer stays resident.
+    pub fn download(&mut self, id: BufferId) -> Result<(Matrix<R>, SimTime), GpuError> {
+        let (data, ready, bytes) = {
+            let slot = self.slot(id)?;
+            (slot.data.clone(), slot.ready, slot.bytes)
+        };
+        let dur = self.config.pcie.transfer_time(bytes);
+        let done = self
+            .timeline
+            .schedule(self.d2h, ready.max(self.fence), dur, "d2h");
+        Ok((data, done))
+    }
+
+    /// Dense GEMM kernel; returns the output buffer.
+    pub fn gemm(&mut self, a: BufferId, b: BufferId, mode: GemmMode) -> Result<BufferId, GpuError> {
+        let (sa, sb) = (self.slot(a)?, self.slot(b)?);
+        if sa.data.cols() != sb.data.rows() {
+            return Err(GpuError::ShapeMismatch {
+                left: sa.data.shape(),
+                right: sb.data.shape(),
+                op: "gemm",
+            });
+        }
+        let (m, k, n) = (sa.data.rows(), sa.data.cols(), sb.data.cols());
+        let ready = sa.ready.max(sb.ready).max(self.fence);
+        let out = kernels::gemm(&sa.data, &sb.data, mode);
+        let dur = self
+            .config
+            .gemm_time(m, k, n, matches!(mode, GemmMode::TensorCore));
+        let label = match mode {
+            GemmMode::Fp32 => "gemm",
+            GemmMode::TensorCore => "gemm_tc",
+        };
+        let done = self.timeline.schedule(self.compute, ready, dur, label);
+        self.alloc(out, done)
+    }
+
+    /// Element-wise addition kernel.
+    pub fn add(&mut self, a: BufferId, b: BufferId) -> Result<BufferId, GpuError> {
+        self.elementwise(a, b, "add", |x, y| x.add(y))
+    }
+
+    /// Element-wise subtraction kernel.
+    pub fn sub(&mut self, a: BufferId, b: BufferId) -> Result<BufferId, GpuError> {
+        self.elementwise(a, b, "sub", |x, y| x.sub(y))
+    }
+
+    /// Element-wise (Hadamard) multiplication kernel.
+    pub fn hadamard(&mut self, a: BufferId, b: BufferId) -> Result<BufferId, GpuError> {
+        self.elementwise(a, b, "hadamard", |x, y| x.mul(y))
+    }
+
+    /// Scales every element by `k` (a `*alpha` kernel).
+    pub fn scale(&mut self, a: BufferId, k: R) -> Result<BufferId, GpuError> {
+        self.elementwise_unary(a, "scale", |x| x.mul(k))
+    }
+
+    /// Negates every element.
+    pub fn neg(&mut self, a: BufferId) -> Result<BufferId, GpuError> {
+        self.elementwise_unary(a, "neg", |x| x.neg())
+    }
+
+    /// Applies an arbitrary element-wise function (activation kernels on
+    /// the plain-GPU path). The closure models the device's math; it must
+    /// be pure.
+    pub fn map(
+        &mut self,
+        a: BufferId,
+        label: &'static str,
+        f: impl Fn(R) -> R,
+    ) -> Result<BufferId, GpuError> {
+        self.elementwise_unary(a, label, f)
+    }
+
+    fn elementwise_unary(
+        &mut self,
+        a: BufferId,
+        label: &'static str,
+        f: impl Fn(R) -> R,
+    ) -> Result<BufferId, GpuError> {
+        let sa = self.slot(a)?;
+        let ready = sa.ready.max(self.fence);
+        let out = sa.data.map(f);
+        // Read one operand, write one result.
+        let dur = self.config.elementwise_time(2 * sa.bytes);
+        let done = self.timeline.schedule(self.compute, ready, dur, label);
+        self.alloc(out, done)
+    }
+
+    fn elementwise(
+        &mut self,
+        a: BufferId,
+        b: BufferId,
+        label: &'static str,
+        f: impl Fn(R, R) -> R,
+    ) -> Result<BufferId, GpuError> {
+        let (sa, sb) = (self.slot(a)?, self.slot(b)?);
+        if sa.data.shape() != sb.data.shape() {
+            return Err(GpuError::ShapeMismatch {
+                left: sa.data.shape(),
+                right: sb.data.shape(),
+                op: label,
+            });
+        }
+        let ready = sa.ready.max(sb.ready).max(self.fence);
+        let out = sa.data.zip_map(&sb.data, f);
+        // Read two operands, write one result.
+        let dur = self.config.elementwise_time(3 * sa.bytes);
+        let done = self.timeline.schedule(self.compute, ready, dur, label);
+        self.alloc(out, done)
+    }
+
+    /// Device-side RNG kernel (cuRAND stand-in): fills a new buffer with
+    /// uniform samples from a counter-based generator.
+    pub fn random(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        seed: u64,
+        after: SimTime,
+    ) -> Result<BufferId, GpuError> {
+        let out = kernels::device_random::<R>(rows, cols, seed);
+        let dur = self.config.rng_time(rows * cols);
+        let done = self
+            .timeline
+            .schedule(self.compute, after.max(self.fence), dur, "curand");
+        self.alloc(out, done)
+    }
+
+    /// Builds the Eq. (8) fused operands on device:
+    /// `left = [d | e]`, `right = [f ; b]` (concatenation kernels).
+    pub fn concat_pair(
+        &mut self,
+        d: BufferId,
+        e: BufferId,
+        f: BufferId,
+        b: BufferId,
+    ) -> Result<(BufferId, BufferId), GpuError> {
+        let (sd, se) = (self.slot(d)?, self.slot(e)?);
+        if sd.data.rows() != se.data.rows() {
+            return Err(GpuError::ShapeMismatch {
+                left: sd.data.shape(),
+                right: se.data.shape(),
+                op: "hconcat",
+            });
+        }
+        let (sf, sb) = (self.slot(f)?, self.slot(b)?);
+        if sf.data.cols() != sb.data.cols() {
+            return Err(GpuError::ShapeMismatch {
+                left: sf.data.shape(),
+                right: sb.data.shape(),
+                op: "vconcat",
+            });
+        }
+        let left = sd.data.hconcat(&se.data);
+        let right = sf.data.vconcat(&sb.data);
+        let ready_l = sd.ready.max(se.ready).max(self.fence);
+        let ready_r = sf.ready.max(sb.ready).max(self.fence);
+        let dur_l = self.config.elementwise_time(2 * left.byte_size());
+        let dur_r = self.config.elementwise_time(2 * right.byte_size());
+        let done_l = self.timeline.schedule(self.compute, ready_l, dur_l, "concat");
+        let done_r = self.timeline.schedule(self.compute, ready_r, dur_r, "concat");
+        let lid = self.alloc(left, done_l)?;
+        let rid = self.alloc(right, done_r)?;
+        Ok((lid, rid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use psml_tensor::gemm_blocked;
+
+    fn device() -> GpuDevice<f32> {
+        GpuDevice::new(MachineConfig::v100_node().gpu)
+    }
+
+    fn mat(n: usize, seed: usize) -> Matrix<f32> {
+        Matrix::from_fn(n, n, |r, c| ((r * 31 + c * 7 + seed) % 13) as f32 - 6.0)
+    }
+
+    #[test]
+    fn upload_compute_download_roundtrip() {
+        let mut dev = device();
+        let a = mat(32, 1);
+        let b = mat(32, 2);
+        let ha = dev.upload(&a, SimTime::ZERO).unwrap();
+        let hb = dev.upload(&b, SimTime::ZERO).unwrap();
+        let hc = dev.gemm(ha, hb, GemmMode::Fp32).unwrap();
+        let (c, done) = dev.download(hc).unwrap();
+        assert_eq!(c, gemm_blocked(&a, &b));
+        assert!(done > SimTime::ZERO);
+        assert_eq!(dev.now(), done);
+    }
+
+    #[test]
+    fn dependencies_order_simulated_time() {
+        let mut dev = device();
+        let a = mat(64, 3);
+        let ha = dev.upload(&a, SimTime::ZERO).unwrap();
+        let upload_done = dev.ready_at(ha).unwrap();
+        let hb = dev.upload(&a, SimTime::ZERO).unwrap();
+        let hc = dev.gemm(ha, hb, GemmMode::Fp32).unwrap();
+        let gemm_done = dev.ready_at(hc).unwrap();
+        assert!(gemm_done > upload_done, "kernel must wait for its inputs");
+    }
+
+    #[test]
+    fn copies_overlap_compute_but_fence_serializes() {
+        // Pipelined: second upload overlaps the first gemm.
+        let mut piped = device();
+        let a = mat(256, 1);
+        let ha = piped.upload(&a, SimTime::ZERO).unwrap();
+        let hb = piped.upload(&a, SimTime::ZERO).unwrap();
+        let _ = piped.gemm(ha, hb, GemmMode::Fp32).unwrap();
+        let hc = piped.upload(&a, SimTime::ZERO).unwrap();
+        let _ = piped.ready_at(hc).unwrap();
+        let t_piped = piped.now();
+
+        // Fenced: every step waits for the previous one.
+        let mut fenced = device();
+        let ha = fenced.upload(&a, SimTime::ZERO).unwrap();
+        fenced.fence();
+        let hb = fenced.upload(&a, SimTime::ZERO).unwrap();
+        fenced.fence();
+        let _ = fenced.gemm(ha, hb, GemmMode::Fp32).unwrap();
+        fenced.fence();
+        let _ = fenced.upload(&a, SimTime::ZERO).unwrap();
+        let t_fenced = fenced.now();
+
+        assert!(t_piped < t_fenced, "pipelining must save simulated time");
+    }
+
+    #[test]
+    fn memory_accounting_and_oom() {
+        let mut cfg = MachineConfig::v100_node().gpu;
+        cfg.memory_bytes = 10_000;
+        let mut dev = GpuDevice::<f32>::new(cfg);
+        let a = Matrix::<f32>::zeros(40, 40); // 6400 B
+        let ha = dev.upload(&a, SimTime::ZERO).unwrap();
+        assert_eq!(dev.allocated_bytes(), 6400);
+        let err = dev.upload(&a, SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, GpuError::OutOfMemory { requested: 6400, .. }));
+        dev.free(ha).unwrap();
+        assert_eq!(dev.allocated_bytes(), 0);
+        let _ = dev.upload(&a, SimTime::ZERO).unwrap();
+    }
+
+    #[test]
+    fn freed_buffer_is_invalid() {
+        let mut dev = device();
+        let ha = dev.upload(&mat(8, 1), SimTime::ZERO).unwrap();
+        dev.free(ha).unwrap();
+        assert_eq!(dev.download(ha).unwrap_err(), GpuError::InvalidBuffer(ha));
+        assert_eq!(dev.free(ha).unwrap_err(), GpuError::InvalidBuffer(ha));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut dev = device();
+        let ha = dev.upload(&Matrix::<f32>::zeros(4, 5), SimTime::ZERO).unwrap();
+        let hb = dev.upload(&Matrix::<f32>::zeros(4, 5), SimTime::ZERO).unwrap();
+        assert!(matches!(
+            dev.gemm(ha, hb, GemmMode::Fp32).unwrap_err(),
+            GpuError::ShapeMismatch { op: "gemm", .. }
+        ));
+        let hc = dev.upload(&Matrix::<f32>::zeros(5, 4), SimTime::ZERO).unwrap();
+        assert!(matches!(
+            dev.add(ha, hc).unwrap_err(),
+            GpuError::ShapeMismatch { op: "add", .. }
+        ));
+    }
+
+    #[test]
+    fn elementwise_kernels_compute_correctly() {
+        let mut dev = device();
+        let a = mat(16, 5);
+        let b = mat(16, 9);
+        let ha = dev.upload(&a, SimTime::ZERO).unwrap();
+        let hb = dev.upload(&b, SimTime::ZERO).unwrap();
+        let (sum, _) = {
+            let h = dev.add(ha, hb).unwrap();
+            dev.download(h).unwrap()
+        };
+        assert_eq!(sum, a.add(&b));
+        let (diff, _) = {
+            let h = dev.sub(ha, hb).unwrap();
+            dev.download(h).unwrap()
+        };
+        assert_eq!(diff, a.sub(&b));
+        let (prod, _) = {
+            let h = dev.hadamard(ha, hb).unwrap();
+            dev.download(h).unwrap()
+        };
+        assert_eq!(prod, a.hadamard(&b));
+    }
+
+    #[test]
+    fn unary_kernels_compute_and_charge_time() {
+        let mut dev = device();
+        let a = mat(16, 3);
+        let ha = dev.upload(&a, SimTime::ZERO).unwrap();
+        let t0 = dev.now();
+
+        let hs = dev.scale(ha, 2.0).unwrap();
+        let (scaled, _) = dev.download(hs).unwrap();
+        assert_eq!(scaled, a.scale(2.0));
+
+        let hn = dev.neg(ha).unwrap();
+        let (negated, _) = dev.download(hn).unwrap();
+        assert_eq!(negated, a.negate());
+
+        let hr = dev.map(ha, "relu", |x| x.max(0.0)).unwrap();
+        let (relu, _) = dev.download(hr).unwrap();
+        assert!(relu.as_slice().iter().all(|&x| x >= 0.0));
+        assert_eq!(relu, a.map(|x| x.max(0.0)));
+
+        assert!(dev.now() > t0, "kernels must advance simulated time");
+        let profile = dev.profile();
+        assert!(profile.fraction_matching("relu") > 0.0);
+        assert!(profile.fraction_matching("scale") > 0.0);
+    }
+
+    #[test]
+    fn unary_kernel_on_freed_buffer_errors() {
+        let mut dev = device();
+        let ha = dev.upload(&mat(4, 1), SimTime::ZERO).unwrap();
+        dev.free(ha).unwrap();
+        assert_eq!(dev.scale(ha, 1.0).unwrap_err(), GpuError::InvalidBuffer(ha));
+    }
+
+    #[test]
+    fn device_rng_charges_time_and_is_reproducible() {
+        let mut dev = device();
+        let h1 = dev.random(32, 32, 99, SimTime::ZERO).unwrap();
+        let t1 = dev.ready_at(h1).unwrap();
+        assert!(t1 > SimTime::ZERO);
+        let (m1, _) = dev.download(h1).unwrap();
+        let mut dev2 = device();
+        let h2 = dev2.random(32, 32, 99, SimTime::ZERO).unwrap();
+        let (m2, _) = dev2.download(h2).unwrap();
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn concat_pair_builds_eq8_operands() {
+        let mut dev = device();
+        let d = Matrix::from_fn(3, 4, |r, c| (r + c) as f32);
+        let e = Matrix::from_fn(3, 4, |r, c| (r * c) as f32);
+        let f = Matrix::from_fn(4, 2, |r, c| (r + 2 * c) as f32);
+        let b = Matrix::from_fn(4, 2, |r, c| (2 * r + c) as f32);
+        let hd = dev.upload(&d, SimTime::ZERO).unwrap();
+        let he = dev.upload(&e, SimTime::ZERO).unwrap();
+        let hf = dev.upload(&f, SimTime::ZERO).unwrap();
+        let hb = dev.upload(&b, SimTime::ZERO).unwrap();
+        let (hl, hr) = dev.concat_pair(hd, he, hf, hb).unwrap();
+        assert_eq!(dev.shape(hl).unwrap(), (3, 8));
+        assert_eq!(dev.shape(hr).unwrap(), (8, 2));
+        let hout = dev.gemm(hl, hr, GemmMode::Fp32).unwrap();
+        let (out, _) = dev.download(hout).unwrap();
+        let expect = gemm_blocked(&d, &f).add(&gemm_blocked(&e, &b));
+        assert!(out.max_abs_diff(&expect) < 1e-4);
+    }
+
+    #[test]
+    fn profile_reports_kernels() {
+        let mut dev = device();
+        let ha = dev.upload(&mat(64, 1), SimTime::ZERO).unwrap();
+        let hb = dev.upload(&mat(64, 2), SimTime::ZERO).unwrap();
+        let _ = dev.gemm(ha, hb, GemmMode::Fp32).unwrap();
+        let report = dev.profile();
+        let text = report.to_string();
+        assert!(text.contains("gemm"));
+        assert!(text.contains("h2d"));
+    }
+}

@@ -1,0 +1,127 @@
+//! nvprof-style profiling report (paper Sec. 5.2 uses nvprof to find that
+//! GEMM dominates GPU time — Fig. 8 is generated from this report).
+
+use psml_simtime::{SimDuration, Timeline};
+use std::fmt;
+
+/// One aggregated activity line.
+#[derive(Clone, Debug)]
+pub struct ProfileLine {
+    /// Activity label (kernel or memcpy direction).
+    pub label: String,
+    /// Total simulated time spent.
+    pub total: SimDuration,
+    /// Number of invocations.
+    pub calls: usize,
+    /// Share of the summed activity time, in `[0, 1]`.
+    pub fraction: f64,
+}
+
+/// Aggregated per-activity profile, sorted by descending time.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileReport {
+    /// Aggregated lines, most expensive first.
+    pub lines: Vec<ProfileLine>,
+}
+
+impl ProfileReport {
+    /// Builds the report from a timeline's trace.
+    pub fn from_timeline(tl: &Timeline) -> Self {
+        let summary = tl.summary_by_label();
+        let total: SimDuration = summary.iter().map(|(_, d, _)| *d).sum();
+        let lines = summary
+            .into_iter()
+            .map(|(label, dur, calls)| ProfileLine {
+                fraction: if total == SimDuration::ZERO {
+                    0.0
+                } else {
+                    dur / total
+                },
+                label,
+                total: dur,
+                calls,
+            })
+            .collect();
+        ProfileReport { lines }
+    }
+
+    /// Total time across all activities.
+    pub fn total(&self) -> SimDuration {
+        self.lines.iter().map(|l| l.total).sum()
+    }
+
+    /// Fraction of activity time spent in activities whose label contains
+    /// `needle` (e.g. `"gemm"` for Fig. 8).
+    pub fn fraction_matching(&self, needle: &str) -> f64 {
+        self.lines
+            .iter()
+            .filter(|l| l.label.contains(needle))
+            .map(|l| l.fraction)
+            .sum()
+    }
+}
+
+impl fmt::Display for ProfileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<12} {:>12} {:>8} {:>8}", "Activity", "Time", "Calls", "Time%")?;
+        for l in &self.lines {
+            writeln!(
+                f,
+                "{:<12} {:>12} {:>8} {:>7.2}%",
+                l.label,
+                l.total.to_string(),
+                l.calls,
+                l.fraction * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psml_simtime::SimTime;
+
+    fn sample_timeline() -> Timeline {
+        let mut tl = Timeline::new();
+        let gpu = tl.add_resource("gpu");
+        tl.schedule(gpu, SimTime::ZERO, SimDuration::from_secs(3.0), "gemm");
+        tl.schedule(gpu, SimTime::ZERO, SimDuration::from_secs(1.0), "h2d");
+        tl.schedule(gpu, SimTime::ZERO, SimDuration::from_secs(1.0), "gemm");
+        Timeline::clone(&tl)
+    }
+
+    #[test]
+    fn aggregates_and_sorts() {
+        let report = ProfileReport::from_timeline(&sample_timeline());
+        assert_eq!(report.lines.len(), 2);
+        assert_eq!(report.lines[0].label, "gemm");
+        assert_eq!(report.lines[0].calls, 2);
+        assert!((report.lines[0].fraction - 0.8).abs() < 1e-12);
+        assert!((report.total().as_secs() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_matching_sums_labels() {
+        let report = ProfileReport::from_timeline(&sample_timeline());
+        assert!((report.fraction_matching("gemm") - 0.8).abs() < 1e-12);
+        assert!((report.fraction_matching("h2d") - 0.2).abs() < 1e-12);
+        assert_eq!(report.fraction_matching("nope"), 0.0);
+    }
+
+    #[test]
+    fn empty_timeline_yields_empty_report() {
+        let report = ProfileReport::from_timeline(&Timeline::new());
+        assert!(report.lines.is_empty());
+        assert_eq!(report.total(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let report = ProfileReport::from_timeline(&sample_timeline());
+        let s = report.to_string();
+        assert!(s.contains("Activity"));
+        assert!(s.contains("80.00%"));
+    }
+}

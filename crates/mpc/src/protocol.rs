@@ -1,0 +1,295 @@
+//! The online triplet-multiplication protocol (paper Eqs. (4)-(8)).
+
+use crate::ring::{Party, PlainMatrix, SecureRing};
+use crate::share::SharePair;
+use crate::triple::{gen_triple, gen_triple_hadamard, TripleShare};
+use psml_parallel::Mt19937;
+use psml_tensor::{gemm_blocked, Matrix};
+
+/// How a server evaluates its output share `C_i`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EvalStrategy {
+    /// Eq. (6): three separate products `(-i) E*F + A_i*F + E*B_i`.
+    Expanded,
+    /// Eq. (8): the fused form `[(-i)E + A_i | E] * [F ; B_i]`, which
+    /// replaces one multiplication with an addition — the paper's default.
+    #[default]
+    Fused,
+}
+
+/// One server's state for a single secure matrix multiplication.
+///
+/// Protocol flow (per server `i`):
+/// 1. [`ServerMulSession::masked`] — compute `E_i = A_i - U_i`,
+///    `F_i = B_i - V_i` (the paper's *compute1*),
+/// 2. exchange `E_i`/`F_i` with the peer and form the public `E`, `F` via
+///    [`reconstruct_public`] (*communicate*),
+/// 3. [`ServerMulSession::finish`] — compute `C_i` (*compute2*, the step
+///    the paper pushes to the GPU).
+#[derive(Clone, Debug)]
+pub struct ServerMulSession<R: SecureRing> {
+    party: Party,
+    a: Matrix<R>,
+    b: Matrix<R>,
+    triple: TripleShare<R>,
+}
+
+impl<R: SecureRing> ServerMulSession<R> {
+    /// Creates the session, validating every shape against the triple.
+    ///
+    /// # Panics
+    /// Panics if `a`, `b` and the triple do not describe one
+    /// `(m x k) * (k x n)` product.
+    pub fn new(party: Party, a: Matrix<R>, b: Matrix<R>, triple: TripleShare<R>) -> Self {
+        assert_eq!(a.shape(), triple.u.shape(), "A/U shape mismatch");
+        assert_eq!(b.shape(), triple.v.shape(), "B/V shape mismatch");
+        assert_eq!(
+            (a.rows(), b.cols()),
+            triple.z.shape(),
+            "Z shape mismatch"
+        );
+        assert_eq!(a.cols(), b.rows(), "inner dimension mismatch");
+        ServerMulSession {
+            party,
+            a,
+            b,
+            triple,
+        }
+    }
+
+    /// This server's party.
+    pub fn party(&self) -> Party {
+        self.party
+    }
+
+    /// *compute1*: the masked operands `(E_i, F_i)` to send to the peer.
+    pub fn masked(&self) -> (Matrix<R>, Matrix<R>) {
+        (self.a.sub(&self.triple.u), self.b.sub(&self.triple.v))
+    }
+
+    /// *compute2*: this server's output share `C_i`, given the public
+    /// `E = E_0 + E_1` and `F = F_0 + F_1`. `mul` is the GEMM kernel to
+    /// use (CPU or simulated GPU). Fixed-point carriers are truncated.
+    pub fn finish(
+        &self,
+        e: &Matrix<R>,
+        f: &Matrix<R>,
+        strategy: EvalStrategy,
+        mut mul: impl FnMut(&Matrix<R>, &Matrix<R>) -> Matrix<R>,
+    ) -> Matrix<R> {
+        let c = match strategy {
+            EvalStrategy::Expanded => {
+                // (-i) * E*F + A_i*F + E*B_i + Z_i
+                let mut acc = mul(&self.a, f);
+                acc.add_assign(&mul(e, &self.b));
+                if self.party == Party::P1 {
+                    acc.sub_assign(&mul(e, f));
+                }
+                acc
+            }
+            EvalStrategy::Fused => {
+                // [(-i)E + A_i | E] x [F ; B_i]
+                let left_block = match self.party {
+                    Party::P0 => self.a.clone(),
+                    Party::P1 => self.a.sub(e),
+                };
+                let left = left_block.hconcat(e);
+                let right = f.vconcat(&self.b);
+                mul(&left, &right)
+            }
+        };
+        // Z_i is a share of a double-scale product, so it joins *before*
+        // truncation.
+        let c = c.add(&self.triple.z);
+        R::truncate_matrix(&c, self.party)
+    }
+}
+
+/// Combines the two servers' masked matrices into the public value
+/// (`E = E_0 + E_1`, Eq. (5)).
+pub fn reconstruct_public<R: SecureRing>(mine: &Matrix<R>, theirs: &Matrix<R>) -> Matrix<R> {
+    mine.add(theirs)
+}
+
+/// One-shot reference driver: runs the complete client + two-server
+/// protocol in-process and returns the cleartext product. Used by tests
+/// and the quickstart example; the distributed runtime in `parsecureml`
+/// performs the same steps across channels.
+pub fn secure_matmul<R: SecureRing>(
+    a: &PlainMatrix,
+    b: &PlainMatrix,
+    rng: &mut Mt19937,
+) -> PlainMatrix {
+    secure_matmul_with::<R>(a, b, rng, EvalStrategy::Fused)
+}
+
+/// [`secure_matmul`] with an explicit evaluation strategy.
+pub fn secure_matmul_with<R: SecureRing>(
+    a: &PlainMatrix,
+    b: &PlainMatrix,
+    rng: &mut Mt19937,
+    strategy: EvalStrategy,
+) -> PlainMatrix {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    // Client: split inputs and generate the triple (offline phase).
+    let a_pair = SharePair::<R>::split(a, rng);
+    let b_pair = SharePair::<R>::split(b, rng);
+    let triple = gen_triple::<R>(m, k, n, rng, gemm_blocked);
+    let (a0, a1) = a_pair.into_shares();
+    let (b0, b1) = b_pair.into_shares();
+    let (t0, t1) = triple.into_shares();
+
+    // Servers: compute1.
+    let s0 = ServerMulSession::new(Party::P0, a0, b0, t0);
+    let s1 = ServerMulSession::new(Party::P1, a1, b1, t1);
+    let (e0, f0) = s0.masked();
+    let (e1, f1) = s1.masked();
+
+    // Communicate: both servers learn E and F.
+    let e = reconstruct_public(&e0, &e1);
+    let f = reconstruct_public(&f0, &f1);
+
+    // compute2 on each server, then the client merges C = C_0 + C_1.
+    let c0 = s0.finish(&e, &f, strategy, gemm_blocked);
+    let c1 = s1.finish(&e, &f, strategy, gemm_blocked);
+    R::decode_matrix(&c0.add(&c1))
+}
+
+/// Secure element-wise (Hadamard) product, the CNN inner-product path.
+pub fn secure_hadamard<R: SecureRing>(
+    a: &PlainMatrix,
+    b: &PlainMatrix,
+    rng: &mut Mt19937,
+) -> PlainMatrix {
+    assert_eq!(a.shape(), b.shape(), "hadamard shape mismatch");
+    let a_pair = SharePair::<R>::split(a, rng);
+    let b_pair = SharePair::<R>::split(b, rng);
+    let triple = gen_triple_hadamard::<R>(a.rows(), a.cols(), rng);
+    let (a0, a1) = a_pair.into_shares();
+    let (b0, b1) = b_pair.into_shares();
+    let (t0, t1) = triple.into_shares();
+
+    let e0 = a0.sub(&t0.u);
+    let f0 = b0.sub(&t0.v);
+    let e1 = a1.sub(&t1.u);
+    let f1 = b1.sub(&t1.v);
+    let e = reconstruct_public(&e0, &e1);
+    let f = reconstruct_public(&f0, &f1);
+
+    // C_i = (-i) E o F + A_i o F + E o B_i + Z_i (element-wise).
+    let mut c0 = a0.hadamard(&f);
+    c0.add_assign(&e.hadamard(&b0));
+    c0.add_assign(&t0.z);
+    let c0 = R::truncate_matrix(&c0, Party::P0);
+
+    let mut c1 = a1.hadamard(&f);
+    c1.add_assign(&e.hadamard(&b1));
+    c1.sub_assign(&e.hadamard(&f));
+    c1.add_assign(&t1.z);
+    let c1 = R::truncate_matrix(&c1, Party::P1);
+
+    R::decode_matrix(&c0.add(&c1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::Fixed64;
+
+    fn plain_a() -> PlainMatrix {
+        PlainMatrix::from_fn(4, 5, |r, c| (r as f64 + 1.0) * 0.5 - c as f64 * 0.3)
+    }
+
+    fn plain_b() -> PlainMatrix {
+        PlainMatrix::from_fn(5, 3, |r, c| (c as f64 + 1.0) * 0.4 - r as f64 * 0.2)
+    }
+
+    #[test]
+    fn secure_matmul_matches_plain_fixed() {
+        let mut rng = Mt19937::new(31);
+        let (a, b) = (plain_a(), plain_b());
+        let secure = secure_matmul::<Fixed64>(&a, &b, &mut rng);
+        let plain = a.matmul(&b);
+        assert!(
+            secure.max_abs_diff(&plain) < 1e-2,
+            "diff {}",
+            secure.max_abs_diff(&plain)
+        );
+    }
+
+    #[test]
+    fn secure_matmul_matches_plain_float() {
+        let mut rng = Mt19937::new(37);
+        let (a, b) = (plain_a(), plain_b());
+        let secure = secure_matmul::<f32>(&a, &b, &mut rng);
+        let plain = a.matmul(&b);
+        assert!(secure.max_abs_diff(&plain) < 1e-3);
+    }
+
+    #[test]
+    fn fused_and_expanded_agree() {
+        let (a, b) = (plain_a(), plain_b());
+        let mut rng1 = Mt19937::new(41);
+        let mut rng2 = Mt19937::new(41);
+        let fused = secure_matmul_with::<Fixed64>(&a, &b, &mut rng1, EvalStrategy::Fused);
+        let expanded =
+            secure_matmul_with::<Fixed64>(&a, &b, &mut rng2, EvalStrategy::Expanded);
+        // Same RNG seed => identical shares => identical ring results.
+        assert_eq!(fused, expanded);
+    }
+
+    #[test]
+    fn secure_hadamard_matches_plain() {
+        let mut rng = Mt19937::new(43);
+        let a = PlainMatrix::from_fn(6, 4, |r, c| (r as f64 - 2.0) * 0.7 + c as f64 * 0.1);
+        let b = PlainMatrix::from_fn(6, 4, |r, c| (c as f64 - 1.0) * 0.6 - r as f64 * 0.05);
+        let secure = secure_hadamard::<Fixed64>(&a, &b, &mut rng);
+        let plain = a.hadamard(&b);
+        assert!(secure.max_abs_diff(&plain) < 1e-2);
+    }
+
+    #[test]
+    fn masked_values_hide_inputs() {
+        // E_i = A_i - U_i is a fresh one-time pad: re-running with a
+        // different RNG must give different masked values even for the same
+        // input (no determinism leak).
+        let (a, b) = (plain_a(), plain_b());
+        let masked_with = |seed: u32| {
+            let mut rng = Mt19937::new(seed);
+            let a_pair = SharePair::<Fixed64>::split(&a, &mut rng);
+            let b_pair = SharePair::<Fixed64>::split(&b, &mut rng);
+            let triple = gen_triple::<Fixed64>(4, 5, 3, &mut rng, gemm_blocked);
+            let (a0, _) = a_pair.into_shares();
+            let (b0, _) = b_pair.into_shares();
+            let (t0, _) = triple.into_shares();
+            ServerMulSession::new(Party::P0, a0, b0, t0).masked()
+        };
+        let (e_a, f_a) = masked_with(1);
+        let (e_b, f_b) = masked_with(2);
+        assert_ne!(e_a, e_b);
+        assert_ne!(f_a, f_b);
+    }
+
+    #[test]
+    fn larger_values_survive_truncation() {
+        let mut rng = Mt19937::new(47);
+        let a = PlainMatrix::from_fn(3, 3, |r, c| (r * 3 + c) as f64 * 10.0 - 40.0);
+        let b = PlainMatrix::from_fn(3, 3, |r, c| (c * 3 + r) as f64 * 5.0 - 20.0);
+        let secure = secure_matmul::<Fixed64>(&a, &b, &mut rng);
+        let plain = a.matmul(&b);
+        // Absolute error grows with magnitude but stays tiny relative to
+        // the ~1000-scale outputs.
+        assert!(secure.max_abs_diff(&plain) < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "A/U shape mismatch")]
+    fn session_rejects_wrong_triple() {
+        let mut rng = Mt19937::new(53);
+        let triple = gen_triple::<Fixed64>(2, 2, 2, &mut rng, gemm_blocked);
+        let (t0, _) = triple.into_shares();
+        let a = Matrix::<Fixed64>::zeros(3, 2);
+        let b = Matrix::<Fixed64>::zeros(2, 2);
+        let _ = ServerMulSession::new(Party::P0, a, b, t0);
+    }
+}

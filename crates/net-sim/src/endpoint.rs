@@ -1,0 +1,290 @@
+//! Three-party endpoints with simulated link timing.
+
+use crate::codec::{self, CodecError};
+use crate::message::{NodeId, Packet, Payload};
+use crate::stats::TrafficStats;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use psml_simtime::{LinkModel, SimTime};
+use psml_tensor::Num;
+
+/// Communication failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// The peer endpoint has been dropped.
+    Disconnected(NodeId),
+    /// Messages cannot be sent to oneself.
+    SelfSend,
+    /// The received bytes failed to decode.
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Disconnected(n) => write!(f, "peer {n:?} disconnected"),
+            NetError::SelfSend => write!(f, "cannot send to self"),
+            NetError::Codec(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<CodecError> for NetError {
+    fn from(e: CodecError) -> Self {
+        NetError::Codec(e)
+    }
+}
+
+/// The serialized form actually carried between endpoints.
+struct WireFrame {
+    from: NodeId,
+    bytes: Bytes,
+    dense_equivalent: usize,
+    available_at: SimTime,
+}
+
+/// One node's network interface.
+///
+/// Holds a serial NIC (sends to any peer queue behind each other, like a
+/// single MPI progress engine), a [`LinkModel`] for transfer timing, and
+/// per-link [`TrafficStats`]. Endpoints are `Send`, so the three parties
+/// can run on one thread (deterministic lock-step) or three.
+pub struct Endpoint<R: Num> {
+    id: NodeId,
+    link: LinkModel,
+    nic_free_at: SimTime,
+    tx: [Option<Sender<WireFrame>>; 3],
+    rx: [Option<Receiver<WireFrame>>; 3],
+    stats: TrafficStats,
+    _marker: std::marker::PhantomData<fn() -> R>,
+}
+
+/// Builds the fully connected three-node network; returns
+/// `[client, server0, server1]`.
+pub fn build_network<R: Num>(link: LinkModel) -> [Endpoint<R>; 3] {
+    let mut endpoints: [Endpoint<R>; 3] = NodeId::ALL.map(|id| Endpoint {
+        id,
+        link,
+        nic_free_at: SimTime::ZERO,
+        tx: [None, None, None],
+        rx: [None, None, None],
+        stats: TrafficStats::new(),
+        _marker: std::marker::PhantomData,
+    });
+    for from in 0..3 {
+        for to in 0..3 {
+            if from == to {
+                continue;
+            }
+            let (s, r) = unbounded();
+            endpoints[from].tx[to] = Some(s);
+            endpoints[to].rx[from] = Some(r);
+        }
+    }
+    endpoints
+}
+
+impl<R: Num> Endpoint<R> {
+    /// This endpoint's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Send-side traffic counters.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Resets traffic counters (e.g. to isolate the online phase).
+    pub fn reset_stats(&mut self) {
+        self.stats = TrafficStats::new();
+    }
+
+    /// Sends `payload` to `to`. `now` is this node's simulated clock at the
+    /// call. Returns the instant the local send completes (the NIC is then
+    /// free; the *receiver* sees the data `latency + size/bw` later).
+    pub fn send(
+        &mut self,
+        to: NodeId,
+        payload: &Payload<R>,
+        now: SimTime,
+    ) -> Result<SimTime, NetError> {
+        if to == self.id {
+            return Err(NetError::SelfSend);
+        }
+        let bytes = codec::encode(payload);
+        let wire_bytes = bytes.len();
+        let dense_equivalent = payload.dense_equivalent_bytes();
+        // Serial NIC: this transfer starts when the NIC is free.
+        let start = now.max(self.nic_free_at);
+        let done = start + self.link.transfer_time(wire_bytes);
+        self.nic_free_at = done;
+        self.stats
+            .record(self.id, to, wire_bytes, dense_equivalent);
+        let frame = WireFrame {
+            from: self.id,
+            bytes,
+            dense_equivalent,
+            available_at: done,
+        };
+        self.tx[to.index()]
+            .as_ref()
+            .expect("route exists for distinct nodes")
+            .send(frame)
+            .map_err(|_| NetError::Disconnected(to))?;
+        Ok(done)
+    }
+
+    /// Blocks for the next message from `from`, decodes it, and returns the
+    /// packet. The caller advances its clock to
+    /// `max(now, packet.available_at)`.
+    pub fn recv(&mut self, from: NodeId) -> Result<Packet<R>, NetError> {
+        let rx = self.rx[from.index()]
+            .as_ref()
+            .ok_or(NetError::SelfSend)?;
+        let frame = rx.recv().map_err(|_| NetError::Disconnected(from))?;
+        let wire_bytes = frame.bytes.len();
+        let payload = codec::decode::<R>(frame.bytes)?;
+        let _ = frame.dense_equivalent;
+        Ok(Packet {
+            from: frame.from,
+            payload,
+            available_at: frame.available_at,
+            wire_bytes,
+        })
+    }
+
+    /// Non-blocking receive; `Ok(None)` when no message is waiting.
+    pub fn try_recv(&mut self, from: NodeId) -> Result<Option<Packet<R>>, NetError> {
+        let rx = self.rx[from.index()]
+            .as_ref()
+            .ok_or(NetError::SelfSend)?;
+        match rx.try_recv() {
+            Ok(frame) => {
+                let wire_bytes = frame.bytes.len();
+                let payload = codec::decode::<R>(frame.bytes)?;
+                Ok(Some(Packet {
+                    from: frame.from,
+                    payload,
+                    available_at: frame.available_at,
+                    wire_bytes,
+                }))
+            }
+            Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                Err(NetError::Disconnected(from))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psml_tensor::Matrix;
+
+    fn network() -> [Endpoint<f32>; 3] {
+        build_network(LinkModel::infiniband_100g())
+    }
+
+    #[test]
+    fn send_recv_roundtrip_with_timing() {
+        let [_, mut s0, mut s1] = network();
+        let m = Matrix::from_fn(16, 16, |r, c| (r * c) as f32);
+        let sent_done = s0
+            .send(NodeId::Server1, &Payload::Dense(m.clone()), SimTime::ZERO)
+            .unwrap();
+        assert!(sent_done > SimTime::ZERO);
+        let pkt = s1.recv(NodeId::Server0).unwrap();
+        assert_eq!(pkt.from, NodeId::Server0);
+        assert_eq!(pkt.available_at, sent_done);
+        assert_eq!(pkt.payload, Payload::Dense(m));
+        assert!(pkt.wire_bytes > 16 * 16 * 4);
+    }
+
+    #[test]
+    fn nic_serializes_back_to_back_sends() {
+        let [_, mut s0, mut s1] = network();
+        let m = Matrix::<f32>::zeros(64, 64);
+        let t1 = s0
+            .send(NodeId::Server1, &Payload::Dense(m.clone()), SimTime::ZERO)
+            .unwrap();
+        let t2 = s0
+            .send(NodeId::Server1, &Payload::Dense(m.clone()), SimTime::ZERO)
+            .unwrap();
+        assert!(t2 > t1, "second send must queue behind the first");
+        let p1 = s1.recv(NodeId::Server0).unwrap();
+        let p2 = s1.recv(NodeId::Server0).unwrap();
+        assert!(p2.available_at > p1.available_at);
+    }
+
+    #[test]
+    fn stats_track_wire_and_dense_bytes() {
+        let [_, mut s0, mut s1] = network();
+        let mut sparse = Matrix::<f32>::zeros(32, 32);
+        sparse[(0, 0)] = 1.0;
+        let csr = psml_tensor::Csr::from_dense(&sparse);
+        s0.send(NodeId::Server1, &Payload::SparseDelta(csr), SimTime::ZERO)
+            .unwrap();
+        let link = s0.stats().link(NodeId::Server0, NodeId::Server1);
+        assert_eq!(link.messages, 1);
+        assert!(link.wire_bytes < link.dense_equivalent_bytes);
+        assert!(s0.stats().savings() > 0.5);
+        let pkt = s1.recv(NodeId::Server0).unwrap();
+        assert!(matches!(pkt.payload, Payload::SparseDelta(_)));
+    }
+
+    #[test]
+    fn self_send_rejected() {
+        let [_, mut s0, _] = network();
+        let err = s0
+            .send(NodeId::Server0, &Payload::Control("x".into()), SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err, NetError::SelfSend);
+    }
+
+    #[test]
+    fn disconnect_detected() {
+        let [client, mut s0, _s1] = network();
+        drop(client);
+        let err = s0.recv(NodeId::Client).unwrap_err();
+        assert_eq!(err, NetError::Disconnected(NodeId::Client));
+        let err = s0
+            .send(NodeId::Client, &Payload::Control("x".into()), SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err, NetError::Disconnected(NodeId::Client));
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let [_, mut s0, mut s1] = network();
+        assert_eq!(s1.try_recv(NodeId::Server0).unwrap().map(|p| p.from), None);
+        s0.send(NodeId::Server1, &Payload::Control("hello".into()), SimTime::ZERO)
+            .unwrap();
+        let pkt = s1.try_recv(NodeId::Server0).unwrap().unwrap();
+        assert_eq!(pkt.payload, Payload::Control("hello".into()));
+    }
+
+    #[test]
+    fn cross_thread_exchange() {
+        let [_, mut s0, mut s1] = network();
+        let handle = std::thread::spawn(move || {
+            let m = Matrix::from_fn(8, 8, |r, c| (r + c) as f32);
+            s0.send(NodeId::Server1, &Payload::Dense(m), SimTime::ZERO)
+                .unwrap();
+            let back = s0.recv(NodeId::Server1).unwrap();
+            matches!(back.payload, Payload::Control(_))
+        });
+        let pkt = s1.recv(NodeId::Server0).unwrap();
+        assert!(matches!(pkt.payload, Payload::Dense(_)));
+        s1.send(
+            NodeId::Server0,
+            &Payload::Control("ack".into()),
+            pkt.available_at,
+        )
+        .unwrap();
+        assert!(handle.join().unwrap());
+    }
+}

@@ -1,0 +1,37 @@
+//! Inter-node communication substrate for ParSecureML-rs.
+//!
+//! The paper's deployment is a three-node cluster — one client and two
+//! servers on 100 Gbps InfiniBand, talking over MPI. This crate replaces
+//! the cluster with three in-process endpoints connected by channels, while
+//! keeping everything the evaluation measures *real*:
+//!
+//! - every payload is **actually serialized** to a wire format
+//!   ([`codec`]) — so the compressed-transmission optimization changes real
+//!   byte counts, not estimates;
+//! - a [`psml_simtime::LinkModel`] charges each message
+//!   `latency + bytes / bandwidth` of simulated time, and each endpoint's
+//!   NIC is a serial resource (sends queue behind each other);
+//! - [`TrafficStats`] records bytes/messages per link, including the
+//!   dense-equivalent byte count, from which Fig. 16's communication
+//!   savings are computed;
+//! - [`compress`] implements Sec. 4.4: per-stream delta tracking with the
+//!   75 %-zeros CSR policy ([`DeltaEncoder`], [`DeltaDecoder`]).
+//!
+//! Endpoints are `Send` and work both single-threaded (deterministic
+//! lock-step simulation) and with each party on its own OS thread; message
+//! timestamps implement a classic logical-clock scheme (receive time =
+//! `max(local_clock, sender_time + transfer_time)`).
+
+pub mod codec;
+pub mod compress;
+pub mod endpoint;
+pub mod message;
+pub mod stats;
+
+pub use compress::{DeltaDecoder, DeltaEncoder, TransmitForm};
+pub use endpoint::{build_network, Endpoint, NetError};
+pub use message::{NodeId, Packet, Payload};
+pub use stats::TrafficStats;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,96 @@
+//! Property-based tests over the network substrate.
+
+use crate::codec::{decode, encode};
+use crate::compress::{DeltaDecoder, DeltaEncoder};
+use crate::endpoint::build_network;
+use crate::message::{NodeId, Payload};
+use proptest::prelude::*;
+use psml_simtime::{LinkModel, SimTime};
+use psml_tensor::{Csr, Matrix};
+
+fn matrices() -> impl Strategy<Value = Matrix<u64>> {
+    (1usize..8, 1usize..8)
+        .prop_flat_map(|(r, c)| {
+            prop::collection::vec(any::<u64>(), r * c)
+                .prop_map(move |v| Matrix::from_vec(r, c, v))
+        })
+}
+
+proptest! {
+    /// Any dense payload round-trips the codec bit-exactly.
+    #[test]
+    fn codec_dense_roundtrip(m in matrices()) {
+        let p = Payload::Dense(m);
+        prop_assert_eq!(decode::<u64>(encode(&p)).unwrap(), p);
+    }
+
+    /// Any sparse payload round-trips the codec bit-exactly.
+    #[test]
+    fn codec_sparse_roundtrip(vals in prop::collection::vec((any::<u64>(), 0u8..4), 36)) {
+        let data: Vec<u64> = vals.iter().map(|&(v, z)| if z == 0 { v } else { 0 }).collect();
+        let m = Matrix::from_vec(6, 6, data);
+        let p = Payload::SparseDelta(Csr::from_dense(&m));
+        prop_assert_eq!(decode::<u64>(encode(&p)).unwrap(), p);
+    }
+
+    /// Decoding any prefix of a valid encoding either succeeds on the full
+    /// buffer or fails cleanly (no panic).
+    #[test]
+    fn codec_truncation_never_panics(m in matrices(), cut_frac in 0.0f64..1.0) {
+        let bytes = encode(&Payload::Dense(m));
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let _ = decode::<u64>(bytes.slice(..cut));
+    }
+
+    /// A randomly drifting stream of matrices stays consistent through the
+    /// delta encoder/decoder pair regardless of sparsity pattern.
+    #[test]
+    fn delta_stream_consistent(updates in prop::collection::vec(prop::collection::vec((0u8..6, any::<u64>()), 1..5), 1..12)) {
+        let mut enc = DeltaEncoder::new();
+        let mut dec = DeltaDecoder::new();
+        let mut current = Matrix::<u64>::zeros(6, 6);
+        for step in updates {
+            for (pos, val) in step {
+                let r = (pos % 6) as usize;
+                let c = ((pos / 6) % 6) as usize;
+                current[(r, c)] = val;
+            }
+            let got = dec.decode(enc.encode(&current)).unwrap();
+            prop_assert_eq!(got, current.clone());
+        }
+    }
+
+    /// Messages between endpoints arrive in order, decoded exactly, with
+    /// monotone arrival times.
+    #[test]
+    fn endpoint_fifo_and_timing(mats in prop::collection::vec(matrices(), 1..6)) {
+        let [_, mut s0, mut s1] = build_network::<u64>(LinkModel::infiniband_100g());
+        let mut now = SimTime::ZERO;
+        for m in &mats {
+            now = s0.send(NodeId::Server1, &Payload::Dense(m.clone()), now).unwrap();
+        }
+        let mut prev = SimTime::ZERO;
+        for m in &mats {
+            let pkt = s1.recv(NodeId::Server0).unwrap();
+            prop_assert_eq!(&pkt.payload, &Payload::Dense(m.clone()));
+            prop_assert!(pkt.available_at >= prev);
+            prev = pkt.available_at;
+        }
+    }
+
+    /// Wire accounting: stats equal the sum of actually transmitted frames.
+    #[test]
+    fn stats_match_frames(mats in prop::collection::vec(matrices(), 1..6)) {
+        let [_, mut s0, mut s1] = build_network::<u64>(LinkModel::ethernet_1g());
+        let mut expected = 0usize;
+        for m in &mats {
+            s0.send(NodeId::Server1, &Payload::Dense(m.clone()), SimTime::ZERO).unwrap();
+        }
+        for _ in &mats {
+            let pkt = s1.recv(NodeId::Server0).unwrap();
+            expected += pkt.wire_bytes;
+        }
+        prop_assert_eq!(s0.stats().total_wire_bytes(), expected);
+        prop_assert_eq!(s0.stats().total_messages(), mats.len());
+    }
+}

@@ -1,0 +1,134 @@
+//! Traffic accounting for the communication-benefit evaluation (Fig. 16).
+
+use crate::message::NodeId;
+
+/// Counters for one directed link.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages sent.
+    pub messages: usize,
+    /// Bytes actually put on the wire (after compression decisions).
+    pub wire_bytes: usize,
+    /// Bytes a dense-only transmission would have used.
+    pub dense_equivalent_bytes: usize,
+}
+
+/// Per-directed-link traffic counters for one endpoint (send side).
+#[derive(Clone, Debug, Default)]
+pub struct TrafficStats {
+    links: [[LinkStats; 3]; 3],
+}
+
+impl TrafficStats {
+    /// Fresh, zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one transmitted message.
+    pub fn record(&mut self, from: NodeId, to: NodeId, wire_bytes: usize, dense_bytes: usize) {
+        let l = &mut self.links[from.index()][to.index()];
+        l.messages += 1;
+        l.wire_bytes += wire_bytes;
+        l.dense_equivalent_bytes += dense_bytes;
+    }
+
+    /// Counters for a directed link.
+    pub fn link(&self, from: NodeId, to: NodeId) -> LinkStats {
+        self.links[from.index()][to.index()]
+    }
+
+    /// Total bytes on the wire across all links.
+    pub fn total_wire_bytes(&self) -> usize {
+        self.links
+            .iter()
+            .flatten()
+            .map(|l| l.wire_bytes)
+            .sum()
+    }
+
+    /// Total dense-equivalent bytes across all links.
+    pub fn total_dense_bytes(&self) -> usize {
+        self.links
+            .iter()
+            .flatten()
+            .map(|l| l.dense_equivalent_bytes)
+            .sum()
+    }
+
+    /// Total messages across all links.
+    pub fn total_messages(&self) -> usize {
+        self.links.iter().flatten().map(|l| l.messages).sum()
+    }
+
+    /// Bytes on the server<->server links only (the traffic Sec. 4.4
+    /// compresses).
+    pub fn server_to_server_wire_bytes(&self) -> usize {
+        self.link(NodeId::Server0, NodeId::Server1).wire_bytes
+            + self.link(NodeId::Server1, NodeId::Server0).wire_bytes
+    }
+
+    /// Fraction of bytes saved versus dense-only transmission, in `[0, 1]`.
+    pub fn savings(&self) -> f64 {
+        let dense = self.total_dense_bytes();
+        if dense == 0 {
+            0.0
+        } else {
+            1.0 - self.total_wire_bytes() as f64 / dense as f64
+        }
+    }
+
+    /// Accumulates another endpoint's counters into this one.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        for f in 0..3 {
+            for t in 0..3 {
+                let o = other.links[f][t];
+                let l = &mut self.links[f][t];
+                l.messages += o.messages;
+                l.wire_bytes += o.wire_bytes;
+                l.dense_equivalent_bytes += o.dense_equivalent_bytes;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_per_link() {
+        let mut s = TrafficStats::new();
+        s.record(NodeId::Server0, NodeId::Server1, 100, 400);
+        s.record(NodeId::Server0, NodeId::Server1, 50, 400);
+        s.record(NodeId::Client, NodeId::Server0, 30, 30);
+        let l = s.link(NodeId::Server0, NodeId::Server1);
+        assert_eq!(l.messages, 2);
+        assert_eq!(l.wire_bytes, 150);
+        assert_eq!(l.dense_equivalent_bytes, 800);
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.total_wire_bytes(), 180);
+        assert_eq!(s.server_to_server_wire_bytes(), 150);
+    }
+
+    #[test]
+    fn savings_fraction() {
+        let mut s = TrafficStats::new();
+        s.record(NodeId::Server0, NodeId::Server1, 75, 100);
+        assert!((s.savings() - 0.25).abs() < 1e-12);
+        assert_eq!(TrafficStats::new().savings(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = TrafficStats::new();
+        a.record(NodeId::Server0, NodeId::Server1, 10, 20);
+        let mut b = TrafficStats::new();
+        b.record(NodeId::Server0, NodeId::Server1, 5, 20);
+        b.record(NodeId::Server1, NodeId::Server0, 7, 7);
+        a.merge(&b);
+        assert_eq!(a.link(NodeId::Server0, NodeId::Server1).wire_bytes, 15);
+        assert_eq!(a.total_wire_bytes(), 22);
+        assert_eq!(a.total_dense_bytes(), 47);
+    }
+}

@@ -1,0 +1,137 @@
+//! Cache-line-aware loop chunking (paper Section 5.1).
+//!
+//! "Each cache line stores 16 FP32, and the cache line writing races can be
+//! avoided by scheduling at least 16 cyclic tasks to each thread." We assign
+//! each worker one contiguous chunk whose *start* is aligned to a 16-element
+//! boundary, so two workers never write into the same 64-byte cache line.
+
+/// Number of `f32` elements per 64-byte cache line.
+pub const CACHE_LINE_F32: usize = 16;
+
+/// A contiguous index range `[start, end)` assigned to one worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Chunk {
+    /// First index (inclusive).
+    pub start: usize,
+    /// One past the last index.
+    pub end: usize,
+}
+
+impl Chunk {
+    /// Number of elements in the chunk.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the chunk is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Splits `[0, len)` into at most `workers` contiguous chunks whose start
+/// offsets are multiples of `align` (except chunk 0 which starts at 0).
+///
+/// Guarantees:
+/// - chunks are disjoint, sorted, and cover `[0, len)` exactly;
+/// - every chunk boundary (other than 0 and `len`) is `align`-aligned, so
+///   with `align = CACHE_LINE_F32` no two workers share a cache line;
+/// - no chunk is empty.
+pub fn chunks(len: usize, workers: usize, align: usize) -> Vec<Chunk> {
+    let workers = workers.max(1);
+    let align = align.max(1);
+    if len == 0 {
+        return Vec::new();
+    }
+    // Number of aligned blocks; distribute blocks over workers.
+    let blocks = len.div_ceil(align);
+    let used_workers = workers.min(blocks);
+    let mut out = Vec::with_capacity(used_workers);
+    let base = blocks / used_workers;
+    let extra = blocks % used_workers;
+    let mut block_cursor = 0usize;
+    for w in 0..used_workers {
+        let nblocks = base + usize::from(w < extra);
+        let start = block_cursor * align;
+        block_cursor += nblocks;
+        let end = (block_cursor * align).min(len);
+        debug_assert!(start < end);
+        out.push(Chunk { start, end });
+    }
+    debug_assert_eq!(out.last().unwrap().end, len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_partition(len: usize, cs: &[Chunk], align: usize) {
+        assert!(!cs.iter().any(Chunk::is_empty), "empty chunk in {cs:?}");
+        let mut cursor = 0;
+        for c in cs {
+            assert_eq!(c.start, cursor, "gap/overlap at {c:?}");
+            if c.start != 0 && c.end != len {
+                assert_eq!(c.start % align, 0, "unaligned boundary in {c:?}");
+            }
+            cursor = c.end;
+        }
+        assert_eq!(cursor, len);
+    }
+
+    #[test]
+    fn exact_multiple_splits_evenly() {
+        let cs = chunks(64, 4, 16);
+        assert_eq!(cs.len(), 4);
+        assert!(cs.iter().all(|c| c.len() == 16));
+        assert_partition(64, &cs, 16);
+    }
+
+    #[test]
+    fn small_len_uses_fewer_workers() {
+        // 20 elements = 2 aligned blocks, so at most 2 workers get work.
+        let cs = chunks(20, 8, 16);
+        assert_eq!(cs.len(), 2);
+        assert_partition(20, &cs, 16);
+        assert_eq!(cs[0], Chunk { start: 0, end: 16 });
+        assert_eq!(cs[1], Chunk { start: 16, end: 20 });
+    }
+
+    #[test]
+    fn tiny_len_single_chunk() {
+        let cs = chunks(3, 8, 16);
+        assert_eq!(cs, vec![Chunk { start: 0, end: 3 }]);
+    }
+
+    #[test]
+    fn zero_len_yields_nothing() {
+        assert!(chunks(0, 4, 16).is_empty());
+    }
+
+    #[test]
+    fn uneven_blocks_spread_round_robin() {
+        // 7 blocks over 3 workers -> 3,2,2 blocks.
+        let cs = chunks(7 * 16, 3, 16);
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs[0].len(), 48);
+        assert_eq!(cs[1].len(), 32);
+        assert_eq!(cs[2].len(), 32);
+        assert_partition(112, &cs, 16);
+    }
+
+    #[test]
+    fn align_one_degenerates_to_plain_split() {
+        let cs = chunks(10, 3, 1);
+        assert_partition(10, &cs, 1);
+        assert_eq!(cs.iter().map(Chunk::len).collect::<Vec<_>>(), vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn zero_workers_treated_as_one() {
+        let cs = chunks(100, 0, 16);
+        assert_eq!(cs.len(), 1);
+        assert_partition(100, &cs, 16);
+    }
+}

@@ -1,0 +1,284 @@
+//! Scoped parallel-for and a persistent thread pool.
+//!
+//! Two execution styles are provided, mirroring how the paper merges
+//! parallel regions:
+//!
+//! - [`parallel_for`] / [`parallel_for_in`]: scoped fork-join over a range,
+//!   borrowing local data, with cache-line-aligned chunk boundaries;
+//! - [`ThreadPool`]: persistent workers for `'static` jobs, so independent
+//!   logical loops can be submitted into one region without re-spawning
+//!   threads ("to reduce the overhead of opening more than one parallel
+//!   region, multiple parallel regions should be merged").
+
+use crate::chunking::{chunks, Chunk, CACHE_LINE_F32};
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Number of worker threads to use by default.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `body` over `[0, len)` split into cache-line-aligned chunks on up to
+/// [`default_workers`] scoped threads. The calling thread executes the first
+/// chunk itself.
+pub fn parallel_for<F>(len: usize, body: F)
+where
+    F: Fn(Chunk) + Sync,
+{
+    parallel_for_in(default_workers(), len, CACHE_LINE_F32, body)
+}
+
+/// [`parallel_for`] with explicit worker count and alignment.
+pub fn parallel_for_in<F>(workers: usize, len: usize, align: usize, body: F)
+where
+    F: Fn(Chunk) + Sync,
+{
+    let plan = chunks(len, workers, align);
+    match plan.len() {
+        0 => {}
+        1 => body(plan[0]),
+        _ => std::thread::scope(|scope| {
+            for &chunk in &plan[1..] {
+                let body = &body;
+                scope.spawn(move || body(chunk));
+            }
+            body(plan[0]);
+        }),
+    }
+}
+
+enum Job {
+    Run(Box<dyn FnOnce() + Send + 'static>),
+    Shutdown,
+}
+
+#[derive(Default)]
+struct PendingState {
+    count: Mutex<usize>,
+    done: Condvar,
+}
+
+/// A persistent pool of worker threads for `'static` jobs.
+///
+/// Workers are spawned once and reused across all submitted jobs, so the
+/// per-region thread startup cost is paid only at construction.
+pub struct ThreadPool {
+    sender: Sender<Job>,
+    workers: Vec<JoinHandle<()>>,
+    pending: Arc<PendingState>,
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `n` workers (at least one).
+    pub fn new(n: usize) -> Self {
+        let n = n.max(1);
+        let (sender, receiver) = unbounded::<Job>();
+        let pending = Arc::new(PendingState::default());
+        let workers = (0..n)
+            .map(|i| {
+                let receiver = receiver.clone();
+                let pending = Arc::clone(&pending);
+                std::thread::Builder::new()
+                    .name(format!("psml-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = receiver.recv() {
+                            match job {
+                                Job::Run(f) => {
+                                    f();
+                                    let mut count = pending.count.lock();
+                                    *count -= 1;
+                                    if *count == 0 {
+                                        pending.done.notify_all();
+                                    }
+                                }
+                                Job::Shutdown => break,
+                            }
+                        }
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            sender,
+            workers,
+            pending,
+        }
+    }
+
+    /// Pool sized to the machine.
+    pub fn with_default_size() -> Self {
+        ThreadPool::new(default_workers())
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job; returns immediately.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        *self.pending.count.lock() += 1;
+        self.sender
+            .send(Job::Run(Box::new(job)))
+            .expect("pool workers gone");
+    }
+
+    /// Blocks until every submitted job has finished.
+    pub fn join(&self) {
+        let mut count = self.pending.count.lock();
+        while *count != 0 {
+            self.pending.done.wait(&mut count);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.join();
+        for _ in &self.workers {
+            let _ = self.sender.send(Job::Shutdown);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Applies `body` to disjoint cache-line-aligned mutable sub-slices of
+/// `data` in parallel. `body` receives the starting offset of the sub-slice
+/// within `data` and the sub-slice itself.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], workers: usize, align: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let plan = chunks(data.len(), workers, align);
+    match plan.len() {
+        0 => {}
+        1 => body(0, data),
+        _ => {
+            // Split `data` into the planned disjoint slices.
+            let mut parts: Vec<(usize, &mut [T])> = Vec::with_capacity(plan.len());
+            let mut rest = data;
+            let mut offset = 0usize;
+            for c in &plan {
+                let (head, tail) = rest.split_at_mut(c.len());
+                parts.push((offset, head));
+                offset += c.len();
+                rest = tail;
+            }
+            std::thread::scope(|scope| {
+                let mut iter = parts.into_iter();
+                let first = iter.next().unwrap();
+                for (off, slice) in iter {
+                    let body = &body;
+                    scope.spawn(move || body(off, slice));
+                }
+                body(first.0, first.1);
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parallel_for_covers_range_exactly_once() {
+        let n = 1000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for_in(4, n, CACHE_LINE_F32, |chunk| {
+            for hit in &hits[chunk.start..chunk.end] {
+                hit.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_empty_range_is_noop() {
+        parallel_for(0, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn for_each_chunk_mut_writes_disjointly() {
+        let mut data = vec![0u32; 333];
+        for_each_chunk_mut(&mut data, 5, CACHE_LINE_F32, |off, slice| {
+            for (i, v) in slice.iter_mut().enumerate() {
+                *v = (off + i) as u32;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32));
+    }
+
+    #[test]
+    fn matrix_add_parallel_matches_serial() {
+        let n = 4096;
+        let a: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..n).map(|i| (2 * i) as f32).collect();
+        let mut out = vec![0f32; n];
+        for_each_chunk_mut(&mut out, 7, CACHE_LINE_F32, |off, slice| {
+            for (i, v) in slice.iter_mut().enumerate() {
+                *v = a[off + i] + b[off + i];
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == 3.0 * i as f32));
+    }
+
+    #[test]
+    fn pool_runs_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn pool_join_with_no_jobs_returns() {
+        let pool = ThreadPool::new(2);
+        pool.join();
+        assert_eq!(pool.workers(), 2);
+    }
+
+    #[test]
+    fn pool_drop_waits_for_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(3);
+            for _ in 0..16 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn zero_sized_pool_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        pool.execute(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.join();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

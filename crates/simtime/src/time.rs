@@ -1,0 +1,353 @@
+//! Simulated instants and durations.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the simulated clock, in seconds since simulation start.
+///
+/// `SimTime` is totally ordered (via [`f64::total_cmp`]) so it can be used
+/// directly as a scheduling key. Negative instants are not constructible
+/// through the public API.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimTime(f64);
+
+/// A span of simulated time, in seconds. May only be non-negative.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimDuration(f64);
+
+impl SimTime {
+    /// The simulation origin.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Seconds since simulation start.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Builds an instant from seconds since simulation start.
+    ///
+    /// # Panics
+    /// Panics if `secs` is negative or not finite.
+    #[inline]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid SimTime: {secs}");
+        SimTime(secs)
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Duration elapsed since `earlier`, saturating at zero.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration((self.0 - earlier.0).max(0.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0.0);
+
+    /// Length in seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Length in microseconds.
+    #[inline]
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Builds a duration from seconds.
+    ///
+    /// # Panics
+    /// Panics if `secs` is negative or not finite.
+    #[inline]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "invalid SimDuration: {secs}"
+        );
+        SimDuration(secs)
+    }
+
+    /// Builds a duration from milliseconds.
+    #[inline]
+    pub fn from_millis(ms: f64) -> Self {
+        Self::from_secs(ms * 1e-3)
+    }
+
+    /// Builds a duration from microseconds.
+    #[inline]
+    pub fn from_micros(us: f64) -> Self {
+        Self::from_secs(us * 1e-6)
+    }
+
+    /// Builds a duration from nanoseconds.
+    #[inline]
+    pub fn from_nanos(ns: f64) -> Self {
+        Self::from_secs(ns * 1e-9)
+    }
+
+    /// The longer of two durations.
+    #[inline]
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for SimTime {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Eq for SimDuration {}
+
+impl Ord for SimDuration {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for SimDuration {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+
+    /// Duration between two instants.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when ordering is not guaranteed.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
+        SimDuration((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration::from_secs(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: f64) -> SimDuration {
+        SimDuration::from_secs(self.0 / rhs)
+    }
+}
+
+impl Div for SimDuration {
+    type Output = f64;
+    /// Ratio of two durations (e.g., utilization = busy / span).
+    #[inline]
+    fn div(self, rhs: SimDuration) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_secs(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_secs(self.0))
+    }
+}
+
+/// Human-readable rendering with an adaptive unit (s / ms / us / ns).
+fn format_secs(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3}s")
+    } else if secs >= 1e-3 {
+        format!("{:.3}ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3}us", secs * 1e6)
+    } else {
+        format!("{:.1}ns", secs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_ordering_is_total() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(SimTime::ZERO.max(a), a);
+    }
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let t = SimTime::from_secs(1.5) + SimDuration::from_millis(500.0);
+        assert!((t.as_secs() - 2.0).abs() < 1e-12);
+        let d = t - SimTime::from_secs(0.5);
+        assert!((d.as_secs() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(3.0);
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+        assert!((b.saturating_since(a).as_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_unit_constructors_agree() {
+        assert_eq!(
+            SimDuration::from_micros(1500.0),
+            SimDuration::from_millis(1.5)
+        );
+        assert_eq!(SimDuration::from_nanos(1e9), SimDuration::from_secs(1.0));
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_secs(2.0) * 3.0;
+        assert!((d.as_secs() - 6.0).abs() < 1e-12);
+        assert!(((d / 4.0).as_secs() - 1.5).abs() < 1e-12);
+        assert!((d / SimDuration::from_secs(3.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_sub_saturates() {
+        let d = SimDuration::from_secs(1.0) - SimDuration::from_secs(5.0);
+        assert_eq!(d, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4)
+            .map(|i| SimDuration::from_secs(i as f64))
+            .sum();
+        assert!((total.as_secs() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_picks_adaptive_units() {
+        assert_eq!(format!("{}", SimDuration::from_secs(2.5)), "2.500s");
+        assert_eq!(format!("{}", SimDuration::from_millis(2.5)), "2.500ms");
+        assert_eq!(format!("{}", SimDuration::from_micros(2.5)), "2.500us");
+        assert_eq!(format!("{}", SimDuration::from_nanos(2.5)), "2.5ns");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SimTime")]
+    fn negative_time_rejected() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SimDuration")]
+    fn nan_duration_rejected() {
+        let _ = SimDuration::from_secs(f64::NAN);
+    }
+}

@@ -1,0 +1,232 @@
+//! General matrix multiply kernels.
+//!
+//! Three implementations with identical results:
+//! - [`gemm_naive`]: the textbook triple loop, used as the test oracle;
+//! - [`gemm_blocked`]: i-k-j loop order with cache tiling — the CPU
+//!   production kernel;
+//! - [`gemm_parallel`]: [`gemm_blocked`] parallelized over row bands with
+//!   the cache-line-aware chunking of `psml-parallel`.
+//!
+//! The simulated GPU's GEMM kernel (`psml-gpu`) calls [`gemm_blocked`] for
+//! its functional result and charges simulated time from its cost model.
+
+use crate::matrix::Matrix;
+use crate::num::Num;
+use psml_parallel::for_each_chunk_mut;
+
+/// Cache tile edge (elements). 64 puts a 64x64 f32 tile (16 KiB) well
+/// within L1 on common cores.
+const BLOCK: usize = 64;
+
+/// Textbook `O(n^3)` triple loop. Test oracle; do not use on hot paths.
+pub fn gemm_naive<T: Num>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "gemm shape mismatch: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = T::zero();
+            for p in 0..k {
+                acc = acc.add(a[(i, p)].mul(b[(p, j)]));
+            }
+            out[(i, j)] = acc;
+        }
+    }
+    out
+}
+
+/// Computes one row band `rows_of_a x b` into `out_band` (row-major,
+/// `len = band_rows * n`). Shared by the blocked and parallel kernels.
+fn gemm_band<T: Num>(
+    a_band: &[T],
+    band_rows: usize,
+    k: usize,
+    b: &Matrix<T>,
+    out_band: &mut [T],
+) {
+    let n = b.cols();
+    debug_assert_eq!(a_band.len(), band_rows * k);
+    debug_assert_eq!(out_band.len(), band_rows * n);
+    for kb in (0..k).step_by(BLOCK) {
+        let k_end = (kb + BLOCK).min(k);
+        for i in 0..band_rows {
+            let a_row = &a_band[i * k..(i + 1) * k];
+            let out_row = &mut out_band[i * n..(i + 1) * n];
+            #[allow(clippy::needless_range_loop)] // p also selects b.row(p)
+            for p in kb..k_end {
+                let a_ip = a_row[p];
+                if a_ip.is_zero() {
+                    continue; // frequent for sparse deltas / activations
+                }
+                let b_row = b.row(p);
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o = o.add(a_ip.mul(bv));
+                }
+            }
+        }
+    }
+}
+
+/// Cache-blocked GEMM, i-k-j order: the inner loop streams one row of `b`
+/// and one row of `out`, so all accesses are unit-stride.
+pub fn gemm_blocked<T: Num>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "gemm shape mismatch: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    gemm_band(a.as_slice(), m, k, b, out.as_mut_slice());
+    let _ = n;
+    out
+}
+
+/// Multi-threaded blocked GEMM: the output is split into horizontal bands
+/// along cache-line-aligned row boundaries; each worker computes one band.
+pub fn gemm_parallel<T: Num>(a: &Matrix<T>, b: &Matrix<T>, workers: usize) -> Matrix<T> {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "gemm shape mismatch: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    if m == 0 || n == 0 {
+        return out;
+    }
+    let a_data = a.as_slice();
+    // Chunk by rows; alignment 1 row (each row is its own cache-line set
+    // because n * T::BYTES >= a line for all practical shapes; for tiny n
+    // the band split still never splits a row across workers).
+    for_each_chunk_mut(out.as_mut_slice(), workers, n, |offset, band| {
+        debug_assert_eq!(offset % n, 0);
+        debug_assert_eq!(band.len() % n, 0);
+        let row0 = offset / n;
+        let band_rows = band.len() / n;
+        gemm_band(&a_data[row0 * k..(row0 + band_rows) * k], band_rows, k, b, band);
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fmat(rows: usize, cols: usize, seed: u64) -> Matrix<f32> {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let x = (r as u64)
+                .wrapping_mul(31)
+                .wrapping_add(c as u64)
+                .wrapping_mul(seed | 1);
+            ((x % 17) as f32) - 8.0
+        })
+    }
+
+    fn umat(rows: usize, cols: usize, seed: u64) -> Matrix<u64> {
+        Matrix::from_fn(rows, cols, |r, c| {
+            (r as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(c as u64)
+                .wrapping_mul(seed | 1)
+        })
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = fmat(5, 5, 3);
+        let id = Matrix::from_fn(5, 5, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(gemm_blocked(&a, &id), a);
+        assert_eq!(gemm_blocked(&id, &a), a);
+    }
+
+    #[test]
+    fn blocked_matches_naive_f32() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (17, 33, 9), (64, 64, 64), (65, 70, 63)] {
+            let a = fmat(m, k, 7);
+            let b = fmat(k, n, 11);
+            let naive = gemm_naive(&a, &b);
+            let blocked = gemm_blocked(&a, &b);
+            assert!(
+                naive.max_abs_diff(&blocked) < 1e-3,
+                "mismatch at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_matches_naive_ring_exactly() {
+        for &(m, k, n) in &[(4, 4, 4), (13, 29, 7), (65, 31, 33)] {
+            let a = umat(m, k, 5);
+            let b = umat(k, n, 9);
+            assert_eq!(gemm_naive(&a, &b), gemm_blocked(&a, &b));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_blocked() {
+        for workers in [1, 2, 4, 7] {
+            let a = fmat(37, 21, 13);
+            let b = fmat(21, 19, 17);
+            let expect = gemm_blocked(&a, &b);
+            let got = gemm_parallel(&a, &b, workers);
+            assert!(expect.max_abs_diff(&got) < 1e-4, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_ring_exactly() {
+        let a = umat(33, 17, 3);
+        let b = umat(17, 29, 19);
+        assert_eq!(gemm_parallel(&a, &b, 4), gemm_naive(&a, &b));
+    }
+
+    #[test]
+    fn skinny_shapes() {
+        // Column vector, row vector, outer product.
+        let col = fmat(8, 1, 3);
+        let row = fmat(1, 8, 5);
+        let outer = gemm_blocked(&col, &row);
+        assert_eq!(outer.shape(), (8, 8));
+        let inner = gemm_blocked(&row, &col);
+        assert_eq!(inner.shape(), (1, 1));
+        let naive = gemm_naive(&row, &col);
+        assert_eq!(inner[(0, 0)], naive[(0, 0)]);
+    }
+
+    #[test]
+    fn empty_dimension_yields_zeros() {
+        let a = Matrix::<f32>::zeros(0, 5);
+        let b = Matrix::<f32>::zeros(5, 3);
+        assert_eq!(gemm_blocked(&a, &b).shape(), (0, 3));
+        assert_eq!(gemm_parallel(&a, &b, 4).shape(), (0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm shape mismatch")]
+    fn mismatched_inner_dims_panic() {
+        let _ = gemm_blocked(&fmat(2, 3, 1), &fmat(4, 2, 1));
+    }
+
+    #[test]
+    fn distributivity_in_ring() {
+        // (A + A') x B == AxB + A'xB exactly in Z_2^64 — the algebraic fact
+        // the whole secret-sharing protocol rests on.
+        let a1 = umat(9, 9, 21);
+        let a2 = umat(9, 9, 23);
+        let b = umat(9, 9, 25);
+        let lhs = gemm_blocked(&a1.add(&a2), &b);
+        let rhs = gemm_blocked(&a1, &b).add(&gemm_blocked(&a2, &b));
+        assert_eq!(lhs, rhs);
+    }
+}

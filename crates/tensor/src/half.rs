@@ -1,0 +1,190 @@
+//! IEEE 754 binary16 emulation for the Tensor-Core GEMM path.
+//!
+//! Tensor Cores multiply FP16 operands and accumulate in FP32
+//! (`cublasSgemmEx` with `CUBLAS_TENSOR_OP_MATH`). Without GPU hardware we
+//! reproduce the *numerical* effect exactly: inputs are rounded through
+//! binary16 (round-to-nearest-even) before a float multiply-accumulate.
+//! This lets the accuracy-loss claims of the paper ("marginal accuracy
+//! loss") be checked rather than assumed.
+
+/// Converts an `f32` to its binary16 bit pattern with round-to-nearest-even,
+/// handling subnormals, overflow-to-infinity, and NaN.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let man = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf or NaN: preserve NaN-ness with a quiet-NaN payload bit.
+        return if man != 0 { sign | 0x7E00 } else { sign | 0x7C00 };
+    }
+
+    // Unbiased exponent re-biased for f16 (bias 15 vs 127).
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7C00; // overflow -> infinity
+    }
+    if unbiased >= -14 {
+        // Normal range: keep top 10 mantissa bits with RNE on the rest.
+        let exp16 = (unbiased + 15) as u32;
+        let man16 = man >> 13;
+        let round_bits = man & 0x1FFF;
+        let mut out = ((exp16 << 10) | man16) as u16;
+        // Round to nearest, ties to even.
+        if round_bits > 0x1000 || (round_bits == 0x1000 && (man16 & 1) == 1) {
+            out += 1; // may carry into the exponent; that is correct RNE
+        }
+        return sign | out;
+    }
+    if unbiased >= -25 {
+        // Subnormal range: shift the implicit leading 1 into the mantissa.
+        let full_man = man | 0x0080_0000;
+        let shift = (-unbiased - 14 + 13) as u32; // 14..24
+        let man16 = full_man >> shift;
+        let round_mask = (1u32 << shift) - 1;
+        let round_bits = full_man & round_mask;
+        let half = 1u32 << (shift - 1);
+        let mut out = man16 as u16;
+        if round_bits > half || (round_bits == half && (man16 & 1) == 1) {
+            out += 1;
+        }
+        return sign | out;
+    }
+    sign // underflow to signed zero
+}
+
+/// Converts a binary16 bit pattern back to `f32` (exact).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let man = (h & 0x03FF) as u32;
+
+    let bits = if exp == 0x1F {
+        // Inf / NaN.
+        sign | 0x7F80_0000 | (man << 13)
+    } else if exp == 0 {
+        if man == 0 {
+            sign // signed zero
+        } else {
+            // Subnormal: normalize.
+            let mut e = -1i32;
+            let mut m = man;
+            while m & 0x0400 == 0 {
+                m <<= 1;
+                e += 1;
+            }
+            let exp32 = (127 - 15 - e) as u32;
+            sign | (exp32 << 23) | ((m & 0x03FF) << 13)
+        }
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (man << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// Rounds an `f32` through binary16 and back — the precision loss a Tensor
+/// Core input operand experiences.
+#[inline]
+pub fn quantize_f16(x: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_representable_values_roundtrip() {
+        for v in [
+            0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 1024.0, 65504.0, 6.103_515_6e-5, 1.5, 0.25,
+        ] {
+            assert_eq!(quantize_f16(v), v, "value {v} should be exact in f16");
+        }
+        // Signed zero preserved.
+        assert_eq!(f32_to_f16_bits(-0.0), 0x8000);
+    }
+
+    #[test]
+    fn known_bit_patterns() {
+        assert_eq!(f32_to_f16_bits(1.0), 0x3C00);
+        assert_eq!(f32_to_f16_bits(-2.0), 0xC000);
+        assert_eq!(f32_to_f16_bits(65504.0), 0x7BFF); // f16::MAX
+        assert_eq!(f16_bits_to_f32(0x3C00), 1.0);
+        assert_eq!(f16_bits_to_f32(0x7C00), f32::INFINITY);
+        assert_eq!(f16_bits_to_f32(0xFC00), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn overflow_goes_to_infinity() {
+        assert_eq!(f32_to_f16_bits(70000.0), 0x7C00);
+        assert_eq!(f32_to_f16_bits(-1e9), 0xFC00);
+    }
+
+    #[test]
+    fn underflow_goes_to_zero() {
+        assert_eq!(f32_to_f16_bits(1e-10), 0x0000);
+        assert_eq!(f32_to_f16_bits(-1e-10), 0x8000);
+    }
+
+    #[test]
+    fn subnormals_roundtrip() {
+        // Smallest positive f16 subnormal = 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(f32_to_f16_bits(tiny), 0x0001);
+        assert_eq!(f16_bits_to_f32(0x0001), tiny);
+        // Largest subnormal.
+        let big_sub = f16_bits_to_f32(0x03FF);
+        assert_eq!(f32_to_f16_bits(big_sub), 0x03FF);
+    }
+
+    #[test]
+    fn nan_is_preserved_as_nan() {
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn rne_ties_to_even() {
+        // 1.0 + 2^-11 is exactly halfway between 1.0 and the next f16
+        // (1.0 + 2^-10); RNE rounds to the even mantissa (1.0).
+        let halfway = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(quantize_f16(halfway), 1.0);
+        // 1.0 + 3*2^-11 is halfway between odd and even; rounds up to even.
+        let halfway_up = 1.0 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(quantize_f16(halfway_up), 1.0 + 2.0 * 2.0f32.powi(-10));
+    }
+
+    #[test]
+    fn relative_error_bounded_in_normal_range() {
+        // f16 has 11 significand bits: relative error <= 2^-11.
+        let mut x = 1e-4f32;
+        while x < 6e4 {
+            let q = quantize_f16(x);
+            let rel = ((q - x) / x).abs();
+            assert!(rel <= 2.0f32.powi(-11), "x={x} q={q} rel={rel}");
+            x *= 1.618;
+        }
+    }
+
+    #[test]
+    fn quantize_is_idempotent() {
+        for i in 0..2000 {
+            let x = (i as f32 - 1000.0) * 0.37;
+            let q = quantize_f16(x);
+            assert_eq!(quantize_f16(q), q);
+        }
+    }
+
+    #[test]
+    fn all_f16_bit_patterns_roundtrip_through_f32() {
+        // Exhaustive: every finite f16 converts to f32 and back unchanged.
+        for h in 0u16..=0xFFFF {
+            let exp = (h >> 10) & 0x1F;
+            if exp == 0x1F {
+                continue; // Inf/NaN payloads normalize; skip.
+            }
+            let f = f16_bits_to_f32(h);
+            assert_eq!(f32_to_f16_bits(f), h, "pattern {h:#06x}");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Dense and sparse matrix substrate for ParSecureML-rs.
+//!
+//! Everything in the two-party protocol is a matrix operation, so this crate
+//! provides the numerical foundation the rest of the workspace builds on:
+//!
+//! - [`Matrix`]: an owned, row-major dense matrix generic over a [`Num`]
+//!   element (IEEE floats for the plaintext/GPU paths, wrapping `u64` for
+//!   the `Z_{2^64}` secret-sharing ring),
+//! - [`gemm`]: naive, cache-blocked, and multi-threaded GEMM kernels,
+//! - [`conv`]: direct and im2col-based 2-D convolution (the CNN workload),
+//! - [`sparse`]: the CSR format plus the 75 %-zeros density test used by the
+//!   compressed-transmission design (paper Sec. 4.4),
+//! - [`half`]: IEEE binary16 emulation for the Tensor-Core GEMM path
+//!   (paper Sec. 5.2).
+
+pub mod conv;
+pub mod gemm;
+pub mod half;
+pub mod matrix;
+pub mod num;
+pub mod sparse;
+
+pub use conv::{conv2d_direct, conv2d_im2col, im2col, ConvShape};
+pub use gemm::{gemm_blocked, gemm_naive, gemm_parallel};
+pub use half::{f16_bits_to_f32, f32_to_f16_bits, quantize_f16};
+pub use matrix::Matrix;
+pub use num::Num;
+pub use sparse::{density_of_zeros, Csr};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,194 @@
+//! Element trait shared by the float and ring paths.
+
+/// A numeric element type usable in matrices.
+///
+/// The protocol runs over two very different carriers — IEEE floats (the
+/// paper's cuBLAS implementation) and the wrapping ring `Z_{2^64}` (the
+/// SecureML fixed-point ring, where exact reconstruction holds). `Num`
+/// abstracts exactly the operations both support. **All operations wrap for
+/// integer carriers**; this is intentional — additive secret sharing *is*
+/// modular arithmetic.
+pub trait Num: Copy + PartialEq + Send + Sync + std::fmt::Debug + 'static {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Modular / float addition.
+    fn add(self, rhs: Self) -> Self;
+    /// Modular / float subtraction.
+    fn sub(self, rhs: Self) -> Self;
+    /// Modular / float multiplication.
+    fn mul(self, rhs: Self) -> Self;
+    /// Additive inverse.
+    fn neg(self) -> Self;
+    /// Whether the element equals zero (sparsity test).
+    fn is_zero(self) -> bool {
+        self == Self::zero()
+    }
+    /// Number of bytes of the element's wire representation.
+    const BYTES: usize;
+    /// The element's bit pattern, widened to 64 bits (wire encoding; only
+    /// the low `BYTES * 8` bits are meaningful).
+    fn to_bits64(self) -> u64;
+    /// Inverse of [`Num::to_bits64`].
+    fn from_bits64(bits: u64) -> Self;
+}
+
+impl Num for f32 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        self - rhs
+    }
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self * rhs
+    }
+    #[inline]
+    fn neg(self) -> Self {
+        -self
+    }
+    const BYTES: usize = 4;
+    #[inline]
+    fn to_bits64(self) -> u64 {
+        self.to_bits() as u64
+    }
+    #[inline]
+    fn from_bits64(bits: u64) -> Self {
+        f32::from_bits(bits as u32)
+    }
+}
+
+impl Num for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        self - rhs
+    }
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self * rhs
+    }
+    #[inline]
+    fn neg(self) -> Self {
+        -self
+    }
+    const BYTES: usize = 8;
+    #[inline]
+    fn to_bits64(self) -> u64 {
+        self.to_bits()
+    }
+    #[inline]
+    fn from_bits64(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
+}
+
+impl Num for u64 {
+    #[inline]
+    fn zero() -> Self {
+        0
+    }
+    #[inline]
+    fn one() -> Self {
+        1
+    }
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self.wrapping_add(rhs)
+    }
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        self.wrapping_sub(rhs)
+    }
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self.wrapping_mul(rhs)
+    }
+    #[inline]
+    fn neg(self) -> Self {
+        self.wrapping_neg()
+    }
+    const BYTES: usize = 8;
+    #[inline]
+    fn to_bits64(self) -> u64 {
+        self
+    }
+    #[inline]
+    fn from_bits64(bits: u64) -> Self {
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_wraps_instead_of_panicking() {
+        let max = u64::MAX;
+        assert_eq!(Num::add(max, 1u64), 0);
+        assert_eq!(Num::sub(0u64, 1u64), max);
+        assert_eq!(Num::mul(1u64 << 63, 2u64), 0);
+        assert_eq!(Num::neg(1u64), max);
+    }
+
+    #[test]
+    fn f32_identities() {
+        assert_eq!(<f32 as Num>::zero(), 0.0);
+        assert_eq!(<f32 as Num>::one(), 1.0);
+        assert_eq!(Num::add(1.5f32, 2.5f32), 4.0);
+        assert_eq!(Num::neg(3.0f32), -3.0);
+        assert!(Num::is_zero(0.0f32));
+        assert!(!Num::is_zero(1.0f32));
+    }
+
+    #[test]
+    fn neg_is_additive_inverse_in_ring() {
+        for x in [0u64, 1, 12345, u64::MAX, 1 << 40] {
+            assert_eq!(Num::add(x, Num::neg(x)), 0);
+        }
+    }
+
+    #[test]
+    fn wire_sizes() {
+        assert_eq!(<f32 as Num>::BYTES, 4);
+        assert_eq!(<f64 as Num>::BYTES, 8);
+        assert_eq!(<u64 as Num>::BYTES, 8);
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        for x in [0.0f32, -1.5, 3.25e-8, f32::MAX] {
+            assert_eq!(f32::from_bits64(x.to_bits64()), x);
+        }
+        for x in [0.0f64, -2.5, 1.7e300] {
+            assert_eq!(f64::from_bits64(x.to_bits64()), x);
+        }
+        for x in [0u64, u64::MAX, 0xDEAD_BEEF] {
+            assert_eq!(u64::from_bits64(x.to_bits64()), x);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests over the tensor substrate.
+
+use crate::conv::{conv2d_direct, conv2d_im2col, ConvShape};
+use crate::gemm::{gemm_blocked, gemm_naive, gemm_parallel};
+use crate::half::quantize_f16;
+use crate::matrix::Matrix;
+use crate::sparse::{density_of_zeros, Csr, MaybeCompressed};
+use proptest::prelude::*;
+
+fn ring_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<u64>> {
+    prop::collection::vec(any::<u64>(), rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+fn small_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..12, 1usize..12, 1usize..12)
+}
+
+proptest! {
+    /// Blocked and parallel GEMM agree exactly with the naive oracle over
+    /// the ring (no float tolerance needed).
+    #[test]
+    fn gemm_kernels_agree_in_ring((m, k, n) in small_dims(), seed in any::<u64>()) {
+        let a = Matrix::from_fn(m, k, |r, c| {
+            seed.wrapping_mul(r as u64 + 1).wrapping_add((c as u64) << 7)
+        });
+        let b = Matrix::from_fn(k, n, |r, c| {
+            seed.rotate_left(13).wrapping_mul(c as u64 + 3).wrapping_add(r as u64)
+        });
+        let oracle = gemm_naive(&a, &b);
+        prop_assert_eq!(&gemm_blocked(&a, &b), &oracle);
+        prop_assert_eq!(&gemm_parallel(&a, &b, 3), &oracle);
+    }
+
+    /// GEMM is bilinear over the ring: (A+A')B = AB + A'B and A(B+B') =
+    /// AB + AB' — the algebra the Beaver protocol depends on.
+    #[test]
+    fn gemm_is_bilinear(a1 in ring_matrix(5, 4), a2 in ring_matrix(5, 4), b in ring_matrix(4, 6)) {
+        let lhs = gemm_blocked(&a1.add(&a2), &b);
+        let rhs = gemm_blocked(&a1, &b).add(&gemm_blocked(&a2, &b));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// CSR round-trips any dense matrix exactly.
+    #[test]
+    fn csr_roundtrip(m in ring_matrix(6, 7)) {
+        let csr = Csr::from_dense(&m);
+        prop_assert_eq!(csr.to_dense(), m);
+    }
+
+    /// CSR round-trips sparse matrices (with forced zeros) and `add_into`
+    /// matches dense addition.
+    #[test]
+    fn csr_delta_application(vals in prop::collection::vec((any::<u64>(), 0u8..4), 30)) {
+        let data: Vec<u64> = vals.iter().map(|&(v, z)| if z == 0 { v } else { 0 }).collect();
+        let delta = Matrix::from_vec(5, 6, data);
+        let base = Matrix::from_fn(5, 6, |r, c| (r * 11 + c) as u64);
+        let csr = Csr::from_dense(&delta);
+        let mut applied = base.clone();
+        csr.add_into(&mut applied);
+        prop_assert_eq!(applied, base.add(&delta));
+    }
+
+    /// The compression policy never selects a representation larger than
+    /// dense, and always round-trips.
+    #[test]
+    fn compression_policy_safe(vals in prop::collection::vec((any::<u64>(), 0u8..5), 64)) {
+        let data: Vec<u64> = vals.iter().map(|&(v, z)| if z == 0 { v } else { 0 }).collect();
+        let m = Matrix::from_vec(8, 8, data);
+        let dense_bytes = m.byte_size();
+        let choice = MaybeCompressed::choose(m.clone(), 0.75);
+        prop_assert!(choice.byte_size() <= dense_bytes);
+        prop_assert_eq!(choice.into_dense(), m);
+    }
+
+    /// zero_fraction and density_of_zeros agree.
+    #[test]
+    fn density_measures_agree(vals in prop::collection::vec(0u64..3, 24)) {
+        let m = Matrix::from_vec(4, 6, vals);
+        prop_assert!((m.zero_fraction() - density_of_zeros(m.as_slice())).abs() < 1e-12);
+    }
+
+    /// im2col + GEMM equals direct convolution over the ring, for arbitrary
+    /// small shapes.
+    #[test]
+    fn conv_lowering_exact(
+        ch in 1usize..3,
+        h in 3usize..7,
+        w in 3usize..7,
+        k in 1usize..4,
+        f in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(k <= h && k <= w);
+        let shape = ConvShape { channels: ch, height: h, width: w, kernel: k, filters: f };
+        let input = Matrix::from_fn(ch, h * w, |r, c| {
+            seed.wrapping_add((r as u64) << 32).wrapping_mul(c as u64 | 1)
+        });
+        let kernels = Matrix::from_fn(shape.patch_len(), f, |r, c| {
+            seed.rotate_right(7).wrapping_mul((r + 2 * c + 1) as u64)
+        });
+        prop_assert_eq!(
+            conv2d_direct(&input, &kernels, &shape),
+            conv2d_im2col(&input, &kernels, &shape)
+        );
+    }
+
+    /// f16 quantization is idempotent and monotone on finite values.
+    #[test]
+    fn f16_quantization_properties(a in -7e4f32..7e4, b in -7e4f32..7e4) {
+        let qa = quantize_f16(a);
+        prop_assert_eq!(quantize_f16(qa), qa);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(quantize_f16(lo) <= quantize_f16(hi));
+    }
+
+    /// Transpose is an involution and distributes over addition.
+    #[test]
+    fn transpose_algebra(a in ring_matrix(4, 7), b in ring_matrix(4, 7)) {
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        prop_assert_eq!(a.add(&b).transpose(), a.transpose().add(&b.transpose()));
+    }
+
+    /// (AB)^T = B^T A^T over the ring.
+    #[test]
+    fn transpose_of_product(a in ring_matrix(3, 5), b in ring_matrix(5, 4)) {
+        let lhs = gemm_blocked(&a, &b).transpose();
+        let rhs = gemm_blocked(&b.transpose(), &a.transpose());
+        prop_assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,55 @@
+//! Secure MLP training on the MNIST-like dataset — the paper's flagship
+//! workload (Fig. 2 uses exactly this combination).
+//!
+//! Trains the 128-64-10 MLP on secret-shared data with the full
+//! ParSecureML stack, then repeats with the SecureML (CPU-only) baseline
+//! configuration and reports the simulated speedup.
+//!
+//! Run with: `cargo run --release --example secure_mnist_mlp`
+
+use parsecureml::prelude::*;
+
+fn run(cfg: EngineConfig, label: &str) -> RunReport {
+    let spec = ModelSpec::build(ModelKind::Mlp, 784, None, 10).expect("model");
+    let mut trainer = SecureTrainer::<Fixed64>::new(cfg, spec, 7).expect("trainer");
+    let result = trainer
+        .train(DatasetKind::Mnist, 32, 3, 99)
+        .expect("training");
+
+    println!("== {label} ==");
+    for (i, loss) in result.losses.iter().enumerate() {
+        println!("  batch {i}: loss {loss:.4}");
+    }
+    println!("  last-batch accuracy : {:.1}%", result.accuracy * 100.0);
+    let r = &result.report;
+    println!("  offline time        : {}", r.offline_time);
+    println!("  online time         : {}", r.online_time);
+    println!("  total time          : {}", r.total_time());
+    println!("  online occupancy    : {:.1}%", r.occupancy() * 100.0);
+    println!(
+        "  comm (srv<->srv)    : {} bytes, {:.1}% saved by compression",
+        r.traffic.server_to_server_wire_bytes(),
+        r.traffic.savings() * 100.0
+    );
+    println!();
+    result.report
+}
+
+fn main() {
+    let fast = run(EngineConfig::parsecureml(), "ParSecureML (GPU, pipelined, compressed)");
+    let slow = run(EngineConfig::secureml(), "SecureML baseline (CPU only)");
+
+    println!("== comparison ==");
+    println!(
+        "  overall simulated speedup : {:.1}x",
+        fast.speedup_over(&slow)
+    );
+    println!(
+        "  online simulated speedup  : {:.1}x",
+        fast.online_speedup_over(&slow)
+    );
+    println!(
+        "  offline simulated speedup : {:.1}x",
+        fast.offline_speedup_over(&slow)
+    );
+}

@@ -1,0 +1,5 @@
+//! Workspace umbrella crate for ParSecureML-rs.
+//!
+//! This crate exists so the workspace root can host the cross-crate
+//! integration tests (`tests/`) and the runnable examples (`examples/`).
+//! The library surface is in the member crates, chiefly [`parsecureml`].

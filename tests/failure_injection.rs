@@ -1,0 +1,112 @@
+//! Failure injection across crate boundaries: bad configurations, shape
+//! violations, and resource exhaustion must surface as typed errors, not
+//! corrupt results.
+
+use parsecureml::prelude::*;
+use parsecureml::SecureContext;
+use psml_gpu::{GemmMode, GpuDevice, GpuError, MachineConfig as Machine};
+use psml_simtime::SimTime;
+use psml_tensor::Matrix;
+
+#[test]
+fn shape_mismatch_is_rejected_by_secure_mul() {
+    let mut ctx = SecureContext::<Fixed64>::new(EngineConfig::parsecureml(), 1);
+    let a = ctx.share_input(&PlainMatrix::zeros(3, 4)).unwrap();
+    let b = ctx.share_input(&PlainMatrix::zeros(5, 2)).unwrap();
+    let err = ctx.secure_mul_auto(&a, &b, "bad").unwrap_err();
+    assert!(matches!(err, EngineError::Shape(_)), "got {err:?}");
+}
+
+#[test]
+fn mismatched_triple_is_rejected() {
+    let mut ctx = SecureContext::<Fixed64>::new(EngineConfig::parsecureml(), 2);
+    let a = ctx.share_input(&PlainMatrix::zeros(3, 4)).unwrap();
+    let b = ctx.share_input(&PlainMatrix::zeros(4, 2)).unwrap();
+    let wrong_triple = ctx.gen_triple(3, 4, 5).unwrap();
+    let err = ctx.secure_mul(&a, &b, &wrong_triple, "bad").unwrap_err();
+    assert!(matches!(err, EngineError::Shape(_)), "got {err:?}");
+}
+
+#[test]
+fn device_oom_is_a_typed_error_and_memory_is_reclaimable() {
+    let mut cfg = Machine::v100_node().gpu;
+    cfg.memory_bytes = 4096;
+    let mut dev = GpuDevice::<f32>::new(cfg);
+    let small = Matrix::<f32>::zeros(16, 16); // 1 KiB
+    let h1 = dev.upload(&small, SimTime::ZERO).unwrap();
+    let big = Matrix::<f32>::zeros(64, 64); // 16 KiB: too big
+    match dev.upload(&big, SimTime::ZERO) {
+        Err(GpuError::OutOfMemory {
+            requested,
+            available,
+        }) => {
+            assert_eq!(requested, 64 * 64 * 4);
+            assert!(available < requested);
+        }
+        other => panic!("expected OOM, got {other:?}"),
+    }
+    // Device still usable after the failure.
+    let h2 = dev.upload(&small, SimTime::ZERO).unwrap();
+    let hc = dev.gemm(h1, h2, GemmMode::Fp32).unwrap();
+    let (out, _) = dev.download(hc).unwrap();
+    assert_eq!(out.shape(), (16, 16));
+}
+
+#[test]
+fn invalid_configs_fail_validation() {
+    let mut cfg = EngineConfig::parsecureml();
+    cfg.sparsity_threshold = -0.5;
+    assert!(cfg.validate().is_err());
+    let mut cfg = EngineConfig::parsecureml();
+    cfg.learning_rate = f64::NAN;
+    assert!(cfg.validate().is_err());
+}
+
+#[test]
+fn invalid_models_fail_to_build() {
+    // CNN without geometry.
+    assert!(matches!(
+        ModelSpec::build(ModelKind::Cnn, 100, None, 10),
+        Err(EngineError::Config(_))
+    ));
+    // Geometry inconsistent with features.
+    assert!(ModelSpec::build(ModelKind::Cnn, 100, Some((1, 5, 5)), 10).is_err());
+    // RNN with indivisible features.
+    assert!(ModelSpec::build(ModelKind::Rnn, 101, None, 10).is_err());
+}
+
+#[test]
+fn trainer_rejects_wrong_batch_shapes() {
+    let spec = ModelSpec::build(ModelKind::Mlp, 32, None, 4).unwrap();
+    let mut trainer =
+        SecureTrainer::<Fixed64>::new(EngineConfig::parsecureml(), spec, 3).unwrap();
+    let x = PlainMatrix::zeros(4, 31); // wrong feature count
+    let y = PlainMatrix::zeros(4, 4);
+    assert!(matches!(
+        trainer.train_batch(&x, &y).unwrap_err(),
+        EngineError::Shape(_)
+    ));
+}
+
+#[test]
+fn engine_survives_oom_on_undersized_device() {
+    // A device too small for the workload: ForceGpu must error (typed),
+    // while Auto placement completes on the CPU.
+    let mut machine = Machine::v100_node();
+    machine.gpu.memory_bytes = 1024;
+    let mut cfg = EngineConfig::parsecureml().with_policy(AdaptivePolicy::ForceGpu);
+    cfg.machine = machine.clone();
+    cfg.gpu_offline = false; // keep the client CPU-side
+    let mut ctx = SecureContext::<Fixed64>::new(cfg, 4);
+    let a = PlainMatrix::from_fn(16, 16, |r, c| (r + c) as f64 * 0.1);
+    let b = a.clone();
+    let err = ctx.secure_matmul_plain(&a, &b).unwrap_err();
+    assert!(matches!(err, EngineError::Gpu(GpuError::OutOfMemory { .. })));
+
+    let mut cfg = EngineConfig::parsecureml().with_policy(AdaptivePolicy::ForceCpu);
+    cfg.machine = machine;
+    cfg.gpu_offline = false;
+    let mut ctx = SecureContext::<Fixed64>::new(cfg, 4);
+    let c = ctx.secure_matmul_plain(&a, &b).unwrap();
+    assert!(c.max_abs_diff(&a.matmul(&b)) < 1e-2);
+}

@@ -1,0 +1,178 @@
+//! Cross-crate integration: the secure three-party trainer must compute
+//! the same mathematics as the plaintext reference model, for every
+//! benchmark network.
+
+use parsecureml::baseline::{PlainBackend, PlainModel};
+use parsecureml::prelude::*;
+use psml_parallel::Mt19937;
+
+const SEED: u32 = 77;
+
+fn small_spec(kind: ModelKind) -> ModelSpec {
+    match kind {
+        ModelKind::Cnn => ModelSpec::build(kind, 100, Some((1, 10, 10)), 10).unwrap(),
+        _ => ModelSpec::build(kind, 64, None, 10).unwrap(),
+    }
+}
+
+fn batch_for(spec: &ModelSpec, rows: usize) -> PlainMatrix {
+    let mut rng = Mt19937::new(5);
+    PlainMatrix::from_fn(rows, spec.input_features(), |_, _| rng.next_f64())
+}
+
+#[test]
+fn initial_inference_matches_plain_for_every_model() {
+    for kind in ModelKind::ALL {
+        let spec = small_spec(kind);
+        let mut plain = PlainModel::new(
+            EngineConfig::parsecureml(),
+            spec.clone(),
+            PlainBackend::Cpu,
+            SEED,
+        )
+        .unwrap();
+        let mut secure =
+            SecureTrainer::<Fixed64>::new(EngineConfig::parsecureml(), spec.clone(), SEED)
+                .unwrap();
+        let x = batch_for(&spec, 6);
+        let plain_out = plain.infer_batch(&x);
+        let secure_out = secure.infer_batch(&x).unwrap();
+        let diff = plain_out.max_abs_diff(&secure_out);
+        assert!(
+            diff < 2e-2,
+            "{kind:?}: secure/plain inference diverged by {diff}"
+        );
+    }
+}
+
+#[test]
+fn training_trajectories_stay_close_for_linear_models() {
+    // Fixed-point noise accumulates over steps; linear models keep the
+    // comparison tight.
+    for kind in [ModelKind::Linear, ModelKind::Logistic, ModelKind::Svm] {
+        let spec = small_spec(kind);
+        let mut plain = PlainModel::new(
+            EngineConfig::parsecureml(),
+            spec.clone(),
+            PlainBackend::Cpu,
+            SEED,
+        )
+        .unwrap();
+        let mut secure =
+            SecureTrainer::<Fixed64>::new(EngineConfig::parsecureml(), spec.clone(), SEED)
+                .unwrap();
+        let x = batch_for(&spec, 8);
+        let y = PlainMatrix::from_fn(8, 1, |r, _| if r % 2 == 0 { 1.0 } else { 0.0 });
+        let y = if spec.loss == parsecureml::models::Loss::Hinge {
+            y.map(|v| if v > 0.5 { 1.0 } else { -1.0 })
+        } else {
+            y
+        };
+        for step in 0..4 {
+            let lp = plain.train_batch(&x, &y).unwrap();
+            let ls = secure.train_batch(&x, &y).unwrap();
+            assert!(
+                (lp - ls).abs() < 0.05 + 0.1 * lp.abs(),
+                "{kind:?} step {step}: plain loss {lp} vs secure loss {ls}"
+            );
+        }
+        // Final weights agree too.
+        let pw = plain.infer_batch(&x);
+        let sw = secure.infer_batch(&x).unwrap();
+        assert!(
+            pw.max_abs_diff(&sw) < 5e-2,
+            "{kind:?}: post-training inference diverged by {}",
+            pw.max_abs_diff(&sw)
+        );
+    }
+}
+
+#[test]
+fn deep_models_train_without_divergence() {
+    for kind in [ModelKind::Cnn, ModelKind::Mlp, ModelKind::Rnn] {
+        let spec = small_spec(kind);
+        let mut secure =
+            SecureTrainer::<Fixed64>::new(EngineConfig::parsecureml(), spec.clone(), SEED)
+                .unwrap();
+        let x = batch_for(&spec, 4);
+        let y = PlainMatrix::from_fn(4, 10, |r, c| if c == r % 10 { 1.0 } else { 0.0 });
+        let mut losses = Vec::new();
+        for _ in 0..3 {
+            losses.push(secure.train_batch(&x, &y).unwrap());
+        }
+        assert!(
+            losses.iter().all(|l| l.is_finite() && *l >= 0.0),
+            "{kind:?}: non-finite loss {losses:?}"
+        );
+    }
+}
+
+#[test]
+fn exported_weights_transfer_between_trainers() {
+    // Train one secure trainer, export, import into a fresh one: the two
+    // must produce (nearly) identical inferences.
+    let spec = small_spec(ModelKind::Logistic);
+    let mut teacher =
+        SecureTrainer::<Fixed64>::new(EngineConfig::parsecureml(), spec.clone(), SEED)
+            .unwrap();
+    let x = batch_for(&spec, 8);
+    let y = PlainMatrix::from_fn(8, 1, |r, _| (r % 2) as f64);
+    for _ in 0..5 {
+        teacher.train_batch(&x, &y).unwrap();
+    }
+    let weights = teacher.reveal_weights();
+
+    let mut student = SecureTrainer::<Fixed64>::new(
+        EngineConfig::parsecureml(),
+        spec.clone(),
+        SEED + 100, // different randomness
+    )
+    .unwrap();
+    student.import_weights(&weights).unwrap();
+    let a = teacher.infer_batch(&x).unwrap();
+    let b = student.infer_batch(&x).unwrap();
+    assert!(
+        a.max_abs_diff(&b) < 2e-3,
+        "teacher/student inference diverged by {}",
+        a.max_abs_diff(&b)
+    );
+
+    // Round-trip through the on-disk format too.
+    let path = std::env::temp_dir().join("psml-export-test.bin");
+    teacher.export_weights(&path).unwrap();
+    let loaded = parsecureml::io::load_weights(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded[0][0], weights[0][0]);
+
+    // Wrong-shape import is rejected.
+    let wrong = vec![vec![PlainMatrix::zeros(3, 3)]];
+    assert!(student.import_weights(&wrong).is_err());
+}
+
+#[test]
+fn float_carrier_agrees_with_fixed_carrier() {
+    let spec = small_spec(ModelKind::Linear);
+    let x = batch_for(&spec, 6);
+    let run = |out: &mut PlainMatrix, which: u8| {
+        if which == 0 {
+            let mut t =
+                SecureTrainer::<Fixed64>::new(EngineConfig::parsecureml(), spec.clone(), SEED)
+                    .unwrap();
+            *out = t.infer_batch(&x).unwrap();
+        } else {
+            let mut t =
+                SecureTrainer::<f32>::new(EngineConfig::parsecureml(), spec.clone(), SEED)
+                    .unwrap();
+            *out = t.infer_batch(&x).unwrap();
+        }
+    };
+    let mut fixed_out = PlainMatrix::zeros(0, 0);
+    let mut float_out = PlainMatrix::zeros(0, 0);
+    run(&mut fixed_out, 0);
+    run(&mut float_out, 1);
+    assert!(
+        fixed_out.max_abs_diff(&float_out) < 5e-2,
+        "carriers disagree by {}",
+        fixed_out.max_abs_diff(&float_out)
+    );
+}
