@@ -10,7 +10,7 @@ use std::hint::black_box;
 
 fn sparse(n: usize, zero_every: usize) -> Matrix<f32> {
     Matrix::from_fn(n, n, |r, c| {
-        if (r * n + c) % zero_every == 0 {
+        if (r * n + c).is_multiple_of(zero_every) {
             (r + c) as f32 + 1.0
         } else {
             0.0

@@ -1,10 +1,15 @@
 //! Eq. (6) vs Eq. (8) ablation (the paper's "replace one multiplication
 //! with an addition"): real cost of the expanded vs fused server-side
-//! evaluation of `C_i`.
+//! evaluation of `C_i`, plus the *compute2* kernel ladder — the seed's
+//! materialized-concat fused path against the packed shared-F path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use psml_mpc::{secure_matmul_with, EvalStrategy, Fixed64, PlainMatrix};
+use psml_mpc::{
+    gen_triple, protocol::reconstruct_public, secure_matmul_with, EvalStrategy, Fixed64, Party,
+    PlainMatrix, ServerMulSession, SharePair,
+};
 use psml_parallel::Mt19937;
+use psml_tensor::{gemm_auto, gemm_blocked, pack_b};
 use std::hint::black_box;
 
 fn bench_fused(c: &mut Criterion) {
@@ -41,5 +46,56 @@ fn bench_fused(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fused);
+/// Isolates the server-side *compute2* step: the generic fused closure
+/// path (which materializes `[.. | E]` and `[F ; B_i]`) with the seed's
+/// blocked kernel, the same path with `gemm_auto`, and the packed path
+/// that shares one packed `F` between both servers.
+fn bench_finish(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_finish");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &[64usize, 128, 256] {
+        let a = PlainMatrix::from_fn(n, n, |r, c| ((r + 2 * c) % 9) as f64 * 0.1);
+        let b = PlainMatrix::from_fn(n, n, |r, c| ((3 * r + c) % 5) as f64 * 0.1);
+        let mut rng = Mt19937::new(5);
+        let a_pair = SharePair::<Fixed64>::split(&a, &mut rng);
+        let b_pair = SharePair::<Fixed64>::split(&b, &mut rng);
+        let triple = gen_triple::<Fixed64>(n, n, n, &mut rng, gemm_auto);
+        let (a0, a1) = a_pair.into_shares();
+        let (b0, b1) = b_pair.into_shares();
+        let (t0, t1) = triple.into_shares();
+        let s0 = ServerMulSession::new(Party::P0, a0, b0, t0);
+        let s1 = ServerMulSession::new(Party::P1, a1, b1, t1);
+        let (e0, f0) = s0.masked();
+        let (e1, f1) = s1.masked();
+        let e = reconstruct_public(&e0, &e1);
+        let f = reconstruct_public(&f0, &f1);
+        group.bench_with_input(BenchmarkId::new("concat_blocked", n), &n, |bench, _| {
+            bench.iter(|| {
+                let c0 = s0.finish(&e, &f, EvalStrategy::Fused, gemm_blocked);
+                let c1 = s1.finish(&e, &f, EvalStrategy::Fused, gemm_blocked);
+                black_box(c0.add(&c1))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("concat_auto", n), &n, |bench, _| {
+            bench.iter(|| {
+                let c0 = s0.finish(&e, &f, EvalStrategy::Fused, gemm_auto);
+                let c1 = s1.finish(&e, &f, EvalStrategy::Fused, gemm_auto);
+                black_box(c0.add(&c1))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("packed_shared_f", n), &n, |bench, _| {
+            bench.iter(|| {
+                let f_packed = pack_b(&f);
+                let c0 = s0.finish_packed(&e, &f_packed);
+                let c1 = s1.finish_packed(&e, &f_packed);
+                black_box(c0.add(&c1))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fused, bench_finish);
 criterion_main!(benches);

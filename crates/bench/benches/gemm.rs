@@ -1,13 +1,24 @@
 //! Real-throughput GEMM kernel benchmarks (backs Figs. 8 and 15).
 //!
-//! Measures the host kernels that the simulated GPU executes functionally:
-//! naive vs blocked vs parallel GEMM, and the Tensor-Core (through-f16)
-//! variant's overhead.
+//! Two parts:
+//!
+//! 1. A criterion group comparing the whole kernel ladder — naive,
+//!    blocked, band-parallel, packed, packed-parallel, the `gemm_auto`
+//!    dispatcher, and the Tensor-Core (through-f16) variant — at small
+//!    and medium sizes.
+//! 2. A headline measurement at 256/512/1024 cubed f32 comparing the
+//!    seed production kernel (`gemm_blocked`) against the packed paths,
+//!    written to `BENCH_gemm.json` at the repository root so the
+//!    speedup is recorded per host.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use psml_gpu::{kernels, GemmMode};
-use psml_tensor::{gemm_blocked, gemm_naive, gemm_parallel, Matrix};
+use psml_tensor::{
+    gemm_auto, gemm_blocked, gemm_naive, gemm_packed, gemm_packed_parallel, gemm_parallel,
+    Matrix,
+};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn mat(n: usize, seed: u64) -> Matrix<f32> {
     Matrix::from_fn(n, n, |r, c| {
@@ -32,6 +43,15 @@ fn bench_gemm(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("parallel", n), &n, |bench, _| {
             bench.iter(|| black_box(gemm_parallel(&a, &b, 4)))
         });
+        group.bench_with_input(BenchmarkId::new("packed", n), &n, |bench, _| {
+            bench.iter(|| black_box(gemm_packed(&a, &b)))
+        });
+        group.bench_with_input(BenchmarkId::new("packed_parallel", n), &n, |bench, _| {
+            bench.iter(|| black_box(gemm_packed_parallel(&a, &b)))
+        });
+        group.bench_with_input(BenchmarkId::new("auto", n), &n, |bench, _| {
+            bench.iter(|| black_box(gemm_auto(&a, &b)))
+        });
         group.bench_with_input(BenchmarkId::new("tensor_core_f16", n), &n, |bench, _| {
             bench.iter(|| black_box(kernels::gemm(&a, &b, GemmMode::TensorCore)))
         });
@@ -40,4 +60,100 @@ fn bench_gemm(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_gemm);
-criterion_main!(benches);
+
+/// A named GEMM kernel closure under measurement.
+type NamedKernel<'a> = (&'a str, Box<dyn FnMut() -> Matrix<f32> + 'a>);
+
+/// One timed invocation in seconds.
+fn time_once(f: &mut dyn FnMut() -> Matrix<f32>) -> f64 {
+    let t = Instant::now();
+    black_box(f());
+    t.elapsed().as_secs_f64()
+}
+
+fn gflops(n: usize, secs: f64) -> f64 {
+    2.0 * (n as f64).powi(3) / secs / 1e9
+}
+
+/// Times the seed kernel against the packed hierarchy at square f32
+/// sizes and records the result as JSON at the repository root.
+fn headline() {
+    let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut size_entries = Vec::new();
+    for &n in &[256usize, 512, 1024] {
+        let a = mat(n, 1);
+        let b = mat(n, 2);
+        // Best-of-8 with the reps *interleaved* across kernels: the CI
+        // hosts are shared VMs whose throughput oscillates ~2x in phases
+        // lasting seconds, so back-to-back reps of one kernel can land
+        // entirely inside a slow phase. Round-robin sampling gives every
+        // kernel a shot at the quiet phases.
+        const REPS: usize = 8;
+        let mut kernels: [NamedKernel; 4] = [
+            ("blocked", Box::new(|| gemm_blocked(&a, &b))),
+            ("packed", Box::new(|| gemm_packed(&a, &b))),
+            ("packed_parallel", Box::new(|| gemm_packed_parallel(&a, &b))),
+            ("auto", Box::new(|| gemm_auto(&a, &b))),
+        ];
+        let mut best = [f64::INFINITY; 4];
+        for rep in 0..REPS {
+            if rep > 0 {
+                // Let a thermally/AVX-license-throttled core recover between
+                // rounds so the gaps sample distinct host phases.
+                std::thread::sleep(std::time::Duration::from_millis(250));
+            }
+            for (slot, (_, f)) in kernels.iter_mut().enumerate() {
+                best[slot] = best[slot].min(time_once(f));
+            }
+        }
+        let mut fields = Vec::new();
+        let mut blocked_secs = 0.0;
+        let mut packed_parallel_secs = 0.0;
+        for ((name, _), secs) in kernels.iter().zip(best) {
+            println!(
+                "gemm headline n={n} {name}: {secs:.4}s ({:.2} GFLOP/s)",
+                gflops(n, secs)
+            );
+            if *name == "blocked" {
+                blocked_secs = secs;
+            }
+            if *name == "packed_parallel" {
+                packed_parallel_secs = secs;
+            }
+            fields.push(format!(
+                "\"{name}\": {{\"secs\": {secs:.6}, \"gflops\": {:.3}}}",
+                gflops(n, secs)
+            ));
+        }
+        let speedup = blocked_secs / packed_parallel_secs;
+        println!("gemm headline n={n} packed_parallel vs blocked: {speedup:.2}x");
+        size_entries.push(format!(
+            "    {{\"n\": {n}, \"kernels\": {{{}}}, \"speedup_packed_parallel_vs_blocked\": {speedup:.3}}}",
+            fields.join(", ")
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"gemm\",\n  \"element\": \"f32\",\n  \"host_workers\": {workers},\n  \"timing\": \"best of 8 interleaved reps per kernel\",\n  \"sizes\": [\n{}\n  ]\n}}\n",
+        size_entries.join(",\n")
+    );
+    // crates/bench -> repo root.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels under the repo root")
+        .to_path_buf();
+    let out = root.join("BENCH_gemm.json");
+    std::fs::write(&out, json).expect("write BENCH_gemm.json");
+    println!("wrote {}", out.display());
+}
+
+fn main() {
+    // Headline first: minutes of sustained criterion sampling heats the
+    // (shared, AVX-512-throttled) host and would depress the recorded
+    // peak numbers for every kernel. PSML_HEADLINE_ONLY=1 skips the
+    // criterion ladder for quick re-measurement.
+    headline();
+    if std::env::var_os("PSML_HEADLINE_ONLY").is_none() {
+        benches();
+    }
+}

@@ -42,6 +42,13 @@ pub struct EngineConfig {
     pub tensor_cores: bool,
     /// CPU threads used for server-side host work. 1 = serial.
     pub cpu_threads: usize,
+    /// Worker threads for the *host* global GEMM pool (the real
+    /// `psml_parallel` pool behind `gemm_packed_parallel`), as opposed to
+    /// `cpu_threads`, which only drives the simulated cost model.
+    /// `None` defers to the `PSML_WORKERS` env var, then host parallelism.
+    /// Applied once, when the first `SecureContext` is built; the global
+    /// pool cannot be resized afterwards.
+    pub host_workers: Option<usize>,
     /// CPU threads used for the *client's* offline work — random-matrix
     /// generation and the share additions/subtractions, the operations
     /// Sec. 5.1 parallelizes. 1 = the pre-optimization client.
@@ -79,6 +86,7 @@ impl EngineConfig {
             sparsity_threshold: DEFAULT_SPARSITY_THRESHOLD,
             tensor_cores: true,
             cpu_threads: MachineConfig::v100_node().cpu.cores,
+            host_workers: None,
             client_cpu_threads: MachineConfig::v100_node().cpu.cores,
             tuned_cpu_gemm: true,
             gpu_offline: true,
@@ -100,6 +108,7 @@ impl EngineConfig {
             sparsity_threshold: DEFAULT_SPARSITY_THRESHOLD,
             tensor_cores: false,
             cpu_threads: 1,
+            host_workers: None,
             client_cpu_threads: 1,
             tuned_cpu_gemm: false,
             gpu_offline: false,
@@ -151,6 +160,13 @@ impl EngineConfig {
     /// Fig. 14 ablation: Sec. 5.1's CPU parallelism on/off).
     pub fn with_client_cpu_threads(mut self, threads: usize) -> Self {
         self.client_cpu_threads = threads.max(1);
+        self
+    }
+
+    /// Returns this config with an explicit host GEMM-pool worker count
+    /// (see [`EngineConfig::host_workers`]).
+    pub fn with_host_workers(mut self, workers: usize) -> Self {
+        self.host_workers = Some(workers.max(1));
         self
     }
 
@@ -262,6 +278,14 @@ mod tests {
         assert!(!cfg.pipeline && !cfg.compression && !cfg.tensor_cores);
         assert_eq!(cfg.cpu_threads, 1, "zero threads clamps to one");
         assert_eq!(cfg.policy, AdaptivePolicy::ForceGpu);
+    }
+
+    #[test]
+    fn host_workers_defaults_off_and_clamps() {
+        assert_eq!(EngineConfig::parsecureml().host_workers, None);
+        assert_eq!(EngineConfig::secureml().host_workers, None);
+        let cfg = EngineConfig::parsecureml().with_host_workers(0);
+        assert_eq!(cfg.host_workers, Some(1), "zero workers clamps to one");
     }
 
     #[test]

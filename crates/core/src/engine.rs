@@ -40,7 +40,7 @@ use psml_mpc::{
 use psml_net::{build_network, DeltaDecoder, DeltaEncoder, Endpoint, NodeId, Payload, TransmitForm};
 use psml_parallel::Mt19937;
 use psml_simtime::{Resource, SimDuration, SimTime};
-use psml_tensor::{gemm_blocked, ConvShape, Matrix};
+use psml_tensor::{gemm_auto, pack_b, ConvShape, Matrix, PackedB};
 use std::collections::HashMap;
 
 /// A value plus the simulated instant it becomes available.
@@ -149,6 +149,11 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
     /// Builds a context with the given configuration and client RNG seed.
     pub fn new(cfg: EngineConfig, seed: u32) -> Self {
         cfg.validate().map_err(EngineError::Config).unwrap();
+        if let Some(workers) = cfg.host_workers {
+            // Best effort: the global pool is built once per process, so a
+            // second context with a different setting keeps the first size.
+            let _ = psml_parallel::set_global_workers(workers);
+        }
         let [c_ep, s0_ep, s1_ep] = build_network::<R>(cfg.machine.network);
         let mk_server = |ep: Endpoint<R>| ServerState {
             cpu: Resource::new("cpu"),
@@ -248,7 +253,7 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
             let (_, end) = self.client.cpu.schedule(self.client.now, cpu_cost);
             self.client.now = self.client.now.max(end);
             self.breakdown.share_generation += cpu_cost;
-            gemm_blocked(u, v)
+            gemm_auto(u, v)
         }
     }
 
@@ -505,14 +510,29 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         let bytes_moved = (2 * m * k + 2 * k * n + 2 * m * n) * R::BYTES;
         let placement = self.adaptive.place(&self.cfg, m, 2 * k, n, bytes_moved);
         let c2_start = comm_end;
+        // Both servers reconstruct the same public F, so on the fused CPU
+        // path its column panels are packed once and shared between the
+        // two `[F ; B_i]` evaluations (Eq. (8)'s common top block).
+        let f_packed = match (placement, self.cfg.eval_strategy) {
+            (Placement::Cpu, EvalStrategy::Fused) => Some(pack_b(&publics[0].1)),
+            _ => None,
+        };
         let mut outs: Vec<Timed<Matrix<R>>> = Vec::with_capacity(2);
         for i in 0..2 {
             let party = Party::BOTH[i];
             let (e_pub, f_pub, t_pub) = (&publics[i].0, &publics[i].1, publics[i].2);
             let out = match placement {
-                Placement::Cpu => {
-                    self.compute2_cpu(i, party, a, b, triple, e_pub, f_pub, t_pub)?
-                }
+                Placement::Cpu => self.compute2_cpu(
+                    i,
+                    party,
+                    a,
+                    b,
+                    triple,
+                    e_pub,
+                    f_pub,
+                    f_packed.as_ref(),
+                    t_pub,
+                )?,
                 Placement::Gpu => {
                     self.compute2_gpu(i, party, a, b, triple, e_pub, f_pub, t_pub)?
                 }
@@ -686,6 +706,7 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         triple: &DistTriple<R>,
         e_pub: &Matrix<R>,
         f_pub: &Matrix<R>,
+        f_packed: Option<&PackedB<R>>,
         ready: SimTime,
     ) -> Result<Timed<Matrix<R>>> {
         let (m, k, n) = triple.dims;
@@ -695,7 +716,10 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
             b.parts[i].v.clone(),
             triple.shares[i].v.clone(),
         );
-        let c = session.finish(e_pub, f_pub, self.cfg.eval_strategy, gemm_blocked);
+        let c = match (self.cfg.eval_strategy, f_packed) {
+            (EvalStrategy::Fused, Some(fp)) => session.finish_packed(e_pub, fp),
+            (strategy, _) => session.finish(e_pub, f_pub, strategy, gemm_auto),
+        };
         let mut dur = self.cfg.cpu_gemm_time(m, 2 * k, n);
         if matches!(self.cfg.eval_strategy, EvalStrategy::Expanded) && party == Party::P1 {
             dur += self.cfg.cpu_gemm_time(m, k, n);

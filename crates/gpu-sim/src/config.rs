@@ -8,10 +8,9 @@
 //! Markidis et al. (the paper's reference 18) at its conservative end.
 
 use psml_simtime::{LinkModel, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// Simulated GPU parameters.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct GpuConfig {
     /// Marketing name, for reports.
     pub name: String,
@@ -84,7 +83,7 @@ impl GpuConfig {
 }
 
 /// Simulated host CPU parameters.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CpuConfig {
     /// Marketing name, for reports.
     pub name: String,
@@ -219,7 +218,7 @@ impl CpuConfig {
 }
 
 /// A complete node: host CPU + GPU + NIC.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MachineConfig {
     /// Host CPU model.
     pub cpu: CpuConfig,

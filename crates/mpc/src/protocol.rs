@@ -4,7 +4,7 @@ use crate::ring::{Party, PlainMatrix, SecureRing};
 use crate::share::SharePair;
 use crate::triple::{gen_triple, gen_triple_hadamard, TripleShare};
 use psml_parallel::Mt19937;
-use psml_tensor::{gemm_blocked, Matrix};
+use psml_tensor::{gemm_auto, gemm_packed_sum, pack_b, Matrix, PackedB};
 
 /// How a server evaluates its output share `C_i`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -103,6 +103,25 @@ impl<R: SecureRing> ServerMulSession<R> {
         let c = c.add(&self.triple.z);
         R::truncate_matrix(&c, self.party)
     }
+
+    /// *compute2* on the production CPU path: the fused Eq. (8) evaluated
+    /// through the packed kernel hierarchy.
+    ///
+    /// Both servers' right-hand sides `[F ; B_i]` share the same public
+    /// `F` block, so the caller packs `F` once (via [`pack_b`]) and passes
+    /// it to each server's `finish_packed`. The concatenations of Eq. (8)
+    /// are never materialized: `[L | E] x [F ; B_i] = L*F + E*B_i`, which
+    /// [`gemm_packed_sum`] accumulates in one pass over the output.
+    pub fn finish_packed(&self, e: &Matrix<R>, f_packed: &PackedB<R>) -> Matrix<R> {
+        let left = match self.party {
+            Party::P0 => self.a.clone(),
+            Party::P1 => self.a.sub(e),
+        };
+        let b_packed = pack_b(&self.b);
+        let c = gemm_packed_sum(&[(&left, f_packed), (e, &b_packed)]);
+        let c = c.add(&self.triple.z);
+        R::truncate_matrix(&c, self.party)
+    }
 }
 
 /// Combines the two servers' masked matrices into the public value
@@ -134,7 +153,7 @@ pub fn secure_matmul_with<R: SecureRing>(
     // Client: split inputs and generate the triple (offline phase).
     let a_pair = SharePair::<R>::split(a, rng);
     let b_pair = SharePair::<R>::split(b, rng);
-    let triple = gen_triple::<R>(m, k, n, rng, gemm_blocked);
+    let triple = gen_triple::<R>(m, k, n, rng, gemm_auto);
     let (a0, a1) = a_pair.into_shares();
     let (b0, b1) = b_pair.into_shares();
     let (t0, t1) = triple.into_shares();
@@ -150,8 +169,17 @@ pub fn secure_matmul_with<R: SecureRing>(
     let f = reconstruct_public(&f0, &f1);
 
     // compute2 on each server, then the client merges C = C_0 + C_1.
-    let c0 = s0.finish(&e, &f, strategy, gemm_blocked);
-    let c1 = s1.finish(&e, &f, strategy, gemm_blocked);
+    // The fused strategy packs the shared public F once for both servers.
+    let (c0, c1) = match strategy {
+        EvalStrategy::Fused => {
+            let f_packed = pack_b(&f);
+            (s0.finish_packed(&e, &f_packed), s1.finish_packed(&e, &f_packed))
+        }
+        EvalStrategy::Expanded => (
+            s0.finish(&e, &f, strategy, gemm_auto),
+            s1.finish(&e, &f, strategy, gemm_auto),
+        ),
+    };
     R::decode_matrix(&c0.add(&c1))
 }
 
@@ -239,6 +267,33 @@ mod tests {
     }
 
     #[test]
+    fn finish_packed_matches_generic_fused() {
+        // The packed shared-F path is the same ring computation as the
+        // generic fused closure path, so the shares must match bit-exactly.
+        let mut rng = Mt19937::new(59);
+        let (a, b) = (plain_a(), plain_b());
+        let a_pair = SharePair::<Fixed64>::split(&a, &mut rng);
+        let b_pair = SharePair::<Fixed64>::split(&b, &mut rng);
+        let triple = gen_triple::<Fixed64>(4, 5, 3, &mut rng, gemm_auto);
+        let (a0, a1) = a_pair.into_shares();
+        let (b0, b1) = b_pair.into_shares();
+        let (t0, t1) = triple.into_shares();
+        let s0 = ServerMulSession::new(Party::P0, a0, b0, t0);
+        let s1 = ServerMulSession::new(Party::P1, a1, b1, t1);
+        let (e0, f0) = s0.masked();
+        let (e1, f1) = s1.masked();
+        let e = reconstruct_public(&e0, &e1);
+        let f = reconstruct_public(&f0, &f1);
+        let f_packed = pack_b(&f);
+        for s in [&s0, &s1] {
+            assert_eq!(
+                s.finish_packed(&e, &f_packed),
+                s.finish(&e, &f, EvalStrategy::Fused, psml_tensor::gemm_naive)
+            );
+        }
+    }
+
+    #[test]
     fn secure_hadamard_matches_plain() {
         let mut rng = Mt19937::new(43);
         let a = PlainMatrix::from_fn(6, 4, |r, c| (r as f64 - 2.0) * 0.7 + c as f64 * 0.1);
@@ -258,7 +313,7 @@ mod tests {
             let mut rng = Mt19937::new(seed);
             let a_pair = SharePair::<Fixed64>::split(&a, &mut rng);
             let b_pair = SharePair::<Fixed64>::split(&b, &mut rng);
-            let triple = gen_triple::<Fixed64>(4, 5, 3, &mut rng, gemm_blocked);
+            let triple = gen_triple::<Fixed64>(4, 5, 3, &mut rng, gemm_auto);
             let (a0, _) = a_pair.into_shares();
             let (b0, _) = b_pair.into_shares();
             let (t0, _) = triple.into_shares();
@@ -286,7 +341,7 @@ mod tests {
     #[should_panic(expected = "A/U shape mismatch")]
     fn session_rejects_wrong_triple() {
         let mut rng = Mt19937::new(53);
-        let triple = gen_triple::<Fixed64>(2, 2, 2, &mut rng, gemm_blocked);
+        let triple = gen_triple::<Fixed64>(2, 2, 2, &mut rng, gemm_auto);
         let (t0, _) = triple.into_shares();
         let a = Matrix::<Fixed64>::zeros(3, 2);
         let b = Matrix::<Fixed64>::zeros(2, 2);

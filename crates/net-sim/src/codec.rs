@@ -15,7 +15,6 @@
 //! ```
 
 use crate::message::Payload;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use psml_tensor::{Csr, Matrix, Num};
 
 const TAG_DENSE: u8 = 0x01;
@@ -45,29 +44,60 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-fn put_element<R: Num>(buf: &mut BytesMut, x: R) {
-    let bits = x.to_bits64();
-    buf.put_slice(&bits.to_le_bytes()[..R::BYTES]);
+/// Little-endian reader over a received byte buffer.
+struct Reader<'a> {
+    buf: &'a [u8],
 }
 
-fn get_element<R: Num>(buf: &mut Bytes) -> Result<R, CodecError> {
-    if buf.remaining() < R::BYTES {
-        return Err(CodecError::Truncated);
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len()
     }
-    let mut bytes = [0u8; 8];
-    buf.copy_to_slice(&mut bytes[..R::BYTES]);
-    Ok(R::from_bits64(u64::from_le_bytes(bytes)))
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() < n {
+            return Err(CodecError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn get_u32_le(&mut self) -> Result<u32, CodecError> {
+        let raw = self.take(4)?;
+        Ok(u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]))
+    }
+
+    fn get_element<R: Num>(&mut self) -> Result<R, CodecError> {
+        let raw = self.take(R::BYTES)?;
+        let mut bytes = [0u8; 8];
+        bytes[..R::BYTES].copy_from_slice(raw);
+        Ok(R::from_bits64(u64::from_le_bytes(bytes)))
+    }
+}
+
+fn put_u32_le(buf: &mut Vec<u8>, x: u32) {
+    buf.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_element<R: Num>(buf: &mut Vec<u8>, x: R) {
+    let bits = x.to_bits64();
+    buf.extend_from_slice(&bits.to_le_bytes()[..R::BYTES]);
 }
 
 /// Serializes a payload into its wire bytes.
-pub fn encode<R: Num>(payload: &Payload<R>) -> Bytes {
-    let mut buf = BytesMut::new();
+pub fn encode<R: Num>(payload: &Payload<R>) -> Vec<u8> {
+    let mut buf = Vec::new();
     match payload {
         Payload::Dense(m) => {
-            buf.put_u8(TAG_DENSE);
-            buf.put_u32_le(m.rows() as u32);
-            buf.put_u32_le(m.cols() as u32);
-            buf.reserve(m.len() * R::BYTES);
+            buf.reserve(9 + m.len() * R::BYTES);
+            buf.push(TAG_DENSE);
+            put_u32_le(&mut buf, m.rows() as u32);
+            put_u32_le(&mut buf, m.cols() as u32);
             for &x in m.as_slice() {
                 put_element(&mut buf, x);
             }
@@ -75,87 +105,75 @@ pub fn encode<R: Num>(payload: &Payload<R>) -> Bytes {
         Payload::SparseDelta(c) => {
             let (rows, cols) = c.shape();
             let (row_ptr, col_idx, values) = c.raw_parts();
-            buf.put_u8(TAG_SPARSE);
-            buf.put_u32_le(rows as u32);
-            buf.put_u32_le(cols as u32);
-            buf.put_u32_le(values.len() as u32);
+            buf.reserve(13 + (row_ptr.len() + col_idx.len()) * 4 + values.len() * R::BYTES);
+            buf.push(TAG_SPARSE);
+            put_u32_le(&mut buf, rows as u32);
+            put_u32_le(&mut buf, cols as u32);
+            put_u32_le(&mut buf, values.len() as u32);
             for &p in row_ptr {
-                buf.put_u32_le(p);
+                put_u32_le(&mut buf, p);
             }
             for &i in col_idx {
-                buf.put_u32_le(i);
+                put_u32_le(&mut buf, i);
             }
             for &v in values {
                 put_element(&mut buf, v);
             }
         }
         Payload::Control(s) => {
-            buf.put_u8(TAG_CONTROL);
-            buf.put_u32_le(s.len() as u32);
-            buf.put_slice(s.as_bytes());
+            buf.push(TAG_CONTROL);
+            put_u32_le(&mut buf, s.len() as u32);
+            buf.extend_from_slice(s.as_bytes());
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Deserializes wire bytes back into a payload.
-pub fn decode<R: Num>(mut buf: Bytes) -> Result<Payload<R>, CodecError> {
-    if buf.remaining() < 1 {
-        return Err(CodecError::Truncated);
-    }
-    let tag = buf.get_u8();
+pub fn decode<R: Num>(buf: impl AsRef<[u8]>) -> Result<Payload<R>, CodecError> {
+    let mut r = Reader { buf: buf.as_ref() };
+    let tag = r.get_u8()?;
     match tag {
         TAG_DENSE => {
-            if buf.remaining() < 8 {
-                return Err(CodecError::Truncated);
-            }
-            let rows = buf.get_u32_le() as usize;
-            let cols = buf.get_u32_le() as usize;
-            if buf.remaining() < rows * cols * R::BYTES {
+            let rows = r.get_u32_le()? as usize;
+            let cols = r.get_u32_le()? as usize;
+            if r.remaining() < rows.saturating_mul(cols).saturating_mul(R::BYTES) {
                 return Err(CodecError::Truncated);
             }
             let mut data = Vec::with_capacity(rows * cols);
             for _ in 0..rows * cols {
-                data.push(get_element::<R>(&mut buf)?);
+                data.push(r.get_element::<R>()?);
             }
             Ok(Payload::Dense(Matrix::from_vec(rows, cols, data)))
         }
         TAG_SPARSE => {
-            if buf.remaining() < 12 {
-                return Err(CodecError::Truncated);
-            }
-            let rows = buf.get_u32_le() as usize;
-            let cols = buf.get_u32_le() as usize;
-            let nnz = buf.get_u32_le() as usize;
-            if buf.remaining() < (rows + 1 + nnz) * 4 + nnz * R::BYTES {
+            let rows = r.get_u32_le()? as usize;
+            let cols = r.get_u32_le()? as usize;
+            let nnz = r.get_u32_le()? as usize;
+            let need = (rows.saturating_add(1).saturating_add(nnz)).saturating_mul(4)
+                + nnz.saturating_mul(R::BYTES);
+            if r.remaining() < need {
                 return Err(CodecError::Truncated);
             }
             let mut row_ptr = Vec::with_capacity(rows + 1);
             for _ in 0..=rows {
-                row_ptr.push(buf.get_u32_le());
+                row_ptr.push(r.get_u32_le()?);
             }
             let mut col_idx = Vec::with_capacity(nnz);
             for _ in 0..nnz {
-                col_idx.push(buf.get_u32_le());
+                col_idx.push(r.get_u32_le()?);
             }
             let mut values = Vec::with_capacity(nnz);
             for _ in 0..nnz {
-                values.push(get_element::<R>(&mut buf)?);
+                values.push(r.get_element::<R>()?);
             }
             Ok(Payload::SparseDelta(Csr::from_raw_parts(
                 rows, cols, row_ptr, col_idx, values,
             )))
         }
         TAG_CONTROL => {
-            if buf.remaining() < 4 {
-                return Err(CodecError::Truncated);
-            }
-            let len = buf.get_u32_le() as usize;
-            if buf.remaining() < len {
-                return Err(CodecError::Truncated);
-            }
-            let mut raw = vec![0u8; len];
-            buf.copy_to_slice(&mut raw);
+            let len = r.get_u32_le()? as usize;
+            let raw = r.take(len)?.to_vec();
             String::from_utf8(raw)
                 .map(Payload::Control)
                 .map_err(|_| CodecError::BadUtf8)
@@ -211,24 +229,25 @@ mod tests {
     fn truncated_buffers_error_cleanly() {
         let bytes = encode(&dense());
         for cut in [0, 1, 5, 9, bytes.len() - 1] {
-            let sliced = bytes.slice(..cut);
-            assert_eq!(decode::<f32>(sliced).unwrap_err(), CodecError::Truncated);
+            assert_eq!(
+                decode::<f32>(&bytes[..cut]).unwrap_err(),
+                CodecError::Truncated
+            );
         }
     }
 
     #[test]
     fn unknown_tag_rejected() {
-        let raw = Bytes::from_static(&[0x7F, 0, 0, 0]);
+        let raw: &[u8] = &[0x7F, 0, 0, 0];
         assert_eq!(decode::<f32>(raw).unwrap_err(), CodecError::BadTag(0x7F));
     }
 
     #[test]
     fn bad_utf8_rejected() {
-        let mut buf = BytesMut::new();
-        buf.put_u8(TAG_CONTROL);
-        buf.put_u32_le(2);
-        buf.put_slice(&[0xFF, 0xFE]);
-        assert_eq!(decode::<f32>(buf.freeze()).unwrap_err(), CodecError::BadUtf8);
+        let mut buf = vec![TAG_CONTROL];
+        put_u32_le(&mut buf, 2);
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        assert_eq!(decode::<f32>(buf).unwrap_err(), CodecError::BadUtf8);
     }
 
     #[test]

@@ -3,9 +3,8 @@
 use crate::codec::{self, CodecError};
 use crate::message::{NodeId, Packet, Payload};
 use crate::stats::TrafficStats;
-use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use psml_simtime::{LinkModel, SimTime};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use psml_tensor::Num;
 
 /// Communication failures.
@@ -40,7 +39,7 @@ impl From<CodecError> for NetError {
 /// The serialized form actually carried between endpoints.
 struct WireFrame {
     from: NodeId,
-    bytes: Bytes,
+    bytes: Vec<u8>,
     dense_equivalent: usize,
     available_at: SimTime,
 }
@@ -78,7 +77,7 @@ pub fn build_network<R: Num>(link: LinkModel) -> [Endpoint<R>; 3] {
             if from == to {
                 continue;
             }
-            let (s, r) = unbounded();
+            let (s, r) = channel();
             endpoints[from].tx[to] = Some(s);
             endpoints[to].rx[from] = Some(r);
         }
@@ -146,7 +145,7 @@ impl<R: Num> Endpoint<R> {
             .ok_or(NetError::SelfSend)?;
         let frame = rx.recv().map_err(|_| NetError::Disconnected(from))?;
         let wire_bytes = frame.bytes.len();
-        let payload = codec::decode::<R>(frame.bytes)?;
+        let payload = codec::decode::<R>(&frame.bytes)?;
         let _ = frame.dense_equivalent;
         Ok(Packet {
             from: frame.from,
@@ -164,7 +163,7 @@ impl<R: Num> Endpoint<R> {
         match rx.try_recv() {
             Ok(frame) => {
                 let wire_bytes = frame.bytes.len();
-                let payload = codec::decode::<R>(frame.bytes)?;
+                let payload = codec::decode::<R>(&frame.bytes)?;
                 Ok(Some(Packet {
                     from: frame.from,
                     payload,
@@ -172,10 +171,8 @@ impl<R: Num> Endpoint<R> {
                     wire_bytes,
                 }))
             }
-            Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
-            Err(crossbeam::channel::TryRecvError::Disconnected) => {
-                Err(NetError::Disconnected(from))
-            }
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(NetError::Disconnected(from)),
         }
     }
 }

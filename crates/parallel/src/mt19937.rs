@@ -5,8 +5,6 @@
 //! MT19937 with the standard `init_genrand` seeding, verified against the
 //! reference outputs of `std::mt19937` (default seed 5489).
 
-use rand::RngCore;
-
 const N: usize = 624;
 const M: usize = 397;
 const MATRIX_A: u32 = 0x9908_B0DF;
@@ -116,34 +114,19 @@ impl Mt19937 {
             *v = self.next_u64();
         }
     }
-}
 
-impl RngCore for Mt19937 {
-    #[inline]
-    fn next_u32(&mut self) -> u32 {
-        Mt19937::next_u32(self)
-    }
-
-    #[inline]
-    fn next_u64(&mut self) -> u64 {
-        Mt19937::next_u64(self)
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Fills a byte slice from consecutive 32-bit outputs (little-endian),
+    /// discarding unused bytes of the final word on unaligned lengths.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(4);
         for chunk in &mut chunks {
-            chunk.copy_from_slice(&Mt19937::next_u32(self).to_le_bytes());
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
         }
         let rem = chunks.into_remainder();
         if !rem.is_empty() {
-            let bytes = Mt19937::next_u32(self).to_le_bytes();
+            let bytes = self.next_u32().to_le_bytes();
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 

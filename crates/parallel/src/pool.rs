@@ -1,19 +1,27 @@
-//! Scoped parallel-for and a persistent thread pool.
+//! Scoped parallel-for and a persistent, process-global thread pool.
 //!
-//! Two execution styles are provided, mirroring how the paper merges
+//! Three execution styles are provided, mirroring how the paper merges
 //! parallel regions:
 //!
 //! - [`parallel_for`] / [`parallel_for_in`]: scoped fork-join over a range,
 //!   borrowing local data, with cache-line-aligned chunk boundaries;
-//! - [`ThreadPool`]: persistent workers for `'static` jobs, so independent
-//!   logical loops can be submitted into one region without re-spawning
-//!   threads ("to reduce the overhead of opening more than one parallel
-//!   region, multiple parallel regions should be merged").
+//! - [`ThreadPool`]: persistent workers, so independent logical loops can be
+//!   submitted into one region without re-spawning threads ("to reduce the
+//!   overhead of opening more than one parallel region, multiple parallel
+//!   regions should be merged");
+//! - [`for_each_chunk_mut_pooled`]: the hot-path variant used by the packed
+//!   GEMM — it borrows the lazily-initialized [`global_pool`] instead of
+//!   spawning scoped threads, so repeated kernel launches pay no per-call
+//!   thread startup.
+//!
+//! The global pool's size is decided once, at first use: an explicit
+//! [`set_global_workers`] call wins, then the `PSML_WORKERS` environment
+//! variable, then [`default_workers`].
 
 use crate::chunking::{chunks, Chunk, CACHE_LINE_F32};
-use crossbeam::channel::{unbounded, Sender};
-use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 /// Number of worker threads to use by default.
@@ -63,6 +71,26 @@ struct PendingState {
     done: Condvar,
 }
 
+impl PendingState {
+    fn decrement(&self) {
+        let mut count = self.count.lock().unwrap();
+        *count -= 1;
+        if *count == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Decrements the pending count even if the job unwinds, so a panicking job
+/// cannot wedge [`ThreadPool::join`].
+struct PendingGuard<'a>(&'a PendingState);
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        self.0.decrement();
+    }
+}
+
 /// A persistent pool of worker threads for `'static` jobs.
 ///
 /// Workers are spawned once and reused across all submitted jobs, so the
@@ -77,29 +105,16 @@ impl ThreadPool {
     /// Spawns a pool with `n` workers (at least one).
     pub fn new(n: usize) -> Self {
         let n = n.max(1);
-        let (sender, receiver) = unbounded::<Job>();
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
         let pending = Arc::new(PendingState::default());
         let workers = (0..n)
             .map(|i| {
-                let receiver = receiver.clone();
+                let receiver = Arc::clone(&receiver);
                 let pending = Arc::clone(&pending);
                 std::thread::Builder::new()
                     .name(format!("psml-worker-{i}"))
-                    .spawn(move || {
-                        while let Ok(job) = receiver.recv() {
-                            match job {
-                                Job::Run(f) => {
-                                    f();
-                                    let mut count = pending.count.lock();
-                                    *count -= 1;
-                                    if *count == 0 {
-                                        pending.done.notify_all();
-                                    }
-                                }
-                                Job::Shutdown => break,
-                            }
-                        }
-                    })
+                    .spawn(move || worker_loop(&receiver, &pending))
                     .expect("failed to spawn pool worker")
             })
             .collect();
@@ -122,7 +137,7 @@ impl ThreadPool {
 
     /// Submits a job; returns immediately.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
-        *self.pending.count.lock() += 1;
+        *self.pending.count.lock().unwrap() += 1;
         self.sender
             .send(Job::Run(Box::new(job)))
             .expect("pool workers gone");
@@ -130,9 +145,35 @@ impl ThreadPool {
 
     /// Blocks until every submitted job has finished.
     pub fn join(&self) {
-        let mut count = self.pending.count.lock();
+        let mut count = self.pending.count.lock().unwrap();
         while *count != 0 {
-            self.pending.done.wait(&mut count);
+            count = self.pending.done.wait(count).unwrap();
+        }
+    }
+
+    /// Runs borrowed jobs on the pool and blocks until all of them finish.
+    ///
+    /// This is the scoped bridge that lets hot-path kernels hand
+    /// stack-borrowed closures to the persistent workers: the jobs only live
+    /// until this call returns, and the call does not return before every job
+    /// has run (or the first captured panic is re-raised on the caller).
+    pub fn scoped_run<'env>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        pool_run_with_local(self, jobs, || {});
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>, pending: &PendingState) {
+    loop {
+        let job = {
+            let rx = receiver.lock().unwrap();
+            rx.recv()
+        };
+        match job {
+            Ok(Job::Run(f)) => {
+                let _open = PendingGuard(pending);
+                f();
+            }
+            Ok(Job::Shutdown) | Err(_) => break,
         }
     }
 }
@@ -149,9 +190,60 @@ impl Drop for ThreadPool {
     }
 }
 
+static GLOBAL_POOL: OnceLock<ThreadPool> = OnceLock::new();
+static REQUESTED_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Worker count the global pool will use (or already uses): an explicit
+/// [`set_global_workers`] request, else `PSML_WORKERS`, else
+/// [`default_workers`].
+pub fn configured_workers() -> usize {
+    let requested = REQUESTED_WORKERS.load(Ordering::Relaxed);
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(raw) = std::env::var("PSML_WORKERS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    default_workers()
+}
+
+/// Requests a worker count for the process-global pool. Returns `true` if
+/// the request can still take effect (the pool has not been built yet);
+/// `false` if the pool is already running with its original size.
+pub fn set_global_workers(n: usize) -> bool {
+    REQUESTED_WORKERS.store(n.max(1), Ordering::Relaxed);
+    GLOBAL_POOL.get().is_none()
+}
+
+/// The process-global pool, built on first use with
+/// [`configured_workers`] threads and kept alive for the program's lifetime.
+pub fn global_pool() -> &'static ThreadPool {
+    GLOBAL_POOL.get_or_init(|| ThreadPool::new(configured_workers()))
+}
+
+fn split_parts<'d, T>(data: &'d mut [T], plan: &[Chunk]) -> Vec<(usize, &'d mut [T])> {
+    let mut parts: Vec<(usize, &mut [T])> = Vec::with_capacity(plan.len());
+    let mut rest = data;
+    let mut offset = 0usize;
+    for c in plan {
+        let (head, tail) = rest.split_at_mut(c.len());
+        parts.push((offset, head));
+        offset += c.len();
+        rest = tail;
+    }
+    parts
+}
+
 /// Applies `body` to disjoint cache-line-aligned mutable sub-slices of
-/// `data` in parallel. `body` receives the starting offset of the sub-slice
-/// within `data` and the sub-slice itself.
+/// `data` in parallel on freshly spawned scoped threads. `body` receives the
+/// starting offset of the sub-slice within `data` and the sub-slice itself.
+///
+/// Prefer [`for_each_chunk_mut_pooled`] on hot paths; this variant pays a
+/// thread spawn per call but needs no shared pool.
 pub fn for_each_chunk_mut<T, F>(data: &mut [T], workers: usize, align: usize, body: F)
 where
     T: Send,
@@ -162,16 +254,7 @@ where
         0 => {}
         1 => body(0, data),
         _ => {
-            // Split `data` into the planned disjoint slices.
-            let mut parts: Vec<(usize, &mut [T])> = Vec::with_capacity(plan.len());
-            let mut rest = data;
-            let mut offset = 0usize;
-            for c in &plan {
-                let (head, tail) = rest.split_at_mut(c.len());
-                parts.push((offset, head));
-                offset += c.len();
-                rest = tail;
-            }
+            let parts = split_parts(data, &plan);
             std::thread::scope(|scope| {
                 let mut iter = parts.into_iter();
                 let first = iter.next().unwrap();
@@ -182,6 +265,83 @@ where
                 body(first.0, first.1);
             });
         }
+    }
+}
+
+/// [`for_each_chunk_mut`] backed by the persistent [`global_pool`]: no
+/// per-call thread spawn. The calling thread executes the first chunk while
+/// the pool's workers execute the rest.
+///
+/// Must not be called from inside another pooled job (the wait could then
+/// starve the pool); the GEMM hot paths only invoke it from protocol-level
+/// code, never from within a chunk body.
+pub fn for_each_chunk_mut_pooled<T, F>(data: &mut [T], align: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let pool = global_pool();
+    // The caller participates, so plan for one part more than the pool has
+    // workers.
+    let plan = chunks(data.len(), pool.workers() + 1, align);
+    match plan.len() {
+        0 => {}
+        1 => body(0, data),
+        _ => {
+            let parts = split_parts(data, &plan);
+            let mut iter = parts.into_iter();
+            let first = iter.next().unwrap();
+            let body = &body;
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = iter
+                .map(|(off, slice)| {
+                    Box::new(move || body(off, slice)) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            // The caller's own chunk runs after submission, in parallel with
+            // the pool workers; the call then blocks for the rest.
+            pool_run_with_local(pool, jobs, || body(first.0, first.1));
+        }
+    }
+}
+
+/// Submits `jobs` to `pool`, runs `local` on the calling thread, then blocks
+/// until the submitted jobs complete.
+fn pool_run_with_local<'env>(
+    pool: &ThreadPool,
+    jobs: Vec<Box<dyn FnOnce() + Send + 'env>>,
+    local: impl FnOnce(),
+) {
+    if jobs.is_empty() {
+        local();
+        return;
+    }
+    let latch = Arc::new(PendingState::default());
+    *latch.count.lock().unwrap() = jobs.len();
+    let panic_payload: Arc<Mutex<Option<Box<dyn std::any::Any + Send>>>> =
+        Arc::new(Mutex::new(None));
+    for job in jobs {
+        // SAFETY: as in `ThreadPool::scoped_run` — this function does not
+        // return until the latch reports every job finished, so the `'env`
+        // borrows outlive all job executions.
+        let job: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(job) };
+        let latch = Arc::clone(&latch);
+        let panic_payload = Arc::clone(&panic_payload);
+        pool.execute(move || {
+            let _open = PendingGuard(&latch);
+            if let Err(p) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)) {
+                *panic_payload.lock().unwrap() = Some(p);
+            }
+        });
+    }
+    local();
+    let mut count = latch.count.lock().unwrap();
+    while *count != 0 {
+        count = latch.done.wait(count).unwrap();
+    }
+    drop(count);
+    let payload = panic_payload.lock().unwrap().take();
+    if let Some(p) = payload {
+        std::panic::resume_unwind(p);
     }
 }
 
@@ -280,5 +440,72 @@ mod tests {
         });
         pool.join();
         assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn scoped_run_borrows_stack_data() {
+        let pool = ThreadPool::new(3);
+        let mut out = vec![0usize; 8];
+        {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = out
+                .chunks_mut(2)
+                .enumerate()
+                .map(|(i, chunk)| {
+                    Box::new(move || {
+                        for v in chunk.iter_mut() {
+                            *v = i + 1;
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.scoped_run(jobs);
+        }
+        assert_eq!(out, vec![1, 1, 2, 2, 3, 3, 4, 4]);
+    }
+
+    #[test]
+    fn scoped_run_propagates_panics() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scoped_run(vec![Box::new(|| panic!("job failure")) as Box<dyn FnOnce() + Send>]);
+        }));
+        assert!(result.is_err());
+        // The pool must remain usable after a panicked job.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        pool.execute(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.join();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pooled_chunks_cover_exactly_once() {
+        let mut data = vec![0u32; 777];
+        for_each_chunk_mut_pooled(&mut data, CACHE_LINE_F32, |off, slice| {
+            for (i, v) in slice.iter_mut().enumerate() {
+                *v = (off + i) as u32;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32));
+    }
+
+    #[test]
+    fn pooled_empty_slice_is_noop() {
+        let mut data: Vec<u32> = Vec::new();
+        for_each_chunk_mut_pooled(&mut data, CACHE_LINE_F32, |_, _| {
+            panic!("must not be called")
+        });
+    }
+
+    #[test]
+    fn global_pool_is_reused() {
+        let first = global_pool() as *const ThreadPool;
+        let second = global_pool() as *const ThreadPool;
+        assert_eq!(first, second);
+        assert!(global_pool().workers() >= 1);
+        // Once built, late sizing requests report that they cannot apply.
+        assert!(!set_global_workers(2));
     }
 }

@@ -1,0 +1,466 @@
+//! Std-only, in-tree stand-in for the `proptest` crate.
+//!
+//! The build environment for this repository is fully offline (no registry
+//! index, no crates.io cache), so the real `proptest` cannot be fetched.
+//! This shim implements the subset of the proptest surface that the
+//! workspace's `src/proptests.rs` modules actually use, on top of a
+//! deterministic splitmix64 generator:
+//!
+//! - the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! - [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! - [`Strategy`] with `prop_map` / `prop_flat_map`,
+//! - range strategies for the primitive numeric types,
+//! - [`any`] for the unsigned/signed integers and `bool`,
+//! - [`collection::vec`] and [`sample::select`],
+//! - tuple strategies up to arity 4.
+//!
+//! Unlike the real crate there is no shrinking and no persistence: each
+//! `#[test]` runs `cases` deterministic iterations seeded from the test's
+//! module path and name, so failures are reproducible run-to-run but are
+//! reported with the raw generated values only.
+
+/// Deterministic test RNG (splitmix64).
+pub mod test_runner {
+    /// A small, fast, deterministic generator used to drive strategies.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Builds the RNG for one test case from a stable name hash and the
+        /// case index.
+        pub fn for_case(name_hash: u64, case: u64) -> Self {
+            // Distinct, well-mixed streams per (test, case).
+            TestRng {
+                state: name_hash ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            }
+        }
+
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0, "empty sampling range");
+            self.next_u64() % bound
+        }
+    }
+
+    /// FNV-1a hash of a test identifier, used to seed its case stream.
+    pub fn name_hash(module: &str, name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in module.as_bytes().iter().chain(name.as_bytes()) {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of deterministic cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Runs each test in the block `cases` times.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// The strategy abstraction: something that can produce values of one type
+/// from the deterministic test RNG.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// Generates values for one `proptest!` argument.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+
+        /// Chains a dependent strategy off each generated value.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { source: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.source.sample(rng)).sample(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let draw = rng.next_u64() as u128 % span;
+                    (self.start as i128 + draw as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let unit = rng.unit_f64() as $t;
+                    self.start + unit * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (S0.0, S1.1)
+        (S0.0, S1.1, S2.2)
+        (S0.0, S1.1, S2.2, S3.3)
+    }
+}
+
+/// `any::<T>()` support for the primitive types the tests draw "anything" of.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`](crate::any).
+    pub struct Any<T> {
+        _marker: core::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub(crate) fn any_strategy<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+/// Full-domain strategy for a primitive type.
+pub fn any<T: arbitrary::Arbitrary>() -> arbitrary::Any<T> {
+    arbitrary::any_strategy::<T>()
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length specification for [`vec`]: a fixed `usize` or a `Range<usize>`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Generates `Vec`s of values drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.hi - self.len.lo) as u64;
+            let n = self.len.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies over explicit value lists.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniformly picks one of the given values.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select over empty list");
+        Select { options }
+    }
+
+    /// See [`select`].
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// The glob-imported surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::any;
+    pub use crate::arbitrary::Arbitrary;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Skips the current generated case when its precondition does not hold.
+/// Expands to a `continue` of the `proptest!` case loop, so it is only
+/// usable at the top level of a test body (which is how the tests use it).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares a block of property tests. Each test runs `cases` deterministic
+/// iterations, drawing every `arg in strategy` binding fresh per iteration.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr)
+        $(
+            $(#[doc = $doc:expr])*
+            #[test]
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[doc = $doc])*
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let hash = $crate::test_runner::name_hash(module_path!(), stringify!($name));
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(hash, case as u64);
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_case(7, 0);
+        for _ in 0..1000 {
+            let x = (3usize..9).sample(&mut rng);
+            assert!((3..9).contains(&x));
+            let y = (-2.5f64..4.0).sample(&mut rng);
+            assert!((-2.5..4.0).contains(&y));
+            let z = (0u8..4).sample(&mut rng);
+            assert!(z < 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let h = crate::test_runner::name_hash("m", "t");
+        let a = crate::collection::vec(any::<u64>(), 1..20)
+            .sample(&mut crate::test_runner::TestRng::for_case(h, 3));
+        let b = crate::collection::vec(any::<u64>(), 1..20)
+            .sample(&mut crate::test_runner::TestRng::for_case(h, 3));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        /// The macro itself: bindings, tuples, maps, selects.
+        #[test]
+        fn macro_roundtrip((a, b) in (0u32..10, 0u32..10), v in prop::collection::vec(any::<u32>(), 5), pick in prop::sample::select(vec![1u8, 2, 3])) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(v.len(), 5);
+            prop_assert_ne!(pick, 0);
+        }
+
+        #[test]
+        fn flat_map_chains(m in (1usize..4).prop_flat_map(|n| prop::collection::vec(0u64..100, n)).prop_map(|v| v.len())) {
+            prop_assert!((1..4).contains(&m));
+        }
+    }
+}

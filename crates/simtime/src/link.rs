@@ -2,14 +2,13 @@
 //! simulators.
 
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// A point-to-point link characterized by a fixed per-message latency and a
 /// sustained bandwidth: `time(bytes) = latency + bytes / bandwidth`.
 ///
 /// This is the standard alpha-beta (Hockney) communication model; it is what
 /// the paper's PCIe-overhead and InfiniBand-communication arguments assume.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LinkModel {
     /// Per-message setup latency in seconds (the alpha term).
     pub latency_s: f64,

@@ -1,25 +1,62 @@
 //! General matrix multiply kernels.
 //!
-//! Three implementations with identical results:
-//! - [`gemm_naive`]: the textbook triple loop, used as the test oracle;
-//! - [`gemm_blocked`]: i-k-j loop order with cache tiling — the CPU
-//!   production kernel;
-//! - [`gemm_parallel`]: [`gemm_blocked`] parallelized over row bands with
-//!   the cache-line-aware chunking of `psml-parallel`.
+//! A hierarchy of implementations with identical results, from oracle to
+//! production path:
 //!
-//! The simulated GPU's GEMM kernel (`psml-gpu`) calls [`gemm_blocked`] for
-//! its functional result and charges simulated time from its cost model.
+//! - [`gemm_naive`]: the textbook triple loop, used as the test oracle;
+//! - [`gemm_blocked`]: i-k-j loop order with cache tiling and a zero-skip
+//!   for sparse operands — the small-matrix kernel;
+//! - [`gemm_packed`]: B packed once into contiguous [`PackedB`] column
+//!   panels, driven through an unrolled `MR x NR` register-tile
+//!   micro-kernel — the large-matrix serial kernel;
+//! - [`gemm_packed_parallel`]: [`gemm_packed`] split over output row bands
+//!   on the persistent process-global thread pool;
+//! - [`gemm_auto`]: the production dispatcher — picks one of the above by
+//!   problem size, mirroring the paper's profiling-guided adaptive
+//!   placement. `Matrix::matmul`, triple generation, the fused Eq. 8
+//!   evaluation and the gpu-sim functional kernel all route through it.
+//!
+//! [`gemm_packed_sum`] evaluates `sum_t A_t x B_t` against pre-packed
+//! right-hand sides without materializing concatenations; the fused Eq. 8
+//! product `[((-i)E + Ai) | E] x [F ; Bi]` uses it so both servers share one
+//! packed `F` panel set.
+//!
+//! All kernels are exact (bit-identical) over `u64`/`Fixed64`: wrapping ring
+//! arithmetic is associative and commutative, so packing and tiling cannot
+//! change results. Over `f32` the summation *order* differs between kernels,
+//! so results agree only to rounding (~1e-3 relative for the sizes used
+//! here).
 
 use crate::matrix::Matrix;
 use crate::num::Num;
-use psml_parallel::for_each_chunk_mut;
+use psml_parallel::{configured_workers, for_each_chunk_mut, for_each_chunk_mut_pooled};
 
-/// Cache tile edge (elements). 64 puts a 64x64 f32 tile (16 KiB) well
-/// within L1 on common cores.
+/// Cache tile edge (elements) for [`gemm_blocked`]. 64 puts a 64x64 f32
+/// tile (16 KiB) well within L1 on common cores.
 const BLOCK: usize = 64;
 
-/// Textbook `O(n^3)` triple loop. Test oracle; do not use on hot paths.
-pub fn gemm_naive<T: Num>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+/// Register-tile rows of the packed micro-kernel. The full-tile fast
+/// path destructures exactly eight named accumulators; a compile error
+/// there flags any change here.
+pub const MR: usize = 8;
+
+/// Register-tile columns of the packed micro-kernel. With `f32` one tile
+/// row is a single 512-bit vector (or two 256-bit ones); with `u64` it is
+/// two 512-bit vectors. The `MR x NR` accumulator block stays within the
+/// 32 vector registers of AVX-512 for both carriers.
+pub const NR: usize = 16;
+
+/// `m * k * n` below which [`gemm_auto`] stays on [`gemm_blocked`]
+/// (packing overhead dominates). Calibrated with `cargo bench --bench gemm`
+/// (see `BENCH_gemm.json`): the packed kernel wins from roughly 32^3 up.
+const AUTO_PACK_FLOPS: usize = 32 * 32 * 32;
+
+/// `m * k * n` above which [`gemm_auto`] moves to the pool-backed
+/// [`gemm_packed_parallel`]. Below this the latch/wake-up round-trip of a
+/// parallel region is comparable to the kernel itself.
+const AUTO_PARALLEL_FLOPS: usize = 128 * 128 * 128;
+
+fn assert_shapes<T: Num>(a: &Matrix<T>, b: &Matrix<T>) {
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -27,6 +64,11 @@ pub fn gemm_naive<T: Num>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
         a.shape(),
         b.shape()
     );
+}
+
+/// Textbook `O(n^3)` triple loop. Test oracle; do not use on hot paths.
+pub fn gemm_naive<T: Num>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    assert_shapes(a, b);
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     let mut out = Matrix::zeros(m, n);
     for i in 0..m {
@@ -42,7 +84,7 @@ pub fn gemm_naive<T: Num>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
 }
 
 /// Computes one row band `rows_of_a x b` into `out_band` (row-major,
-/// `len = band_rows * n`). Shared by the blocked and parallel kernels.
+/// `len = band_rows * n`). Shared by the blocked and band-parallel kernels.
 fn gemm_band<T: Num>(
     a_band: &[T],
     band_rows: usize,
@@ -74,32 +116,24 @@ fn gemm_band<T: Num>(
 }
 
 /// Cache-blocked GEMM, i-k-j order: the inner loop streams one row of `b`
-/// and one row of `out`, so all accesses are unit-stride.
+/// and one row of `out`, so all accesses are unit-stride. Skips zero `a`
+/// entries, which makes it the kernel of choice for sparse operands and for
+/// matrices too small to amortize packing.
 pub fn gemm_blocked<T: Num>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
-    assert_eq!(
-        a.cols(),
-        b.rows(),
-        "gemm shape mismatch: {:?} x {:?}",
-        a.shape(),
-        b.shape()
-    );
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    assert_shapes(a, b);
+    let (m, _k, n) = (a.rows(), a.cols(), b.cols());
     let mut out = Matrix::zeros(m, n);
-    gemm_band(a.as_slice(), m, k, b, out.as_mut_slice());
-    let _ = n;
+    gemm_band(a.as_slice(), m, a.cols(), b, out.as_mut_slice());
     out
 }
 
 /// Multi-threaded blocked GEMM: the output is split into horizontal bands
-/// along cache-line-aligned row boundaries; each worker computes one band.
+/// along cache-line-aligned row boundaries; each worker computes one band on
+/// a freshly spawned scoped thread. Kept for comparison benchmarks; the
+/// production parallel path is [`gemm_packed_parallel`], which reuses the
+/// global pool instead of spawning.
 pub fn gemm_parallel<T: Num>(a: &Matrix<T>, b: &Matrix<T>, workers: usize) -> Matrix<T> {
-    assert_eq!(
-        a.cols(),
-        b.rows(),
-        "gemm shape mismatch: {:?} x {:?}",
-        a.shape(),
-        b.shape()
-    );
+    assert_shapes(a, b);
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     let mut out = Matrix::zeros(m, n);
     if m == 0 || n == 0 {
@@ -117,6 +151,402 @@ pub fn gemm_parallel<T: Num>(a: &Matrix<T>, b: &Matrix<T>, workers: usize) -> Ma
         gemm_band(&a_data[row0 * k..(row0 + band_rows) * k], band_rows, k, b, band);
     });
     out
+}
+
+/// `B` repacked into contiguous column panels for the register-tiled
+/// kernel.
+///
+/// Layout: `ceil(n / NR)` panels, each `k * NR` elements. Panel `q` holds
+/// columns `q*NR .. q*NR+NR` of `B`, stored row-by-row (`p*NR + jj` maps to
+/// `B[p, q*NR + jj]`), zero-padded past column `n`. The micro-kernel then
+/// streams each panel linearly once per `MR`-row tile of `A`, so packing is
+/// paid once and reused across every row band — and, via
+/// [`gemm_packed_sum`], across both servers' fused Eq. 8 evaluations.
+#[derive(Clone, Debug)]
+pub struct PackedB<T: Num> {
+    k: usize,
+    n: usize,
+    data: Vec<T>,
+}
+
+impl<T: Num> PackedB<T> {
+    /// Inner dimension (rows of the packed `B`).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Columns of the packed `B`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Bytes held by the packed panels.
+    pub fn byte_size(&self) -> usize {
+        self.data.len() * T::BYTES
+    }
+
+    fn panel(&self, q: usize) -> &[T] {
+        &self.data[q * self.k * NR..(q + 1) * self.k * NR]
+    }
+}
+
+/// Packs `b` into [`PackedB`] column panels.
+pub fn pack_b<T: Num>(b: &Matrix<T>) -> PackedB<T> {
+    let (k, n) = (b.rows(), b.cols());
+    let panels = n.div_ceil(NR);
+    let mut data = vec![T::zero(); panels * k * NR];
+    let src = b.as_slice();
+    for q in 0..panels {
+        let j0 = q * NR;
+        let width = NR.min(n - j0);
+        let panel = &mut data[q * k * NR..(q + 1) * k * NR];
+        for p in 0..k {
+            let row = &src[p * n + j0..p * n + j0 + width];
+            panel[p * NR..p * NR + width].copy_from_slice(row);
+        }
+    }
+    PackedB { k, n, data }
+}
+
+/// Accumulates `a_tile x b_panel` into the `MR x NR` register tile.
+///
+/// `a_rows` selects how many of the `MR` accumulator rows are live. The
+/// accumulators are scalar locals over const bounds, so LLVM fully unrolls
+/// the `NR`-wide inner loop into vector ops (the strided `A` loads become
+/// lane broadcasts) for `f32` and `u64` alike. `FMA` selects
+/// `Num::mul_add` — only set it from code compiled with hardware fused
+/// multiply-add, or the float path falls through to libm.
+#[inline(always)]
+fn accumulate_tile<T: Num, const FMA: bool>(
+    acc: &mut [[T; NR]; MR],
+    a_band: &[T],
+    stride: usize,
+    i_local: usize,
+    a_rows: usize,
+    k: usize,
+    b_panel: &[T],
+) {
+    if a_rows == MR {
+        // Exact-length row slices let LLVM elide the bounds checks on the
+        // per-`p` strided loads in the hot full-tile path.
+        let rows_a: [&[T]; MR] = std::array::from_fn(|r| {
+            let start = (i_local + r) * stride;
+            &a_band[start..start + k]
+        });
+        // Named accumulator locals rather than `acc[r]` indexing: each is
+        // a single whole-array value touched only by the unrolled
+        // `NR`-wide loop, which is the shape LLVM reliably promotes to
+        // vector registers for the whole `p` loop. Array-indexed
+        // accumulators were observed to stay stack-resident (one store
+        // per FMA) depending on the surrounding codegen unit.
+        let [mut c0, mut c1, mut c2, mut c3, mut c4, mut c5, mut c6, mut c7] = *acc;
+        macro_rules! row {
+            ($cr:ident, $r:literal, $p:ident, $bp:ident) => {
+                let av = rows_a[$r][$p];
+                for jj in 0..NR {
+                    $cr[jj] = if FMA {
+                        av.mul_add($bp[jj], $cr[jj])
+                    } else {
+                        $cr[jj].add(av.mul($bp[jj]))
+                    };
+                }
+            };
+        }
+        for p in 0..k {
+            let bp = &b_panel[p * NR..p * NR + NR];
+            row!(c0, 0, p, bp);
+            row!(c1, 1, p, bp);
+            row!(c2, 2, p, bp);
+            row!(c3, 3, p, bp);
+            row!(c4, 4, p, bp);
+            row!(c5, 5, p, bp);
+            row!(c6, 6, p, bp);
+            row!(c7, 7, p, bp);
+        }
+        *acc = [c0, c1, c2, c3, c4, c5, c6, c7];
+    } else {
+        for p in 0..k {
+            let bp = &b_panel[p * NR..p * NR + NR];
+            for r in 0..a_rows {
+                let av = a_band[(i_local + r) * stride + p];
+                for jj in 0..NR {
+                    acc[r][jj] = if FMA {
+                        av.mul_add(bp[jj], acc[r][jj])
+                    } else {
+                        acc[r][jj].add(av.mul(bp[jj]))
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Computes one output row band of `sum_t a_band_t x packed_t` with the
+/// register-tiled micro-kernel. Every `a_band_t` covers the same
+/// `band_rows` rows (with its own inner dimension `packed_t.k`); `out_band`
+/// is `band_rows * n`, zero-initialized by the caller.
+///
+/// Loop order: row tiles outer, panels inner, so each `MR`-row tile of `A`
+/// stays hot in L1 while the packed `B` panels stream from L2.
+#[inline(always)]
+fn packed_band_impl<T: Num, const FMA: bool>(
+    terms: &[(&[T], &PackedB<T>)],
+    band_rows: usize,
+    n: usize,
+    out_band: &mut [T],
+) {
+    debug_assert!(terms.iter().all(|(_, pb)| pb.n == n));
+    let panels = n.div_ceil(NR);
+    let mut i0 = 0;
+    while i0 < band_rows {
+        let rows = MR.min(band_rows - i0);
+        for q in 0..panels {
+            let j0 = q * NR;
+            let width = NR.min(n - j0);
+            let mut acc = [[T::zero(); NR]; MR];
+            for &(a_band, pb) in terms {
+                accumulate_tile::<T, FMA>(&mut acc, a_band, pb.k, i0, rows, pb.k, pb.panel(q));
+            }
+            for r in 0..rows {
+                let out_row = &mut out_band[(i0 + r) * n + j0..(i0 + r) * n + j0 + width];
+                out_row.copy_from_slice(&acc[r][..width]);
+            }
+        }
+        i0 += rows;
+    }
+}
+
+/// AVX-512 instantiation of the band kernel: 512-bit lanes plus hardware
+/// FMA (`avx512dq` supplies the 64-bit lane multiply the ring carrier
+/// needs).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq,avx512bw,avx512vl,fma")]
+fn packed_band_avx512<T: Num>(
+    terms: &[(&[T], &PackedB<T>)],
+    band_rows: usize,
+    n: usize,
+    out_band: &mut [T],
+) {
+    packed_band_impl::<T, true>(terms, band_rows, n, out_band);
+}
+
+/// AVX2 + FMA instantiation of the band kernel (256-bit lanes).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+fn packed_band_avx2<T: Num>(
+    terms: &[(&[T], &PackedB<T>)],
+    band_rows: usize,
+    n: usize,
+    out_band: &mut [T],
+) {
+    packed_band_impl::<T, true>(terms, band_rows, n, out_band);
+}
+
+/// Band kernel entry point: dispatches once per call on the CPU features
+/// detected at runtime, so release builds need no `target-cpu` flags to
+/// reach the wide-vector paths.
+fn packed_band_dispatch<T: Num>(
+    terms: &[(&[T], &PackedB<T>)],
+    band_rows: usize,
+    n: usize,
+    out_band: &mut [T],
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512dq")
+            && std::arch::is_x86_feature_detected!("avx512bw")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+            && std::arch::is_x86_feature_detected!("fma")
+        {
+            // SAFETY: all enabled features were just detected on this CPU.
+            return unsafe { packed_band_avx512(terms, band_rows, n, out_band) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma")
+        {
+            // SAFETY: avx2 and fma were just detected on this CPU.
+            return unsafe { packed_band_avx2(terms, band_rows, n, out_band) };
+        }
+    }
+    packed_band_impl::<T, false>(terms, band_rows, n, out_band);
+}
+
+/// Monomorphic pinned copy of the f32 kernel. Generic monomorphizations
+/// are re-emitted by every downstream crate, and their optimization
+/// quality varies with that crate's codegen-unit layout — binaries were
+/// observed running the same source at half speed. Routing the two hot
+/// carriers through concrete functions compiled *here* gives every
+/// binary the same vetted codegen.
+#[inline(never)]
+fn packed_band_f32(
+    terms: &[(&[f32], &PackedB<f32>)],
+    band_rows: usize,
+    n: usize,
+    out_band: &mut [f32],
+) {
+    packed_band_dispatch(terms, band_rows, n, out_band);
+}
+
+/// Monomorphic pinned copy of the `Z_{2^64}` kernel; see
+/// [`packed_band_f32`].
+#[inline(never)]
+fn packed_band_u64(
+    terms: &[(&[u64], &PackedB<u64>)],
+    band_rows: usize,
+    n: usize,
+    out_band: &mut [u64],
+) {
+    packed_band_dispatch(terms, band_rows, n, out_band);
+}
+
+fn packed_band<T: Num>(
+    terms: &[(&[T], &PackedB<T>)],
+    band_rows: usize,
+    n: usize,
+    out_band: &mut [T],
+) {
+    use std::any::TypeId;
+    let t = TypeId::of::<T>();
+    if t == TypeId::of::<f32>() {
+        // SAFETY: T is exactly f32 (checked above), so these reference
+        // types are identical; only the slice fat pointers are rebranded.
+        let (terms, out_band) = unsafe {
+            (
+                std::mem::transmute::<&[(&[T], &PackedB<T>)], &[(&[f32], &PackedB<f32>)]>(terms),
+                std::mem::transmute::<&mut [T], &mut [f32]>(out_band),
+            )
+        };
+        return packed_band_f32(terms, band_rows, n, out_band);
+    }
+    if T::WRAPPING_U64 {
+        // SAFETY: `Num::WRAPPING_U64` promises T is repr(transparent)
+        // over u64 with exactly the wrapping ring operations (u64 itself
+        // and the mpc crate's Fixed64), so reinterpreting the slices and
+        // running the u64 kernel computes the same function.
+        let (terms, out_band) = unsafe {
+            (
+                std::mem::transmute::<&[(&[T], &PackedB<T>)], &[(&[u64], &PackedB<u64>)]>(terms),
+                std::mem::transmute::<&mut [T], &mut [u64]>(out_band),
+            )
+        };
+        return packed_band_u64(terms, band_rows, n, out_band);
+    }
+    packed_band_dispatch(terms, band_rows, n, out_band);
+}
+
+/// Serial register-tiled GEMM against a pre-packed `B`. Use when the same
+/// `B` multiplies several left-hand sides (e.g. the shared public `F` of
+/// Eq. 8).
+pub fn gemm_packed_with<T: Num>(a: &Matrix<T>, packed: &PackedB<T>) -> Matrix<T> {
+    assert_eq!(
+        a.cols(),
+        packed.k,
+        "gemm shape mismatch: {:?} x packed {:?}",
+        a.shape(),
+        (packed.k, packed.n)
+    );
+    let (m, n) = (a.rows(), packed.n);
+    let mut out = Matrix::zeros(m, n);
+    if m == 0 || n == 0 {
+        return out;
+    }
+    packed_band(
+        &[(a.as_slice(), packed)],
+        m,
+        n,
+        out.as_mut_slice(),
+    );
+    out
+}
+
+/// Serial register-tiled GEMM: packs `B`, then runs the micro-kernel.
+pub fn gemm_packed<T: Num>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    assert_shapes(a, b);
+    gemm_packed_with(a, &pack_b(b))
+}
+
+/// Register-tiled GEMM over output row bands on the process-global thread
+/// pool — the large-matrix production kernel. `B` is packed once; all bands
+/// (and all pool workers) read the same panels.
+pub fn gemm_packed_parallel<T: Num>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    assert_shapes(a, b);
+    gemm_packed_sum(&[(a, &pack_b(b))])
+}
+
+/// Evaluates `sum_t A_t x B_t` against pre-packed right-hand sides, without
+/// materializing any concatenation. All terms must agree on output shape.
+///
+/// This is the fused Eq. 8 workhorse: `[L | E] x [F ; Bi]` is exactly
+/// `L x F + E x Bi`, so the caller passes `[(L, packed_f), (E, packed_bi)]`
+/// and the shared `packed_f` is reused by both servers. Falls back to the
+/// serial band for small outputs; larger ones run on the global pool.
+pub fn gemm_packed_sum<T: Num>(terms: &[(&Matrix<T>, &PackedB<T>)]) -> Matrix<T> {
+    let (m, n) = terms
+        .first()
+        .map(|(a, pb)| (a.rows(), pb.n))
+        .expect("gemm_packed_sum needs at least one term");
+    let mut flops = 0usize;
+    for (a, pb) in terms {
+        assert_eq!(
+            a.cols(),
+            pb.k,
+            "gemm shape mismatch: {:?} x packed {:?}",
+            a.shape(),
+            (pb.k, pb.n)
+        );
+        assert_eq!(
+            (a.rows(), pb.n),
+            (m, n),
+            "gemm_packed_sum terms disagree on output shape"
+        );
+        flops = flops.saturating_add(m.saturating_mul(pb.k).saturating_mul(n));
+    }
+    let mut out = Matrix::zeros(m, n);
+    if m == 0 || n == 0 {
+        return out;
+    }
+    let bands: Vec<(&[T], &PackedB<T>)> =
+        terms.iter().map(|&(a, pb)| (a.as_slice(), pb)).collect();
+    if flops < AUTO_PARALLEL_FLOPS || configured_workers() < 2 {
+        packed_band(&bands, m, n, out.as_mut_slice());
+        return out;
+    }
+    for_each_chunk_mut_pooled(out.as_mut_slice(), n, |offset, out_band| {
+        debug_assert_eq!(offset % n, 0);
+        debug_assert_eq!(out_band.len() % n, 0);
+        let row0 = offset / n;
+        let band_rows = out_band.len() / n;
+        let band_terms: Vec<(&[T], &PackedB<T>)> = bands
+            .iter()
+            .map(|&(a_data, pb)| (&a_data[row0 * pb.k..(row0 + band_rows) * pb.k], pb))
+            .collect();
+        packed_band(&band_terms, band_rows, n, out_band);
+    });
+    out
+}
+
+/// The production GEMM: dispatches on problem size, mirroring the paper's
+/// profiling-guided adaptive placement.
+///
+/// - tiny products (`m*k*n < `[`AUTO_PACK_FLOPS`]): [`gemm_blocked`] —
+///   packing cannot be amortized and the zero-skip helps sparse operands;
+/// - medium: [`gemm_packed`] — serial register-tiled kernel;
+/// - large (`m*k*n >= `[`AUTO_PARALLEL_FLOPS`] with more than one
+///   configured worker): [`gemm_packed_parallel`] on the persistent pool.
+pub fn gemm_auto<T: Num>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    assert_shapes(a, b);
+    let flops = a
+        .rows()
+        .saturating_mul(a.cols())
+        .saturating_mul(b.cols());
+    if flops < AUTO_PACK_FLOPS {
+        gemm_blocked(a, b)
+    } else if flops < AUTO_PARALLEL_FLOPS || configured_workers() < 2 {
+        gemm_packed(a, b)
+    } else {
+        gemm_packed_parallel(a, b)
+    }
 }
 
 #[cfg(test)]
@@ -192,6 +622,101 @@ mod tests {
     }
 
     #[test]
+    fn packed_matches_naive_ring_exactly_on_edge_shapes() {
+        // 1x1x1, MR/NR non-divisible shapes, skinny row/col vectors, and
+        // shapes around the tile edges.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (MR - 1, 3, NR - 1),
+            (MR + 1, 5, NR + 1),
+            (2 * MR + 3, 17, 3 * NR + 5),
+            (1, 64, 1),
+            (1, 7, 33),
+            (33, 7, 1),
+            (64, 1, 64),
+            (13, 29, 7),
+            (65, 31, 33),
+        ] {
+            let a = umat(m, k, 5);
+            let b = umat(k, n, 9);
+            let expect = gemm_naive(&a, &b);
+            assert_eq!(gemm_packed(&a, &b), expect, "packed {m}x{k}x{n}");
+            assert_eq!(
+                gemm_packed_parallel(&a, &b),
+                expect,
+                "packed-parallel {m}x{k}x{n}"
+            );
+            assert_eq!(gemm_auto(&a, &b), expect, "auto {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn packed_matches_naive_f32() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (17, 33, 9), (64, 64, 64), (65, 70, 63)] {
+            let a = fmat(m, k, 7);
+            let b = fmat(k, n, 11);
+            let naive = gemm_naive(&a, &b);
+            assert!(
+                naive.max_abs_diff(&gemm_packed(&a, &b)) < 1e-3,
+                "packed mismatch at {m}x{k}x{n}"
+            );
+            assert!(
+                naive.max_abs_diff(&gemm_auto(&a, &b)) < 1e-3,
+                "auto mismatch at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_empty_dimensions_yield_zeros() {
+        let a = Matrix::<u64>::zeros(0, 5);
+        let b = Matrix::<u64>::zeros(5, 3);
+        assert_eq!(gemm_packed(&a, &b).shape(), (0, 3));
+        assert_eq!(gemm_auto(&a, &b).shape(), (0, 3));
+        let a = Matrix::<u64>::zeros(4, 0);
+        let b = Matrix::<u64>::zeros(0, 3);
+        assert_eq!(gemm_packed(&a, &b), Matrix::zeros(4, 3));
+        let a = Matrix::<u64>::zeros(4, 5);
+        let b = Matrix::<u64>::zeros(5, 0);
+        assert_eq!(gemm_packed(&a, &b).shape(), (4, 0));
+    }
+
+    #[test]
+    fn packed_b_reuse_across_left_operands() {
+        let b = umat(23, 19, 3);
+        let packed = pack_b(&b);
+        for seed in [1, 7, 13] {
+            let a = umat(11, 23, seed);
+            assert_eq!(gemm_packed_with(&a, &packed), gemm_naive(&a, &b));
+        }
+    }
+
+    #[test]
+    fn packed_sum_equals_concatenated_product() {
+        // [L | E] x [F ; B] == L x F + E x B — the fused Eq. 8 identity the
+        // protocol relies on, evaluated without materializing either concat.
+        let l = umat(9, 6, 1);
+        let e = umat(9, 4, 2);
+        let f = umat(6, 11, 3);
+        let b = umat(4, 11, 4);
+        let fused = gemm_packed_sum(&[(&l, &pack_b(&f)), (&e, &pack_b(&b))]);
+        let expect = gemm_naive(&l, &f).add(&gemm_naive(&e, &b));
+        assert_eq!(fused, expect);
+        let concat = gemm_naive(&l.hconcat(&e), &f.vconcat(&b));
+        assert_eq!(fused, concat);
+    }
+
+    #[test]
+    fn auto_dispatch_covers_all_tiers() {
+        // One shape per dispatch tier; all must agree with the oracle.
+        for &(m, k, n) in &[(8, 8, 8), (48, 48, 48), (160, 160, 160)] {
+            let a = umat(m, k, 3);
+            let b = umat(k, n, 7);
+            assert_eq!(gemm_auto(&a, &b), gemm_naive(&a, &b), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
     fn skinny_shapes() {
         // Column vector, row vector, outer product.
         let col = fmat(8, 1, 3);
@@ -216,6 +741,12 @@ mod tests {
     #[should_panic(expected = "gemm shape mismatch")]
     fn mismatched_inner_dims_panic() {
         let _ = gemm_blocked(&fmat(2, 3, 1), &fmat(4, 2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm shape mismatch")]
+    fn packed_mismatched_inner_dims_panic() {
+        let _ = gemm_packed(&fmat(2, 3, 1), &fmat(4, 2, 1));
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! - [`Matrix`]: an owned, row-major dense matrix generic over a [`Num`]
 //!   element (IEEE floats for the plaintext/GPU paths, wrapping `u64` for
 //!   the `Z_{2^64}` secret-sharing ring),
-//! - [`gemm`]: naive, cache-blocked, and multi-threaded GEMM kernels,
+//! - [`gemm`]: GEMM kernel hierarchy (naive oracle, cache-blocked, packed
+//!   register-tiled, pool-parallel, and the `gemm_auto` size dispatcher),
 //! - [`conv`]: direct and im2col-based 2-D convolution (the CNN workload),
 //! - [`sparse`]: the CSR format plus the 75 %-zeros density test used by the
 //!   compressed-transmission design (paper Sec. 4.4),
@@ -21,7 +22,10 @@ pub mod num;
 pub mod sparse;
 
 pub use conv::{conv2d_direct, conv2d_im2col, im2col, ConvShape};
-pub use gemm::{gemm_blocked, gemm_naive, gemm_parallel};
+pub use gemm::{
+    gemm_auto, gemm_blocked, gemm_naive, gemm_packed, gemm_packed_parallel, gemm_packed_sum,
+    gemm_packed_with, gemm_parallel, pack_b, PackedB, MR, NR,
+};
 pub use half::{f16_bits_to_f32, f32_to_f16_bits, quantize_f16};
 pub use matrix::Matrix;
 pub use num::Num;

@@ -192,9 +192,10 @@ impl<T: Num> Matrix<T> {
         out
     }
 
-    /// Matrix product via the blocked kernel (see [`crate::gemm`]).
+    /// Matrix product via the size-dispatching production kernel
+    /// (see [`crate::gemm::gemm_auto`]).
     pub fn matmul(&self, rhs: &Matrix<T>) -> Matrix<T> {
-        crate::gemm::gemm_blocked(self, rhs)
+        crate::gemm::gemm_auto(self, rhs)
     }
 
     /// Horizontal concatenation `[self | rhs]` (Eq. 8's row-block operand).

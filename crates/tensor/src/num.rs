@@ -21,10 +21,23 @@ pub trait Num: Copy + PartialEq + Send + Sync + std::fmt::Debug + 'static {
     fn mul(self, rhs: Self) -> Self;
     /// Additive inverse.
     fn neg(self) -> Self;
+    /// `self * a + b` in one step. Float carriers map to the fused
+    /// multiply-add instruction inside the feature-gated GEMM kernels
+    /// (single rounding); the ring carrier is exact wrapping arithmetic
+    /// either way. Callers that cannot guarantee hardware FMA should
+    /// prefer `add`/`mul` — the float fallback goes through libm.
+    fn mul_add(self, a: Self, b: Self) -> Self;
     /// Whether the element equals zero (sparsity test).
     fn is_zero(self) -> bool {
         self == Self::zero()
     }
+    /// Set to `true` **only** for types that are `#[repr(transparent)]`
+    /// over `u64` and whose `add`/`sub`/`mul`/`neg`/`mul_add` are exactly
+    /// the wrapping `u64` ring operations. The GEMM kernels use this
+    /// promise to route such carriers through the pinned monomorphic
+    /// `u64` micro-kernel (reinterpreting slices in place); a false claim
+    /// is undefined behavior.
+    const WRAPPING_U64: bool = false;
     /// Number of bytes of the element's wire representation.
     const BYTES: usize;
     /// The element's bit pattern, widened to 64 bits (wire encoding; only
@@ -58,6 +71,10 @@ impl Num for f32 {
     #[inline]
     fn neg(self) -> Self {
         -self
+    }
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f32::mul_add(self, a, b)
     }
     const BYTES: usize = 4;
     #[inline]
@@ -95,6 +112,10 @@ impl Num for f64 {
     fn neg(self) -> Self {
         -self
     }
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f64::mul_add(self, a, b)
+    }
     const BYTES: usize = 8;
     #[inline]
     fn to_bits64(self) -> u64 {
@@ -131,6 +152,11 @@ impl Num for u64 {
     fn neg(self) -> Self {
         self.wrapping_neg()
     }
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        self.wrapping_mul(a).wrapping_add(b)
+    }
+    const WRAPPING_U64: bool = true;
     const BYTES: usize = 8;
     #[inline]
     fn to_bits64(self) -> u64 {
@@ -153,6 +179,16 @@ mod tests {
         assert_eq!(Num::sub(0u64, 1u64), max);
         assert_eq!(Num::mul(1u64 << 63, 2u64), 0);
         assert_eq!(Num::neg(1u64), max);
+        assert_eq!(Num::mul_add(1u64 << 63, 2u64, 7u64), 7);
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops_in_ring() {
+        for (x, a, b) in [(3u64, 5, 7), (u64::MAX, u64::MAX, u64::MAX), (1 << 40, 1 << 30, 9)] {
+            assert_eq!(Num::mul_add(x, a, b), Num::add(Num::mul(x, a), b));
+        }
+        assert_eq!(Num::mul_add(2.0f32, 3.0, 4.0), 10.0);
+        assert_eq!(Num::mul_add(2.0f64, 3.0, 4.0), 10.0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests over the tensor substrate.
 
 use crate::conv::{conv2d_direct, conv2d_im2col, ConvShape};
-use crate::gemm::{gemm_blocked, gemm_naive, gemm_parallel};
+use crate::gemm::{gemm_auto, gemm_blocked, gemm_naive, gemm_packed, gemm_parallel};
 use crate::half::quantize_f16;
 use crate::matrix::Matrix;
 use crate::sparse::{density_of_zeros, Csr, MaybeCompressed};
@@ -30,6 +30,21 @@ proptest! {
         let oracle = gemm_naive(&a, &b);
         prop_assert_eq!(&gemm_blocked(&a, &b), &oracle);
         prop_assert_eq!(&gemm_parallel(&a, &b, 3), &oracle);
+        prop_assert_eq!(&gemm_packed(&a, &b), &oracle);
+    }
+
+    /// The production dispatcher is bit-exact against the oracle over the
+    /// ring on random shapes up to 100x100, wherever it lands in its
+    /// blocked / packed / packed-parallel tiers.
+    #[test]
+    fn gemm_auto_matches_naive_in_ring((m, k, n) in (1usize..101, 1usize..101, 1usize..101), seed in any::<u64>()) {
+        let a = Matrix::from_fn(m, k, |r, c| {
+            seed.wrapping_mul(r as u64 ^ 0x243F_6A88).wrapping_add((c as u64) << 17)
+        });
+        let b = Matrix::from_fn(k, n, |r, c| {
+            seed.rotate_left(29).wrapping_add(r as u64).wrapping_mul((c as u64) | 1)
+        });
+        prop_assert_eq!(gemm_auto(&a, &b), gemm_naive(&a, &b));
     }
 
     /// GEMM is bilinear over the ring: (A+A')B = AB + A'B and A(B+B') =

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything must pass offline (the vendored criterion /
+# proptest shims make the workspace std-only).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline --workspace
+cargo clippy --all-targets --offline -- -D warnings
