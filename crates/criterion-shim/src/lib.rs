@@ -13,7 +13,12 @@
 //!
 //! There is no statistical regression analysis, HTML report, or output
 //! directory; results go to stdout. `cargo bench` therefore still produces
-//! comparable numbers run-to-run on the same host.
+//! comparable numbers run-to-run on the same host — but with weaker noise
+//! rejection than the real crate's sampling model. To keep that distinction
+//! visible — and to stop an online build or `cargo update` from silently
+//! swapping implementations — the package is named `criterion-shim` and
+//! only *aliased* to `criterion` through a dependency rename in the
+//! workspace manifest.
 
 use std::time::{Duration, Instant};
 

@@ -23,7 +23,10 @@ const SCALE: f64 = (1u64 << SCALE_BITS) as f64;
 #[repr(transparent)]
 pub struct Fixed64(pub u64);
 
-impl Num for Fixed64 {
+// SAFETY: Fixed64 is `#[repr(transparent)]` over u64 and every `Num` op
+// below is the corresponding wrapping u64 ring op, so the WRAPPING_U64
+// claim (and hence the pinned u64 micro-kernel reinterpretation) is sound.
+unsafe impl Num for Fixed64 {
     #[inline]
     fn zero() -> Self {
         Fixed64(0)
@@ -55,9 +58,6 @@ impl Num for Fixed64 {
     fn mul_add(self, a: Self, b: Self) -> Self {
         Fixed64(self.0.wrapping_mul(a.0).wrapping_add(b.0))
     }
-    // Fixed64 is repr(transparent) over u64 and every op above is the
-    // wrapping u64 ring op, so the GEMM kernels may run it through the
-    // pinned u64 micro-kernel.
     const WRAPPING_U64: bool = true;
     const BYTES: usize = 8;
     #[inline]

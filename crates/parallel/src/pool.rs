@@ -91,6 +91,31 @@ impl Drop for PendingGuard<'_> {
     }
 }
 
+/// Blocks until the latch count reaches zero — from `Drop`, so that
+/// unwinding out of the caller-side closure in [`pool_run_with_local`]
+/// still waits for every pool-side job before the `'env` borrows die (the
+/// same drop-wait trick `std::thread::scope` uses).
+struct LatchWaitGuard<'a>(&'a PendingState);
+
+impl Drop for LatchWaitGuard<'_> {
+    fn drop(&mut self) {
+        // Never panic out of this drop (it may run during unwinding): a
+        // poisoned lock still holds a correct count, so just take it.
+        let mut count = self
+            .0
+            .count
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *count != 0 {
+            count = self
+                .0
+                .done
+                .wait(count)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
 /// A persistent pool of worker threads for `'static` jobs.
 ///
 /// Workers are spawned once and reused across all submitted jobs, so the
@@ -319,10 +344,15 @@ fn pool_run_with_local<'env>(
     *latch.count.lock().unwrap() = jobs.len();
     let panic_payload: Arc<Mutex<Option<Box<dyn std::any::Any + Send>>>> =
         Arc::new(Mutex::new(None));
+    // Armed BEFORE any job is submitted: if `local` (the caller-side chunk,
+    // which runs the user-supplied body) unwinds, this guard's Drop still
+    // blocks until the latch drains, so no pool worker can be touching the
+    // `'env` borrows once they die.
+    let wait = LatchWaitGuard(&latch);
     for job in jobs {
-        // SAFETY: as in `ThreadPool::scoped_run` — this function does not
-        // return until the latch reports every job finished, so the `'env`
-        // borrows outlive all job executions.
+        // SAFETY: the latch wait guard above does not let this function
+        // return *or unwind* before every submitted job has finished, so
+        // the `'env` borrows outlive all job executions.
         let job: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(job) };
         let latch = Arc::clone(&latch);
         let panic_payload = Arc::clone(&panic_payload);
@@ -334,11 +364,7 @@ fn pool_run_with_local<'env>(
         });
     }
     local();
-    let mut count = latch.count.lock().unwrap();
-    while *count != 0 {
-        count = latch.done.wait(count).unwrap();
-    }
-    drop(count);
+    drop(wait); // normal path: block here for the pool-side jobs
     let payload = panic_payload.lock().unwrap().take();
     if let Some(p) = payload {
         std::panic::resume_unwind(p);
@@ -478,6 +504,30 @@ mod tests {
         });
         pool.join();
         assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn local_panic_still_waits_for_pool_jobs() {
+        // If the caller-side closure panics, pool_run_with_local must not
+        // unwind past the latch wait while pool workers still run jobs that
+        // borrow the caller's stack (use-after-free otherwise). The sleeping
+        // jobs make a missing wait observable as a short counter.
+        let pool = ThreadPool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+                .map(|_| {
+                    let counter = Arc::clone(&counter);
+                    Box::new(move || {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool_run_with_local(&pool, jobs, || panic!("caller-side chunk failed"));
+        }));
+        assert!(result.is_err());
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
     }
 
     #[test]

@@ -14,10 +14,20 @@
 //! - [`collection::vec`] and [`sample::select`],
 //! - tuple strategies up to arity 4.
 //!
-//! Unlike the real crate there is no shrinking and no persistence: each
-//! `#[test]` runs `cases` deterministic iterations seeded from the test's
-//! module path and name, so failures are reproducible run-to-run but are
-//! reported with the raw generated values only.
+//! # Coverage gap vs the real `proptest`
+//!
+//! This is a ~500-line reimplementation, and a passing run is a *weaker*
+//! guarantee than the real crate provides. Unlike the real crate there is
+//! no shrinking, no failure persistence, and a different (simpler) case
+//! distribution: each `#[test]` runs `cases` deterministic iterations
+//! seeded from the test's module path and name, so failures are
+//! reproducible run-to-run but are reported with the raw generated values
+//! only, and edge-case biasing (boundary values, special floats) is far
+//! cruder than upstream's. To keep that distinction visible — and to stop
+//! an online build or `cargo update` from silently swapping
+//! implementations — the package is named `proptest-shim` and only
+//! *aliased* to `proptest` through a dependency rename in the workspace
+//! manifest.
 
 /// Deterministic test RNG (splitmix64).
 pub mod test_runner {

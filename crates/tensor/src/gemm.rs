@@ -184,10 +184,76 @@ impl<T: Num> PackedB<T> {
     pub fn byte_size(&self) -> usize {
         self.data.len() * T::BYTES
     }
+}
 
-    fn panel(&self, q: usize) -> &[T] {
-        &self.data[q * self.k * NR..(q + 1) * self.k * NR]
+/// One `A` row band paired with its packed right-hand side, flattened to
+/// element slices plus scalars.
+///
+/// The pinned-carrier dispatch in [`packed_band`] reinterprets terms across
+/// `#[repr(transparent)]` element types, which is only sound element slice
+/// by element slice — `repr(Rust)` gives no layout guarantee between
+/// different monomorphizations of a struct like [`PackedB`], so the kernels
+/// never see a generic struct through a transmute, only this flat view
+/// rebuilt field by field.
+#[derive(Clone, Copy)]
+struct BandTerm<'a, T> {
+    /// Row-major `band_rows x k` slice of `A`.
+    a_band: &'a [T],
+    /// Inner dimension: stride of `a_band`, rows of the packed panels.
+    k: usize,
+    /// Packed panel data: `ceil(n / NR)` panels of `k * NR` elements.
+    panels: &'a [T],
+}
+
+impl<'a, T: Num> BandTerm<'a, T> {
+    fn new(a_band: &'a [T], pb: &'a PackedB<T>) -> Self {
+        BandTerm {
+            a_band,
+            k: pb.k,
+            panels: &pb.data,
+        }
     }
+
+    fn panel(&self, q: usize) -> &'a [T] {
+        &self.panels[q * self.k * NR..(q + 1) * self.k * NR]
+    }
+}
+
+/// Reinterprets an element slice between two carriers.
+///
+/// # Safety
+///
+/// `Src` and `Dst` must have identical size, alignment, and validity (true
+/// at both call sites: either the types are literally equal, checked by
+/// `TypeId`, or `Src` is `#[repr(transparent)]` over `Dst = u64` per the
+/// `unsafe` [`Num`] contract behind [`Num::WRAPPING_U64`]).
+unsafe fn cast_slice<Src, Dst>(s: &[Src]) -> &[Dst] {
+    debug_assert_eq!(std::mem::size_of::<Src>(), std::mem::size_of::<Dst>());
+    debug_assert_eq!(std::mem::align_of::<Src>(), std::mem::align_of::<Dst>());
+    std::slice::from_raw_parts(s.as_ptr().cast::<Dst>(), s.len())
+}
+
+/// Mutable [`cast_slice`]; same safety contract.
+unsafe fn cast_slice_mut<Src, Dst>(s: &mut [Src]) -> &mut [Dst] {
+    debug_assert_eq!(std::mem::size_of::<Src>(), std::mem::size_of::<Dst>());
+    debug_assert_eq!(std::mem::align_of::<Src>(), std::mem::align_of::<Dst>());
+    std::slice::from_raw_parts_mut(s.as_mut_ptr().cast::<Dst>(), s.len())
+}
+
+/// Rebuilds band terms in the `Dst` carrier, element slice by element
+/// slice — no struct-level transmute, so `repr(Rust)` layout freedom across
+/// monomorphizations cannot bite. Safety contract as in [`cast_slice`].
+unsafe fn cast_terms<'a, Src: Num, Dst: Num>(
+    terms: &[BandTerm<'a, Src>],
+) -> Vec<BandTerm<'a, Dst>> {
+    terms
+        .iter()
+        .map(|t| BandTerm {
+            a_band: cast_slice::<Src, Dst>(t.a_band),
+            k: t.k,
+            panels: cast_slice::<Src, Dst>(t.panels),
+        })
+        .collect()
 }
 
 /// Packs `b` into [`PackedB`] column panels.
@@ -290,12 +356,14 @@ fn accumulate_tile<T: Num, const FMA: bool>(
 /// stays hot in L1 while the packed `B` panels stream from L2.
 #[inline(always)]
 fn packed_band_impl<T: Num, const FMA: bool>(
-    terms: &[(&[T], &PackedB<T>)],
+    terms: &[BandTerm<T>],
     band_rows: usize,
     n: usize,
     out_band: &mut [T],
 ) {
-    debug_assert!(terms.iter().all(|(_, pb)| pb.n == n));
+    debug_assert!(terms
+        .iter()
+        .all(|t| t.panels.len() == n.div_ceil(NR) * t.k * NR));
     let panels = n.div_ceil(NR);
     let mut i0 = 0;
     while i0 < band_rows {
@@ -304,8 +372,8 @@ fn packed_band_impl<T: Num, const FMA: bool>(
             let j0 = q * NR;
             let width = NR.min(n - j0);
             let mut acc = [[T::zero(); NR]; MR];
-            for &(a_band, pb) in terms {
-                accumulate_tile::<T, FMA>(&mut acc, a_band, pb.k, i0, rows, pb.k, pb.panel(q));
+            for t in terms {
+                accumulate_tile::<T, FMA>(&mut acc, t.a_band, t.k, i0, rows, t.k, t.panel(q));
             }
             for r in 0..rows {
                 let out_row = &mut out_band[(i0 + r) * n + j0..(i0 + r) * n + j0 + width];
@@ -322,7 +390,7 @@ fn packed_band_impl<T: Num, const FMA: bool>(
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,avx512dq,avx512bw,avx512vl,fma")]
 fn packed_band_avx512<T: Num>(
-    terms: &[(&[T], &PackedB<T>)],
+    terms: &[BandTerm<T>],
     band_rows: usize,
     n: usize,
     out_band: &mut [T],
@@ -334,7 +402,7 @@ fn packed_band_avx512<T: Num>(
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 fn packed_band_avx2<T: Num>(
-    terms: &[(&[T], &PackedB<T>)],
+    terms: &[BandTerm<T>],
     band_rows: usize,
     n: usize,
     out_band: &mut [T],
@@ -346,7 +414,7 @@ fn packed_band_avx2<T: Num>(
 /// detected at runtime, so release builds need no `target-cpu` flags to
 /// reach the wide-vector paths.
 fn packed_band_dispatch<T: Num>(
-    terms: &[(&[T], &PackedB<T>)],
+    terms: &[BandTerm<T>],
     band_rows: usize,
     n: usize,
     out_band: &mut [T],
@@ -380,7 +448,7 @@ fn packed_band_dispatch<T: Num>(
 /// binary the same vetted codegen.
 #[inline(never)]
 fn packed_band_f32(
-    terms: &[(&[f32], &PackedB<f32>)],
+    terms: &[BandTerm<f32>],
     band_rows: usize,
     n: usize,
     out_band: &mut [f32],
@@ -392,7 +460,7 @@ fn packed_band_f32(
 /// [`packed_band_f32`].
 #[inline(never)]
 fn packed_band_u64(
-    terms: &[(&[u64], &PackedB<u64>)],
+    terms: &[BandTerm<u64>],
     band_rows: usize,
     n: usize,
     out_band: &mut [u64],
@@ -401,7 +469,7 @@ fn packed_band_u64(
 }
 
 fn packed_band<T: Num>(
-    terms: &[(&[T], &PackedB<T>)],
+    terms: &[BandTerm<T>],
     band_rows: usize,
     n: usize,
     out_band: &mut [T],
@@ -409,28 +477,24 @@ fn packed_band<T: Num>(
     use std::any::TypeId;
     let t = TypeId::of::<T>();
     if t == TypeId::of::<f32>() {
-        // SAFETY: T is exactly f32 (checked above), so these reference
-        // types are identical; only the slice fat pointers are rebranded.
+        // SAFETY: T is exactly f32 (checked above); only element slices of
+        // that very type are rebranded, term by term.
         let (terms, out_band) = unsafe {
-            (
-                std::mem::transmute::<&[(&[T], &PackedB<T>)], &[(&[f32], &PackedB<f32>)]>(terms),
-                std::mem::transmute::<&mut [T], &mut [f32]>(out_band),
-            )
+            (cast_terms::<T, f32>(terms), cast_slice_mut::<T, f32>(out_band))
         };
-        return packed_band_f32(terms, band_rows, n, out_band);
+        return packed_band_f32(&terms, band_rows, n, out_band);
     }
     if T::WRAPPING_U64 {
-        // SAFETY: `Num::WRAPPING_U64` promises T is repr(transparent)
-        // over u64 with exactly the wrapping ring operations (u64 itself
-        // and the mpc crate's Fixed64), so reinterpreting the slices and
-        // running the u64 kernel computes the same function.
+        // SAFETY: implementing `Num` is unsafe, and `WRAPPING_U64 = true`
+        // obliges the implementor to be `#[repr(transparent)]` over `u64`
+        // with exactly the wrapping ring operations (u64 itself and the mpc
+        // crate's Fixed64), so the u64 kernel computes the same function.
+        // Only element slices are reinterpreted — the `BandTerm`s are
+        // rebuilt field by field, never transmuted as structs.
         let (terms, out_band) = unsafe {
-            (
-                std::mem::transmute::<&[(&[T], &PackedB<T>)], &[(&[u64], &PackedB<u64>)]>(terms),
-                std::mem::transmute::<&mut [T], &mut [u64]>(out_band),
-            )
+            (cast_terms::<T, u64>(terms), cast_slice_mut::<T, u64>(out_band))
         };
-        return packed_band_u64(terms, band_rows, n, out_band);
+        return packed_band_u64(&terms, band_rows, n, out_band);
     }
     packed_band_dispatch(terms, band_rows, n, out_band);
 }
@@ -452,7 +516,7 @@ pub fn gemm_packed_with<T: Num>(a: &Matrix<T>, packed: &PackedB<T>) -> Matrix<T>
         return out;
     }
     packed_band(
-        &[(a.as_slice(), packed)],
+        &[BandTerm::new(a.as_slice(), packed)],
         m,
         n,
         out.as_mut_slice(),
@@ -506,8 +570,10 @@ pub fn gemm_packed_sum<T: Num>(terms: &[(&Matrix<T>, &PackedB<T>)]) -> Matrix<T>
     if m == 0 || n == 0 {
         return out;
     }
-    let bands: Vec<(&[T], &PackedB<T>)> =
-        terms.iter().map(|&(a, pb)| (a.as_slice(), pb)).collect();
+    let bands: Vec<BandTerm<T>> = terms
+        .iter()
+        .map(|&(a, pb)| BandTerm::new(a.as_slice(), pb))
+        .collect();
     if flops < AUTO_PARALLEL_FLOPS || configured_workers() < 2 {
         packed_band(&bands, m, n, out.as_mut_slice());
         return out;
@@ -517,9 +583,12 @@ pub fn gemm_packed_sum<T: Num>(terms: &[(&Matrix<T>, &PackedB<T>)]) -> Matrix<T>
         debug_assert_eq!(out_band.len() % n, 0);
         let row0 = offset / n;
         let band_rows = out_band.len() / n;
-        let band_terms: Vec<(&[T], &PackedB<T>)> = bands
+        let band_terms: Vec<BandTerm<T>> = bands
             .iter()
-            .map(|&(a_data, pb)| (&a_data[row0 * pb.k..(row0 + band_rows) * pb.k], pb))
+            .map(|t| BandTerm {
+                a_band: &t.a_band[row0 * t.k..(row0 + band_rows) * t.k],
+                ..*t
+            })
             .collect();
         packed_band(&band_terms, band_rows, n, out_band);
     });

@@ -8,7 +8,18 @@
 /// abstracts exactly the operations both support. **All operations wrap for
 /// integer carriers**; this is intentional — additive secret sharing *is*
 /// modular arithmetic.
-pub trait Num: Copy + PartialEq + Send + Sync + std::fmt::Debug + 'static {
+///
+/// # Safety
+///
+/// `Num` is an `unsafe` trait solely because of [`Num::WRAPPING_U64`]: the
+/// GEMM kernels trust that promise to reinterpret element slices as `u64`
+/// in place, so a false claim is undefined behavior and must not be
+/// expressible from safe code. An implementation may set `WRAPPING_U64` to
+/// `true` **only** if the type is `#[repr(transparent)]` over `u64` and its
+/// `add`/`sub`/`mul`/`neg`/`mul_add` are exactly the wrapping `u64` ring
+/// operations. Implementations that leave `WRAPPING_U64` at its default
+/// `false` take on no further obligation.
+pub unsafe trait Num: Copy + PartialEq + Send + Sync + std::fmt::Debug + 'static {
     /// Additive identity.
     fn zero() -> Self;
     /// Multiplicative identity.
@@ -36,7 +47,8 @@ pub trait Num: Copy + PartialEq + Send + Sync + std::fmt::Debug + 'static {
     /// the wrapping `u64` ring operations. The GEMM kernels use this
     /// promise to route such carriers through the pinned monomorphic
     /// `u64` micro-kernel (reinterpreting slices in place); a false claim
-    /// is undefined behavior.
+    /// is undefined behavior, which is why implementing `Num` at all
+    /// requires `unsafe impl` (see the trait-level safety contract).
     const WRAPPING_U64: bool = false;
     /// Number of bytes of the element's wire representation.
     const BYTES: usize;
@@ -47,7 +59,9 @@ pub trait Num: Copy + PartialEq + Send + Sync + std::fmt::Debug + 'static {
     fn from_bits64(bits: u64) -> Self;
 }
 
-impl Num for f32 {
+// SAFETY: WRAPPING_U64 is left false / set truthfully (u64 is trivially
+// itself); see the trait-level contract.
+unsafe impl Num for f32 {
     #[inline]
     fn zero() -> Self {
         0.0
@@ -87,7 +101,9 @@ impl Num for f32 {
     }
 }
 
-impl Num for f64 {
+// SAFETY: WRAPPING_U64 is left false / set truthfully (u64 is trivially
+// itself); see the trait-level contract.
+unsafe impl Num for f64 {
     #[inline]
     fn zero() -> Self {
         0.0
@@ -127,7 +143,9 @@ impl Num for f64 {
     }
 }
 
-impl Num for u64 {
+// SAFETY: WRAPPING_U64 is left false / set truthfully (u64 is trivially
+// itself); see the trait-level contract.
+unsafe impl Num for u64 {
     #[inline]
     fn zero() -> Self {
         0
