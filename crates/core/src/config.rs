@@ -2,6 +2,7 @@
 
 use psml_gpu::MachineConfig;
 use psml_mpc::EvalStrategy;
+use psml_net::{FaultPlan, RetryPolicy};
 use psml_tensor::sparse::DEFAULT_SPARSITY_THRESHOLD;
 
 /// Where the heavy *compute2* multiplication runs.
@@ -72,6 +73,14 @@ pub struct EngineConfig {
     pub reuse_triples: bool,
     /// Learning rate for training tasks.
     pub learning_rate: f64,
+    /// Seeded, deterministic network chaos (drops, bit flips, latency
+    /// spikes, blackouts). [`FaultPlan::none`] keeps every endpoint on the
+    /// zero-overhead fast path.
+    pub fault_plan: FaultPlan,
+    /// Ack/retransmit policy the engine uses to recover from injected
+    /// faults. Ignored (no ack traffic at all) while the fault plan is
+    /// empty.
+    pub retry: RetryPolicy,
 }
 
 impl EngineConfig {
@@ -94,6 +103,8 @@ impl EngineConfig {
             client_aided_activation: false,
             reuse_triples: true,
             learning_rate: 0.05,
+            fault_plan: FaultPlan::none(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -116,6 +127,8 @@ impl EngineConfig {
             client_aided_activation: false,
             reuse_triples: true,
             learning_rate: 0.05,
+            fault_plan: FaultPlan::none(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -188,6 +201,18 @@ impl EngineConfig {
         self
     }
 
+    /// Returns this config with the given fault-injection plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Returns this config with the given retransmission policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// Time for an `(m x k) * (k x n)` CPU GEMM under this config's
     /// thread count and kernel tuning.
     pub fn cpu_gemm_time(&self, m: usize, k: usize, n: usize) -> psml_simtime::SimDuration {
@@ -237,6 +262,8 @@ impl EngineConfig {
         if !(self.learning_rate.is_finite() && self.learning_rate > 0.0) {
             return Err(format!("bad learning rate {}", self.learning_rate));
         }
+        self.fault_plan.validate()?;
+        self.retry.validate()?;
         Ok(())
     }
 }
@@ -296,5 +323,25 @@ mod tests {
         let mut cfg = EngineConfig::parsecureml();
         cfg.learning_rate = -1.0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn fault_plan_and_retry_are_validated() {
+        let cfg = EngineConfig::parsecureml();
+        assert!(cfg.fault_plan.is_empty(), "presets default to no faults");
+        cfg.validate().unwrap();
+
+        let cfg = EngineConfig::parsecureml()
+            .with_fault_plan(FaultPlan::seeded(7).with_drop(1.5));
+        assert!(cfg.validate().is_err(), "drop probability outside [0,1]");
+
+        let mut retry = RetryPolicy::default();
+        retry.backoff = 0.5;
+        let cfg = EngineConfig::parsecureml().with_retry(retry);
+        assert!(cfg.validate().is_err(), "backoff below 1 shrinks timeouts");
+
+        let cfg = EngineConfig::parsecureml()
+            .with_fault_plan(FaultPlan::seeded(7).with_drop(0.1));
+        cfg.validate().unwrap();
     }
 }

@@ -37,7 +37,9 @@ use psml_gpu::{GemmMode, GpuDevice, GpuElement};
 use psml_mpc::{
     EvalStrategy, Party, PlainMatrix, SecureRing, ServerMulSession, TripleShare,
 };
-use psml_net::{build_network, DeltaDecoder, DeltaEncoder, Endpoint, NodeId, Payload, TransmitForm};
+use psml_net::{
+    build_network, DeltaDecoder, DeltaEncoder, Endpoint, Payload, ReliableChannel, TransmitForm,
+};
 use psml_parallel::Mt19937;
 use psml_simtime::{Resource, SimDuration, SimTime};
 use psml_tensor::{gemm_auto, pack_b, ConvShape, Matrix, PackedB};
@@ -143,6 +145,10 @@ pub struct SecureContext<R: SecureRing + GpuElement> {
     curand_seed: u64,
     triple_cache: HashMap<String, DistTriple<R>>,
     activation_roundtrips: usize,
+    /// Every protocol transfer goes through this ack/retransmit channel.
+    /// With an empty fault plan it degenerates to bare send/recv (no ack
+    /// traffic, no timing change), so the fault-free engine is unchanged.
+    reliable: ReliableChannel,
 }
 
 impl<R: SecureRing + GpuElement> SecureContext<R> {
@@ -154,7 +160,10 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
             // second context with a different setting keeps the first size.
             let _ = psml_parallel::set_global_workers(workers);
         }
-        let [c_ep, s0_ep, s1_ep] = build_network::<R>(cfg.machine.network);
+        let [mut c_ep, mut s0_ep, mut s1_ep] = build_network::<R>(cfg.machine.network);
+        for ep in [&mut c_ep, &mut s0_ep, &mut s1_ep] {
+            ep.install_faults(&cfg.fault_plan);
+        }
         let mk_server = |ep: Endpoint<R>| ServerState {
             cpu: Resource::new("cpu"),
             device: GpuDevice::new(cfg.machine.gpu.clone()),
@@ -179,6 +188,7 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
             curand_seed: seed as u64,
             triple_cache: HashMap::new(),
             activation_roundtrips: 0,
+            reliable: ReliableChannel::new(cfg.retry),
             cfg,
         }
     }
@@ -272,31 +282,38 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         s0: Matrix<R>,
         s1: Matrix<R>,
     ) -> Result<SharedMatrix<R>> {
-        let t0 = self
-            .client
-            .endpoint
-            .send(NodeId::Server0, &Payload::Dense(s0.clone()), self.client.now)?;
-        let t1 = self
-            .client
-            .endpoint
-            .send(NodeId::Server1, &Payload::Dense(s1.clone()), self.client.now)?;
-        // Drain the messages on the server side (offline era: server online
-        // clocks are not advanced).
-        let p0 = self.servers[0].endpoint.recv(NodeId::Client)?;
-        let p1 = self.servers[1].endpoint.recv(NodeId::Client)?;
-        let arrive = p0.available_at.max(p1.available_at);
-        self.breakdown.distribution +=
-            arrive.saturating_since(self.client.now.min(arrive));
-        self.client.now = self.client.now.max(t0).max(t1);
-        self.offline_end = self.offline_end.max(arrive).max(self.client.now);
-        let (m0, m1) = match (p0.payload, p1.payload) {
-            (Payload::Dense(a), Payload::Dense(b)) => (a, b),
-            _ => {
-                return Err(EngineError::Protocol(
-                    "expected dense share distribution".into(),
-                ))
+        let start = self.client.now;
+        // Reliable client -> server transfers (offline era: server online
+        // clocks are not advanced; server-side receive time is tracked by
+        // the packets' `available_at`).
+        let mut shares: Vec<Matrix<R>> = Vec::with_capacity(2);
+        let mut arrive = SimTime::ZERO;
+        {
+            let [srv0, srv1] = &mut self.servers;
+            for (srv, share) in [(srv0, &s0), (srv1, &s1)] {
+                let mut srv_clock = SimTime::ZERO;
+                let pkt = self.reliable.transfer(
+                    &mut self.client.endpoint,
+                    &mut self.client.now,
+                    &mut srv.endpoint,
+                    &mut srv_clock,
+                    &Payload::Dense(share.clone()),
+                )?;
+                arrive = arrive.max(pkt.available_at);
+                match pkt.payload {
+                    Payload::Dense(m) => shares.push(m),
+                    _ => {
+                        return Err(EngineError::Protocol(
+                            "expected dense share distribution".into(),
+                        ))
+                    }
+                }
             }
-        };
+        }
+        self.breakdown.distribution += arrive.saturating_since(start.min(arrive));
+        self.offline_end = self.offline_end.max(arrive).max(self.client.now);
+        let m1 = shares.pop().expect("two shares");
+        let m0 = shares.pop().expect("two shares");
         debug_assert_eq!(m0, s0);
         debug_assert_eq!(m1, s1);
         Ok(SharedMatrix::new(Timed::at_zero(m0), Timed::at_zero(m1)))
@@ -380,17 +397,24 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         t
     }
 
-    fn send_mat(
+    /// Moves one matrix from server `i` to its peer through the reliable
+    /// channel, delta-compressing per stream `key` on the way out and
+    /// decoding on arrival. `now` is the instant the data is ready on the
+    /// sender.
+    ///
+    /// The stream is delta-encoded exactly once per logical transfer —
+    /// retransmissions inside [`ReliableChannel::transfer`] resend the
+    /// same payload bytes, so the receiver's mirror state advances once
+    /// per call no matter how many frames the chaos layer eats.
+    fn transfer_mat(
         &mut self,
         i: usize,
-        to: NodeId,
         key: &str,
         m: &Matrix<R>,
         now: SimTime,
-    ) -> Result<SimTime> {
-        let s = &mut self.servers[i];
+    ) -> Result<Timed<Matrix<R>>> {
         let payload = if self.cfg.compression {
-            let enc = s
+            let enc = self.servers[i]
                 .encoders
                 .entry(key.to_string())
                 .or_insert_with(|| DeltaEncoder::with_threshold(self.cfg.sparsity_threshold));
@@ -401,14 +425,17 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         } else {
             Payload::Dense(m.clone())
         };
-        let t = s.endpoint.send(to, &payload, now)?;
-        s.note(t);
-        Ok(t)
-    }
-
-    fn recv_mat(&mut self, i: usize, from: NodeId, key: &str) -> Result<Timed<Matrix<R>>> {
-        let s = &mut self.servers[i];
-        let pkt = s.endpoint.recv(from)?;
+        let [s0, s1] = &mut self.servers;
+        let (snd, rcv) = if i == 0 { (s0, s1) } else { (s1, s0) };
+        let mut snd_clock = now;
+        let mut rcv_clock = SimTime::ZERO;
+        let pkt = self.reliable.transfer(
+            &mut snd.endpoint,
+            &mut snd_clock,
+            &mut rcv.endpoint,
+            &mut rcv_clock,
+            &payload,
+        )?;
         let form = match pkt.payload {
             Payload::Dense(m) => TransmitForm::Full(m),
             Payload::SparseDelta(c) => TransmitForm::Delta(c),
@@ -418,13 +445,16 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
                 )))
             }
         };
-        let dec = s.decoders.entry(key.to_string()).or_default();
-        let m = dec
+        let decoded = rcv
+            .decoders
+            .entry(key.to_string())
+            .or_default()
             .decode(form)
             .map_err(|e| EngineError::Protocol(e.to_string()))?;
-        s.note(pkt.available_at);
+        snd.end = snd.end.max(snd_clock);
+        rcv.end = rcv.end.max(rcv_clock).max(pkt.available_at);
         Ok(Timed {
-            v: m,
+            v: decoded,
             ready: pkt.available_at,
         })
     }
@@ -478,18 +508,21 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
 
         // --- communicate: exchange E_i, F_i; reconstruct E, F ---
         let comm_start = masked[0].2.max(masked[1].2);
+        let ekey = format!("{key}.E");
+        let fkey = format!("{key}.F");
+        // theirs[i] = (E, F) received *by* server i from its peer, each
+        // moved through the reliable channel (retransmits under faults).
+        let mut theirs = Vec::with_capacity(2);
         for i in 0..2 {
-            let to = if i == 0 { NodeId::Server1 } else { NodeId::Server0 };
-            let (e, f, t) = (&masked[i].0, &masked[i].1, masked[i].2);
-            let te = self.send_mat(i, to, &format!("{key}.E"), &e.clone(), t)?;
-            self.send_mat(i, to, &format!("{key}.F"), &f.clone(), te)?;
+            let j = 1 - i;
+            let e = self.transfer_mat(j, &ekey, &masked[j].0, masked[j].2)?;
+            let f = self.transfer_mat(j, &fkey, &masked[j].1, masked[j].2)?;
+            theirs.push((e, f));
         }
         let mut publics: Vec<(Matrix<R>, Matrix<R>, SimTime)> = Vec::with_capacity(2);
         let add_dur = self.cpu_dur(3 * (m * k + k * n) * R::BYTES);
         for i in 0..2 {
-            let from = if i == 0 { NodeId::Server1 } else { NodeId::Server0 };
-            let e_theirs = self.recv_mat(i, from, &format!("{key}.E"))?;
-            let f_theirs = self.recv_mat(i, from, &format!("{key}.F"))?;
+            let (e_theirs, f_theirs) = &theirs[i];
             let e_pub = masked[i].0.add(&e_theirs.v);
             let f_pub = masked[i].1.add(&f_theirs.v);
             let ready = masked[i]
@@ -664,18 +697,19 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         }
         self.breakdown.compute1 += c1_dur;
         let comm_start = masked[0].2.max(masked[1].2);
+        let ekey = format!("{hkey}.E");
+        let fkey = format!("{hkey}.F");
+        let mut theirs = Vec::with_capacity(2);
         for i in 0..2 {
-            let to = if i == 0 { NodeId::Server1 } else { NodeId::Server0 };
-            let (e, f, t) = (masked[i].0.clone(), masked[i].1.clone(), masked[i].2);
-            let te = self.send_mat(i, to, &format!("{hkey}.E"), &e, t)?;
-            self.send_mat(i, to, &format!("{hkey}.F"), &f, te)?;
+            let j = 1 - i;
+            let e = self.transfer_mat(j, &ekey, &masked[j].0, masked[j].2)?;
+            let f = self.transfer_mat(j, &fkey, &masked[j].1, masked[j].2)?;
+            theirs.push((e, f));
         }
         let mut outs: Vec<Timed<Matrix<R>>> = Vec::with_capacity(2);
         let c2_dur = self.cpu_dur(8 * m * n * R::BYTES);
         for i in 0..2 {
-            let from = if i == 0 { NodeId::Server1 } else { NodeId::Server0 };
-            let e_theirs = self.recv_mat(i, from, &format!("{hkey}.E"))?;
-            let f_theirs = self.recv_mat(i, from, &format!("{hkey}.F"))?;
+            let (e_theirs, f_theirs) = &theirs[i];
             let e_pub = masked[i].0.add(&e_theirs.v);
             let f_pub = masked[i].1.add(&f_theirs.v);
             let party = Party::BOTH[i];
@@ -974,20 +1008,19 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
             self.barrier();
         }
         let start = z.parts[0].ready.max(z.parts[1].ready);
-        // Exchange shares.
+        // Exchange shares through the reliable channel.
+        let akey = format!("{key}.act");
+        let mut theirs: Vec<Timed<Matrix<R>>> = Vec::with_capacity(2);
         for i in 0..2 {
-            let to = if i == 0 { NodeId::Server1 } else { NodeId::Server0 };
-            let share = z.parts[i].v.clone();
-            let t = z.parts[i].ready;
-            self.send_mat(i, to, &format!("{key}.act"), &share, t)?;
+            let j = 1 - i;
+            theirs.push(self.transfer_mat(j, &akey, &z.parts[j].v, z.parts[j].ready)?);
         }
         let mut rebuilt: Vec<Timed<Matrix<R>>> = Vec::with_capacity(2);
         let dur = self.cpu_dur(4 * z.parts[0].v.byte_size());
         for i in 0..2 {
-            let from = if i == 0 { NodeId::Server1 } else { NodeId::Server0 };
-            let theirs = self.recv_mat(i, from, &format!("{key}.act"))?;
-            let sum = z.parts[i].v.add(&theirs.v);
-            let t = self.server_cpu(i, z.parts[i].ready.max(theirs.ready), dur);
+            let t_in = &theirs[i];
+            let sum = z.parts[i].v.add(&t_in.v);
+            let t = self.server_cpu(i, z.parts[i].ready.max(t_in.ready), dur);
             rebuilt.push(Timed { v: sum, ready: t });
         }
         // Both servers hold identical z; apply f / f'.
@@ -1024,27 +1057,36 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         }
         let start = z.parts[0].ready.max(z.parts[1].ready);
         // Servers -> client: ship the shares (online-era traffic on the
-        // client links).
+        // client links) through the reliable channel. The client's offline
+        // clock stays untouched — a scratch clock tracks its online
+        // participation.
+        let mut z_shares: Vec<Matrix<R>> = Vec::with_capacity(2);
         let mut arrive = SimTime::ZERO;
-        for i in 0..2 {
-            let share = z.parts[i].v.clone();
-            let t = z.parts[i].ready;
-            let s = &mut self.servers[i];
-            let done = s
-                .endpoint
-                .send(NodeId::Client, &Payload::Dense(share), t)?;
-            s.note(done);
+        let mut client_clock = self.client.now;
+        {
+            let [srv0, srv1] = &mut self.servers;
+            for (srv, part) in [(srv0, &z.parts[0]), (srv1, &z.parts[1])] {
+                let mut srv_clock = part.ready;
+                let pkt = self.reliable.transfer(
+                    &mut srv.endpoint,
+                    &mut srv_clock,
+                    &mut self.client.endpoint,
+                    &mut client_clock,
+                    &Payload::Dense(part.v.clone()),
+                )?;
+                srv.end = srv.end.max(srv_clock);
+                arrive = arrive.max(pkt.available_at);
+                match pkt.payload {
+                    Payload::Dense(m) => z_shares.push(m),
+                    _ => {
+                        return Err(EngineError::Protocol("expected dense z shares".into()))
+                    }
+                }
+            }
         }
-        let p0 = self.client.endpoint.recv(NodeId::Server0)?;
-        let p1 = self.client.endpoint.recv(NodeId::Server1)?;
-        let (z0, z1) = match (p0.payload, p1.payload) {
-            (Payload::Dense(a), Payload::Dense(b)) => (a, b),
-            _ => return Err(EngineError::Protocol("expected dense z shares".into())),
-        };
-        arrive = arrive.max(p0.available_at).max(p1.available_at);
 
         // Client: reconstruct, apply, and re-share with a fresh mask.
-        let z_plain = R::decode_matrix(&z0.add(&z1));
+        let z_plain = R::decode_matrix(&z_shares[0].add(&z_shares[1]));
         let activated = z_plain.map(&f);
         let mask = z_plain.map(|x| if df(x) != 0.0 { 1.0 } else { 0.0 });
         let secret = R::encode_matrix(&activated);
@@ -1055,25 +1097,25 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
             + self.cfg.client_elementwise_time(5 * secret.byte_size());
         let client_done = arrive + client_dur;
 
-        // Client -> servers: return the fresh shares; servers resume when
-        // their share lands.
-        let wire = self.cfg.machine.network.transfer_time(secret.byte_size());
+        // Client -> servers: return the fresh shares through the reliable
+        // channel; each server resumes when its share lands intact.
         let mut parts = Vec::with_capacity(2);
-        for (i, share) in [fresh_mask, other].into_iter().enumerate() {
-            let ready = client_done + wire;
-            self.servers[i].note(ready);
-            // Account the return traffic on the client's counters.
-            self.client
-                .endpoint
-                .send(
-                    if i == 0 { NodeId::Server0 } else { NodeId::Server1 },
+        {
+            let [srv0, srv1] = &mut self.servers;
+            for (srv, share) in [(srv0, fresh_mask), (srv1, other)] {
+                let mut sender_clock = client_done;
+                let mut srv_clock = SimTime::ZERO;
+                let pkt = self.reliable.transfer(
+                    &mut self.client.endpoint,
+                    &mut sender_clock,
+                    &mut srv.endpoint,
+                    &mut srv_clock,
                     &Payload::Dense(share.clone()),
-                    client_done,
-                )
-                .ok();
-            // Drain so the channel does not accumulate.
-            let _ = self.servers[i].endpoint.recv(NodeId::Client)?;
-            parts.push(Timed { v: share, ready });
+                )?;
+                let ready = pkt.available_at;
+                srv.end = srv.end.max(srv_clock).max(ready);
+                parts.push(Timed { v: share, ready });
+            }
         }
         self.activation_roundtrips += 1;
         let mut it = parts.into_iter();
@@ -1091,25 +1133,33 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
     /// Online-phase reveal: both servers ship their `C_i` back to the
     /// client, which merges them (Eq. (6)'s final step).
     pub fn reveal(&mut self, c: &SharedMatrix<R>) -> Result<Timed<PlainMatrix>> {
-        for i in 0..2 {
-            let share = c.parts[i].v.clone();
-            let t = c.parts[i].ready;
-            let s = &mut self.servers[i];
-            let done = s
-                .endpoint
-                .send(NodeId::Client, &Payload::Dense(share), t)?;
-            s.note(done);
+        let mut revealed: Vec<Matrix<R>> = Vec::with_capacity(2);
+        let mut ready = SimTime::ZERO;
+        let mut client_clock = self.client.now;
+        {
+            let [srv0, srv1] = &mut self.servers;
+            for (srv, part) in [(srv0, &c.parts[0]), (srv1, &c.parts[1])] {
+                let mut srv_clock = part.ready;
+                let pkt = self.reliable.transfer(
+                    &mut srv.endpoint,
+                    &mut srv_clock,
+                    &mut self.client.endpoint,
+                    &mut client_clock,
+                    &Payload::Dense(part.v.clone()),
+                )?;
+                srv.end = srv.end.max(srv_clock);
+                ready = ready.max(pkt.available_at);
+                match pkt.payload {
+                    Payload::Dense(m) => revealed.push(m),
+                    _ => return Err(EngineError::Protocol("expected dense reveal".into())),
+                }
+            }
         }
-        let p0 = self.client.endpoint.recv(NodeId::Server0)?;
-        let p1 = self.client.endpoint.recv(NodeId::Server1)?;
-        let (m0, m1) = match (p0.payload, p1.payload) {
-            (Payload::Dense(a), Payload::Dense(b)) => (a, b),
-            _ => return Err(EngineError::Protocol("expected dense reveal".into())),
-        };
-        let ready = p0.available_at.max(p1.available_at);
         for s in &mut self.servers {
             s.end = s.end.max(ready);
         }
+        let m1 = revealed.pop().expect("two shares");
+        let m0 = revealed.pop().expect("two shares");
         Ok(Timed {
             v: R::decode_matrix(&m0.add(&m1)),
             ready,
@@ -1148,6 +1198,10 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         for s in &self.servers {
             traffic.merge(s.endpoint.stats());
         }
+        let mut injected = self.client.endpoint.fault_counters();
+        for s in &self.servers {
+            injected.merge(&s.endpoint.fault_counters());
+        }
         RunReport {
             offline_time: self.offline_end.saturating_since(SimTime::ZERO),
             online_time: self.online_end().saturating_since(SimTime::ZERO),
@@ -1155,6 +1209,8 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
             traffic,
             placements: self.adaptive.decision_counts(),
             secure_muls: self.secure_muls,
+            reliability: *self.reliable.stats(),
+            injected,
         }
     }
 

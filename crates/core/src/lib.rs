@@ -49,14 +49,23 @@ pub use error::EngineError;
 pub use layers::{Activation, LayerSpec};
 pub use models::{ModelKind, ModelSpec};
 pub use report::{PhaseBreakdown, RunReport};
-pub use trainer::{InferenceResult, SecureTrainer, TrainResult};
+pub use trainer::{InferenceResult, SecureTrainer, TrainResult, TrainerCheckpoint};
+
+// Fault-injection / reliability vocabulary (configured via
+// `EngineConfig::fault_plan` / `EngineConfig::retry`, reported in
+// `RunReport::reliability` / `RunReport::injected`).
+pub use psml_net::{
+    Blackout, FaultCounters, FaultPlan, LinkFaults, NetError, NodeId, ReliabilityStats,
+    RetryPolicy,
+};
 
 /// Convenient re-exports for application code.
 pub mod prelude {
     pub use crate::baseline::{PlainBackend, PlainModel};
     pub use crate::{
-        Activation, AdaptivePolicy, EngineConfig, EngineError, LayerSpec, ModelKind,
-        ModelSpec, RunReport, SecureContext, SecureTrainer,
+        Activation, AdaptivePolicy, EngineConfig, EngineError, FaultPlan, LayerSpec,
+        LinkFaults, ModelKind, ModelSpec, NetError, NodeId, RetryPolicy, RunReport,
+        SecureContext, SecureTrainer, TrainerCheckpoint,
     };
     pub use psml_data::{batch, Batch, DatasetKind};
     pub use psml_gpu::MachineConfig;

@@ -1,6 +1,6 @@
 //! Run reports: simulated-time totals, phase breakdowns, traffic.
 
-use psml_net::TrafficStats;
+use psml_net::{FaultCounters, ReliabilityStats, TrafficStats};
 use psml_simtime::SimDuration;
 
 /// Accumulated simulated durations per protocol step (the paper's Fig. 2
@@ -60,6 +60,13 @@ pub struct RunReport {
     pub placements: (usize, usize),
     /// Number of secure multiplications executed.
     pub secure_muls: usize,
+    /// What the reliability layer did: retransmits, rejected corrupt
+    /// frames, timeouts, acks, and the simulated time recovery cost. All
+    /// zero when the fault plan is empty.
+    pub reliability: ReliabilityStats,
+    /// Faults the endpoints *injected* (the chaos side of the ledger, as
+    /// opposed to `reliability`, which is the recovery side).
+    pub injected: FaultCounters,
 }
 
 impl RunReport {
@@ -96,6 +103,11 @@ impl RunReport {
         } else {
             baseline.online_time.as_secs() / own
         }
+    }
+
+    /// True when the run saw neither injected faults nor recovery work.
+    pub fn fault_free(&self) -> bool {
+        self.injected.total() == 0 && self.reliability.is_clean()
     }
 
     /// Offline-only speedup over a baseline run.
@@ -158,5 +170,16 @@ mod tests {
         assert_eq!(r.occupancy(), 0.0);
         assert_eq!(r.total_time(), SimDuration::ZERO);
         assert_eq!(r.speedup_over(&r), 0.0);
+        assert!(r.fault_free());
+    }
+
+    #[test]
+    fn fault_free_reflects_both_ledgers() {
+        let mut r = RunReport::default();
+        r.injected.drops = 1;
+        assert!(!r.fault_free());
+        let mut r = RunReport::default();
+        r.reliability.retransmits = 1;
+        assert!(!r.fault_free());
     }
 }

@@ -30,6 +30,24 @@ pub struct TrainResult {
     pub accuracy: f64,
 }
 
+/// A client-side snapshot of training progress: how many epochs have
+/// fully completed plus the revealed weights at that boundary.
+///
+/// Checkpoints make training restartable under network chaos: when a run
+/// dies with [`EngineError::Net`] (retry budget exhausted during a
+/// blackout, say), the last checkpoint survives on the trainer. Resume by
+/// building a **fresh** trainer — a failed context's links may still hold
+/// stale frames — and calling
+/// [`SecureTrainer::resume_from_checkpoint`], which re-shares the weights
+/// (an offline step) so training continues from the last epoch boundary.
+#[derive(Clone, Debug)]
+pub struct TrainerCheckpoint {
+    /// Epochs fully completed when the snapshot was taken.
+    pub epoch: usize,
+    /// Revealed weights, layer-major (the `crate::io` format).
+    pub weights: Vec<Vec<PlainMatrix>>,
+}
+
 /// Result of an inference run.
 #[derive(Clone, Debug)]
 pub struct InferenceResult {
@@ -71,6 +89,8 @@ pub struct SecureTrainer<R: SecureRing + GpuElement> {
     spec: ModelSpec,
     /// Per layer: its weight matrices as shares (Dense/Conv: 1, RNN: 2).
     weights: Vec<Vec<SharedMatrix<R>>>,
+    /// Most recent epoch-boundary snapshot (see [`TrainerCheckpoint`]).
+    last_checkpoint: Option<TrainerCheckpoint>,
 }
 
 impl<R: SecureRing + GpuElement> SecureTrainer<R> {
@@ -92,7 +112,12 @@ impl<R: SecureRing + GpuElement> SecureTrainer<R> {
             }
             weights.push(per_layer);
         }
-        Ok(SecureTrainer { ctx, spec, weights })
+        Ok(SecureTrainer {
+            ctx,
+            spec,
+            weights,
+            last_checkpoint: None,
+        })
     }
 
     /// The model being trained.
@@ -128,6 +153,35 @@ impl<R: SecureRing + GpuElement> SecureTrainer<R> {
     /// `crate::io` format.
     pub fn export_weights(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
         crate::io::save_weights(path, &self.reveal_weights())
+    }
+
+    /// Takes a snapshot of the current weights, tagged with the number of
+    /// epochs completed. A client-side export — no simulated protocol
+    /// traffic is charged.
+    pub fn checkpoint(&self, epoch: usize) -> TrainerCheckpoint {
+        TrainerCheckpoint {
+            epoch,
+            weights: self.reveal_weights(),
+        }
+    }
+
+    /// The most recent epoch-boundary checkpoint, if any. Survives a
+    /// failed [`SecureTrainer::train_epochs`] run, so the caller can
+    /// resume from it (and read the partial [`SecureTrainer::report`]).
+    pub fn last_checkpoint(&self) -> Option<&TrainerCheckpoint> {
+        self.last_checkpoint.as_ref()
+    }
+
+    /// Restores training state from a checkpoint: the client re-shares
+    /// the snapshotted weights (offline phase). Returns the number of
+    /// epochs already completed, i.e. where to resume.
+    ///
+    /// Call this on a *fresh* trainer after a run died with a network
+    /// error — the failed context's links may still hold stale frames.
+    pub fn resume_from_checkpoint(&mut self, ckpt: &TrainerCheckpoint) -> Result<usize> {
+        self.import_weights(&ckpt.weights)?;
+        self.last_checkpoint = Some(ckpt.clone());
+        Ok(ckpt.epoch)
     }
 
     /// Replaces the model weights with externally trained ones (client
@@ -493,14 +547,18 @@ impl<R: SecureRing + GpuElement> SecureTrainer<R> {
             let ys = self.ctx.share_input(&y)?;
             shared.push((xs, ys, y, data.x));
         }
-        // Online: epochs over the fixed shares.
+        // Online: epochs over the fixed shares, checkpointing at every
+        // epoch boundary so a mid-epoch network failure (typed
+        // `EngineError::Net`) loses at most one epoch of work — the
+        // caller resumes from `last_checkpoint` on a fresh trainer.
         let mut losses = Vec::with_capacity(epochs);
-        for _ in 0..epochs {
+        for e in 0..epochs {
             let mut epoch_loss = 0.0;
             for (xs, ys, y, _) in &shared {
                 epoch_loss += self.train_on_shared(&xs.clone(), &ys.clone(), y)?;
             }
             losses.push(epoch_loss / batches.max(1) as f64);
+            self.last_checkpoint = Some(self.checkpoint(e + 1));
         }
         let (_, _, y_last, x_last) = shared.last().expect("at least one batch");
         let out = self.infer_batch(x_last)?;
@@ -980,6 +1038,42 @@ mod tests {
             let shapes: Vec<_> = ws.iter().map(|w| w.shape()).collect();
             assert_eq!(shapes, layer.weight_shapes());
         }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_restores_weights_exactly() {
+        let spec = ModelSpec::build(ModelKind::Mlp, 32, None, 4).unwrap();
+        let mut trainer = SecureTrainer::<Fixed64>::new(small_cfg(), spec.clone(), 43).unwrap();
+        let mut rng = Mt19937::new(17);
+        let x = PlainMatrix::from_fn(8, 32, |_, _| rng.next_f64());
+        let y = PlainMatrix::from_fn(8, 4, |r, c| if c == r % 4 { 1.0 } else { 0.0 });
+        trainer.train_batch(&x, &y).unwrap();
+        let ckpt = trainer.checkpoint(3);
+        assert_eq!(ckpt.epoch, 3);
+
+        // A fresh trainer (different init seed) resumed from the
+        // checkpoint reveals bit-identical weights: Fixed64's
+        // encode/decode roundtrip is exact for in-range values.
+        let mut resumed = SecureTrainer::<Fixed64>::new(small_cfg(), spec, 999).unwrap();
+        let at = resumed.resume_from_checkpoint(&ckpt).unwrap();
+        assert_eq!(at, 3);
+        assert_eq!(resumed.reveal_weights(), ckpt.weights);
+        assert_eq!(resumed.last_checkpoint().unwrap().epoch, 3);
+        // And the resumed model still trains.
+        assert!(resumed.train_batch(&x, &y).unwrap().is_finite());
+    }
+
+    #[test]
+    fn train_epochs_records_epoch_boundary_checkpoints() {
+        let spec = ModelSpec::build(ModelKind::Linear, 2048, None, 10).unwrap();
+        let mut trainer = SecureTrainer::<Fixed64>::new(small_cfg(), spec, 47).unwrap();
+        assert!(trainer.last_checkpoint().is_none());
+        trainer
+            .train_epochs(psml_data::DatasetKind::Synthetic, 4, 1, 3, 5)
+            .unwrap();
+        let ckpt = trainer.last_checkpoint().expect("checkpoint after epochs");
+        assert_eq!(ckpt.epoch, 3);
+        assert_eq!(ckpt.weights, trainer.reveal_weights());
     }
 
     #[test]

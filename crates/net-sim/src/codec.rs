@@ -5,7 +5,7 @@
 //! send/receive so that measured wire sizes — and therefore the Fig. 16
 //! compression numbers — come from actual bytes, not estimates.
 //!
-//! Layout:
+//! Payload layout:
 //! ```text
 //! Dense:        0x01 | rows:u32 | cols:u32 | elems (BYTES each, LE)
 //! SparseDelta:  0x02 | rows:u32 | cols:u32 | nnz:u32
@@ -13,6 +13,17 @@
 //!                    | values (nnz x BYTES)
 //! Control:      0x03 | len:u32 | utf-8 bytes
 //! ```
+//!
+//! On the wire each payload travels inside a 16-byte frame header that
+//! lets the receiver reject in-flight corruption as a typed error instead
+//! of decoding garbage shares:
+//! ```text
+//! Frame: magic "PSML" (4) | seq:u64 (8) | crc32(seq || payload):u32 (4)
+//!      | payload
+//! ```
+//! CRC-32 (IEEE polynomial) detects *every* single-bit error and all
+//! burst errors up to 32 bits, which covers the bit-flip fault model in
+//! [`crate::fault`].
 
 use crate::message::Payload;
 use psml_tensor::{Csr, Matrix, Num};
@@ -20,6 +31,12 @@ use psml_tensor::{Csr, Matrix, Num};
 const TAG_DENSE: u8 = 0x01;
 const TAG_SPARSE: u8 = 0x02;
 const TAG_CONTROL: u8 = 0x03;
+
+/// First four bytes of every frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"PSML";
+
+/// Fixed frame-header size: magic (4) + sequence (8) + crc32 (4).
+pub const FRAME_HEADER_BYTES: usize = 16;
 
 /// Codec failures surfaced on receive.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -30,6 +47,18 @@ pub enum CodecError {
     BadTag(u8),
     /// Control payload was not valid UTF-8.
     BadUtf8,
+    /// Frame did not start with [`FRAME_MAGIC`]. `seq` is the (possibly
+    /// itself corrupted) sequence number read from the header.
+    BadMagic {
+        /// Best-effort sequence number from the damaged header.
+        seq: u64,
+    },
+    /// Frame checksum mismatch: the payload or header was altered in
+    /// flight.
+    Checksum {
+        /// Sequence number claimed by the frame header.
+        seq: u64,
+    },
 }
 
 impl std::fmt::Display for CodecError {
@@ -38,11 +67,87 @@ impl std::fmt::Display for CodecError {
             CodecError::Truncated => write!(f, "message truncated"),
             CodecError::BadTag(t) => write!(f, "unknown payload tag {t:#04x}"),
             CodecError::BadUtf8 => write!(f, "control payload is not UTF-8"),
+            CodecError::BadMagic { seq } => {
+                write!(f, "frame {seq} does not start with PSML magic")
+            }
+            CodecError::Checksum { seq } => {
+                write!(f, "frame {seq} failed checksum verification")
+            }
         }
     }
 }
 
 impl std::error::Error for CodecError {}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) lookup table,
+/// built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Wraps encoded payload bytes in a checksummed, sequenced frame.
+pub fn encode_frame(seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    frame.extend_from_slice(&FRAME_MAGIC);
+    frame.extend_from_slice(&seq.to_le_bytes());
+    let mut crc = !0u32;
+    for &b in seq.to_le_bytes().iter().chain(payload) {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    frame.extend_from_slice(&(!crc).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Verifies a frame's magic and checksum, returning the sequence number
+/// and a view of the payload bytes. Any single-bit flip anywhere in the
+/// frame is rejected: a flip in the magic yields [`CodecError::BadMagic`],
+/// a flip in the sequence number, checksum field, or payload yields
+/// [`CodecError::Checksum`], and a lost tail yields
+/// [`CodecError::Truncated`].
+pub fn decode_frame(frame: &[u8]) -> Result<(u64, &[u8]), CodecError> {
+    if frame.len() < FRAME_HEADER_BYTES {
+        return Err(CodecError::Truncated);
+    }
+    let seq = u64::from_le_bytes(frame[4..12].try_into().expect("8 bytes"));
+    if frame[..4] != FRAME_MAGIC {
+        return Err(CodecError::BadMagic { seq });
+    }
+    let stored = u32::from_le_bytes(frame[12..16].try_into().expect("4 bytes"));
+    let mut crc = !0u32;
+    for &b in frame[4..12].iter().chain(&frame[16..]) {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    if !crc != stored {
+        return Err(CodecError::Checksum { seq });
+    }
+    Ok((seq, &frame[16..]))
+}
 
 /// Little-endian reader over a received byte buffer.
 struct Reader<'a> {
@@ -254,5 +359,59 @@ mod tests {
     fn empty_matrix_roundtrips() {
         let p = Payload::<f32>::Dense(Matrix::zeros(0, 7));
         assert_eq!(decode::<f32>(encode(&p)).unwrap(), p);
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip_preserves_seq_and_payload() {
+        let payload = encode(&dense());
+        let frame = encode_frame(42, &payload);
+        assert_eq!(frame.len(), FRAME_HEADER_BYTES + payload.len());
+        let (seq, body) = decode_frame(&frame).unwrap();
+        assert_eq!(seq, 42);
+        assert_eq!(body, &payload[..]);
+    }
+
+    #[test]
+    fn frame_rejects_every_single_bit_flip() {
+        let payload = encode(&Payload::<f32>::Control("integrity".into()));
+        let frame = encode_frame(7, &payload);
+        for bit in 0..frame.len() * 8 {
+            let mut bad = frame.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                decode_frame(&bad).is_err(),
+                "flip of bit {bit} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_magic_damage_is_distinguished() {
+        let frame = encode_frame(9, b"xyz");
+        let mut bad = frame.clone();
+        bad[0] ^= 0x01;
+        assert_eq!(decode_frame(&bad).unwrap_err(), CodecError::BadMagic { seq: 9 });
+        let mut bad = frame.clone();
+        *bad.last_mut().unwrap() ^= 0x80;
+        assert_eq!(decode_frame(&bad).unwrap_err(), CodecError::Checksum { seq: 9 });
+        assert_eq!(
+            decode_frame(&frame[..10]).unwrap_err(),
+            CodecError::Truncated
+        );
+    }
+
+    #[test]
+    fn frame_empty_payload_roundtrips() {
+        let frame = encode_frame(u64::MAX, b"");
+        let (seq, body) = decode_frame(&frame).unwrap();
+        assert_eq!(seq, u64::MAX);
+        assert!(body.is_empty());
     }
 }

@@ -1,6 +1,7 @@
 //! Three-party endpoints with simulated link timing.
 
 use crate::codec::{self, CodecError};
+use crate::fault::{FaultCounters, FaultInjector, FaultPlan, FaultVerdict};
 use crate::message::{NodeId, Packet, Payload};
 use crate::stats::TrafficStats;
 use psml_simtime::{LinkModel, SimTime};
@@ -8,7 +9,7 @@ use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use psml_tensor::Num;
 
 /// Communication failures.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum NetError {
     /// The peer endpoint has been dropped.
     Disconnected(NodeId),
@@ -16,6 +17,20 @@ pub enum NetError {
     SelfSend,
     /// The received bytes failed to decode.
     Codec(CodecError),
+    /// A frame arrived but failed integrity verification (checksum or
+    /// magic) — it was altered in flight.
+    Corrupt {
+        /// Sequence number claimed by the damaged frame's header.
+        seq: u64,
+    },
+    /// No (intact) frame arrived before the deadline.
+    Timeout {
+        /// The simulated deadline that expired.
+        after: SimTime,
+        /// Retransmissions already attempted when the budget ran out
+        /// (0 for a bare [`Endpoint::recv_deadline`] expiry).
+        retries: u32,
+    },
 }
 
 impl std::fmt::Display for NetError {
@@ -24,6 +39,12 @@ impl std::fmt::Display for NetError {
             NetError::Disconnected(n) => write!(f, "peer {n:?} disconnected"),
             NetError::SelfSend => write!(f, "cannot send to self"),
             NetError::Codec(e) => write!(f, "codec error: {e}"),
+            NetError::Corrupt { seq } => {
+                write!(f, "frame {seq} rejected: corrupted in flight")
+            }
+            NetError::Timeout { after, retries } => {
+                write!(f, "no frame arrived by t={after} after {retries} retries")
+            }
         }
     }
 }
@@ -32,11 +53,17 @@ impl std::error::Error for NetError {}
 
 impl From<CodecError> for NetError {
     fn from(e: CodecError) -> Self {
-        NetError::Codec(e)
+        match e {
+            CodecError::BadMagic { seq } | CodecError::Checksum { seq } => {
+                NetError::Corrupt { seq }
+            }
+            other => NetError::Codec(other),
+        }
     }
 }
 
-/// The serialized form actually carried between endpoints.
+/// The serialized form actually carried between endpoints: a checksummed
+/// frame ([`codec::encode_frame`]) plus simulation metadata.
 struct WireFrame {
     from: NodeId,
     bytes: Vec<u8>,
@@ -57,6 +84,10 @@ pub struct Endpoint<R: Num> {
     tx: [Option<Sender<WireFrame>>; 3],
     rx: [Option<Receiver<WireFrame>>; 3],
     stats: TrafficStats,
+    /// Send-side chaos engine; `None` keeps the zero-overhead fast path.
+    faults: Option<FaultInjector>,
+    /// Monotone per-endpoint frame sequence counter.
+    next_seq: u64,
     _marker: std::marker::PhantomData<fn() -> R>,
 }
 
@@ -70,6 +101,8 @@ pub fn build_network<R: Num>(link: LinkModel) -> [Endpoint<R>; 3] {
         tx: [None, None, None],
         rx: [None, None, None],
         stats: TrafficStats::new(),
+        faults: None,
+        next_seq: 0,
         _marker: std::marker::PhantomData,
     });
     for from in 0..3 {
@@ -101,9 +134,39 @@ impl<R: Num> Endpoint<R> {
         self.stats = TrafficStats::new();
     }
 
+    /// Arms (or, with an empty plan, disarms) send-side fault injection.
+    /// Each endpoint draws from its own lane of the plan's seed, so one
+    /// node's send count never perturbs another's verdict stream.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        self.faults = if plan.is_empty() {
+            None
+        } else {
+            Some(FaultInjector::new(plan.clone(), self.id.index() as u64))
+        };
+    }
+
+    /// True when this endpoint can inject faults (callers must then use
+    /// deadline-aware receives — never the unbounded blocking form).
+    pub fn has_faults(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Faults this endpoint has injected into its outgoing traffic.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults
+            .as_ref()
+            .map(|f| f.counters())
+            .unwrap_or_default()
+    }
+
     /// Sends `payload` to `to`. `now` is this node's simulated clock at the
     /// call. Returns the instant the local send completes (the NIC is then
     /// free; the *receiver* sees the data `latency + size/bw` later).
+    ///
+    /// With faults armed the frame may be silently dropped, bit-flipped,
+    /// or delayed in flight; the sender still pays full NIC time (it
+    /// cannot observe in-flight loss) and the verdict is recorded in
+    /// [`Endpoint::fault_counters`].
     pub fn send(
         &mut self,
         to: NodeId,
@@ -113,7 +176,10 @@ impl<R: Num> Endpoint<R> {
         if to == self.id {
             return Err(NetError::SelfSend);
         }
-        let bytes = codec::encode(payload);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let payload_bytes = codec::encode(payload);
+        let mut bytes = codec::encode_frame(seq, &payload_bytes);
         let wire_bytes = bytes.len();
         let dense_equivalent = payload.dense_equivalent_bytes();
         // Serial NIC: this transfer starts when the NIC is free.
@@ -122,11 +188,29 @@ impl<R: Num> Endpoint<R> {
         self.nic_free_at = done;
         self.stats
             .record(self.id, to, wire_bytes, dense_equivalent);
+        let mut available_at = done;
+        if let Some(injector) = self.faults.as_mut() {
+            match injector.judge(self.id, to, start) {
+                FaultVerdict::Deliver => {}
+                FaultVerdict::Drop { .. } => {
+                    // Lost in flight: never enqueued. The sender's NIC
+                    // time and stats above are unchanged — it cannot tell.
+                    return Ok(done);
+                }
+                FaultVerdict::Corrupt { bit_entropy } => {
+                    let bit = (bit_entropy % (bytes.len() as u64 * 8)) as usize;
+                    bytes[bit / 8] ^= 1 << (bit % 8);
+                }
+                FaultVerdict::Delay(extra) => {
+                    available_at = done + extra;
+                }
+            }
+        }
         let frame = WireFrame {
             from: self.id,
             bytes,
             dense_equivalent,
-            available_at: done,
+            available_at,
         };
         self.tx[to.index()]
             .as_ref()
@@ -136,23 +220,33 @@ impl<R: Num> Endpoint<R> {
         Ok(done)
     }
 
+    /// Verifies and decodes one wire frame into a packet.
+    fn unpack(frame: WireFrame) -> Result<Packet<R>, NetError> {
+        let wire_bytes = frame.bytes.len();
+        let (seq, body) = codec::decode_frame(&frame.bytes)?;
+        let payload = codec::decode::<R>(body)?;
+        let _ = frame.dense_equivalent;
+        Ok(Packet {
+            from: frame.from,
+            payload,
+            seq,
+            available_at: frame.available_at,
+            wire_bytes,
+        })
+    }
+
     /// Blocks for the next message from `from`, decodes it, and returns the
     /// packet. The caller advances its clock to
     /// `max(now, packet.available_at)`.
+    ///
+    /// This form can wait forever on a silent peer — never use it on a
+    /// fault-enabled link; use [`Endpoint::recv_deadline`] there.
     pub fn recv(&mut self, from: NodeId) -> Result<Packet<R>, NetError> {
         let rx = self.rx[from.index()]
             .as_ref()
             .ok_or(NetError::SelfSend)?;
         let frame = rx.recv().map_err(|_| NetError::Disconnected(from))?;
-        let wire_bytes = frame.bytes.len();
-        let payload = codec::decode::<R>(&frame.bytes)?;
-        let _ = frame.dense_equivalent;
-        Ok(Packet {
-            from: frame.from,
-            payload,
-            available_at: frame.available_at,
-            wire_bytes,
-        })
+        Self::unpack(frame)
     }
 
     /// Non-blocking receive; `Ok(None)` when no message is waiting.
@@ -161,17 +255,45 @@ impl<R: Num> Endpoint<R> {
             .as_ref()
             .ok_or(NetError::SelfSend)?;
         match rx.try_recv() {
-            Ok(frame) => {
-                let wire_bytes = frame.bytes.len();
-                let payload = codec::decode::<R>(&frame.bytes)?;
-                Ok(Some(Packet {
-                    from: frame.from,
-                    payload,
-                    available_at: frame.available_at,
-                    wire_bytes,
-                }))
-            }
+            Ok(frame) => Self::unpack(frame).map(Some),
             Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(NetError::Disconnected(from)),
+        }
+    }
+
+    /// Deadline-aware receive: returns the next frame from `from` that is
+    /// fully received by `deadline` (simulated time), or
+    /// [`NetError::Timeout`] if none arrives in time.
+    ///
+    /// A frame whose `available_at` lies beyond the deadline is *late*:
+    /// the receiver discards it (its data will be retransmitted) and
+    /// reports a timeout, keeping the queue clean for the retry. A frame
+    /// that arrives in time but fails integrity checks surfaces as
+    /// [`NetError::Corrupt`].
+    ///
+    /// Designed for the single-threaded lock-step simulation, where every
+    /// frame that can ever arrive is already enqueued when the receiver
+    /// runs; in multi-threaded use a quiet queue is indistinguishable from
+    /// a slow sender, so deadline semantics are only meaningful in
+    /// lock-step mode.
+    pub fn recv_deadline(
+        &mut self,
+        from: NodeId,
+        deadline: SimTime,
+    ) -> Result<Packet<R>, NetError> {
+        let rx = self.rx[from.index()]
+            .as_ref()
+            .ok_or(NetError::SelfSend)?;
+        match rx.try_recv() {
+            Ok(frame) if frame.available_at <= deadline => Self::unpack(frame),
+            // Late frame: sends on one link have monotone completion times
+            // (serial NIC), so everything behind it is later still — drop
+            // it and report the deadline expired; the retransmit carries
+            // the same bytes.
+            Ok(_) | Err(TryRecvError::Empty) => Err(NetError::Timeout {
+                after: deadline,
+                retries: 0,
+            }),
             Err(TryRecvError::Disconnected) => Err(NetError::Disconnected(from)),
         }
     }

@@ -1,0 +1,469 @@
+//! Deterministic, seeded fault injection for the simulated network.
+//!
+//! Production MPC deployments treat the network as the primary failure
+//! surface: the online phase is one long sequence of server<->server and
+//! server<->client exchanges, and a single lost or corrupted frame can
+//! stall or silently poison a whole training run. This module makes those
+//! failures *injectable and reproducible*:
+//!
+//! - a [`FaultPlan`] describes what can go wrong — per-link drop
+//!   probability, bit-flip corruption, latency spikes, and
+//!   [`SimTime`]-windowed node blackouts;
+//! - a [`FaultInjector`] turns the plan into per-send verdicts using a
+//!   private splitmix64 stream, so two runs with the same plan (and the
+//!   same program order of sends) inject byte-identical faults;
+//! - [`FaultCounters`] records what was actually injected, so reports can
+//!   distinguish "no faults configured" from "faults configured but none
+//!   fired".
+//!
+//! The injector is deliberately *send-side*: every verdict is drawn when
+//! the sender hands a frame to its NIC, which is the only point in the
+//! in-process simulation where program order is well defined on every
+//! execution. Dropped frames are never enqueued (the receiver's
+//! deadline-aware receive observes silence); corrupted frames are enqueued
+//! with one bit flipped (the frame checksum rejects them on receive);
+//! delayed frames arrive late (possibly past the receiver's deadline).
+
+use crate::message::NodeId;
+use psml_simtime::{SimDuration, SimTime};
+
+/// Probabilistic failure model for one directed link.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LinkFaults {
+    /// Probability that a frame is silently dropped in flight.
+    pub drop_prob: f64,
+    /// Probability that one bit of the frame is flipped in flight.
+    pub corrupt_prob: f64,
+    /// Probability that the frame is delayed by [`LinkFaults::delay`].
+    pub delay_prob: f64,
+    /// Extra latency applied when a delay fires.
+    pub delay: SimDuration,
+}
+
+impl LinkFaults {
+    /// A perfectly healthy link.
+    pub const NONE: LinkFaults = LinkFaults {
+        drop_prob: 0.0,
+        corrupt_prob: 0.0,
+        delay_prob: 0.0,
+        delay: SimDuration::ZERO,
+    };
+
+    /// True when this link can never misbehave.
+    pub fn is_none(&self) -> bool {
+        self.drop_prob == 0.0 && self.corrupt_prob == 0.0 && self.delay_prob == 0.0
+    }
+
+    /// Checks all probabilities are in `[0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("drop_prob", self.drop_prob),
+            ("corrupt_prob", self.corrupt_prob),
+            ("delay_prob", self.delay_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} {p} outside [0, 1]"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A simulated-time window during which one node is completely dark:
+/// every frame it sends — and every frame sent *to* it — is lost.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Blackout {
+    /// The node that goes dark.
+    pub node: NodeId,
+    /// Start of the outage (inclusive), on the sender's simulated clock.
+    pub from: SimTime,
+    /// End of the outage (exclusive).
+    pub until: SimTime,
+}
+
+impl Blackout {
+    /// True when `node`'s traffic at instant `t` falls inside the outage.
+    pub fn covers(&self, node: NodeId, t: SimTime) -> bool {
+        node == self.node && t >= self.from && t < self.until
+    }
+}
+
+/// A complete, seeded chaos schedule for the three-node network.
+///
+/// The default plan is empty: no link faults, no blackouts. An empty plan
+/// leaves the endpoints on their zero-overhead fast path.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the injection randomness. Same plan + same seed + same
+    /// program order of sends => identical injected faults.
+    pub seed: u64,
+    /// Fault model applied to every directed link without an override.
+    pub link: LinkFaults,
+    /// Per-directed-link overrides of [`FaultPlan::link`].
+    pub overrides: Vec<(NodeId, NodeId, LinkFaults)>,
+    /// Scheduled node outages.
+    pub blackouts: Vec<Blackout>,
+}
+
+impl FaultPlan {
+    /// The empty plan: perfect network.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// An empty plan carrying a seed (useful as a builder starting point).
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Sets the drop probability on every link.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.link.drop_prob = p;
+        self
+    }
+
+    /// Sets the bit-flip corruption probability on every link.
+    pub fn with_corruption(mut self, p: f64) -> Self {
+        self.link.corrupt_prob = p;
+        self
+    }
+
+    /// Sets the latency-spike probability and magnitude on every link.
+    pub fn with_delay(mut self, p: f64, delay: SimDuration) -> Self {
+        self.link.delay_prob = p;
+        self.link.delay = delay;
+        self
+    }
+
+    /// Overrides the fault model of one directed link.
+    pub fn with_link(mut self, from: NodeId, to: NodeId, faults: LinkFaults) -> Self {
+        self.overrides.retain(|(f, t, _)| !(*f == from && *t == to));
+        self.overrides.push((from, to, faults));
+        self
+    }
+
+    /// Schedules a blackout of `node` over `[from, until)`.
+    pub fn with_blackout(mut self, node: NodeId, from: SimTime, until: SimTime) -> Self {
+        self.blackouts.push(Blackout { node, from, until });
+        self
+    }
+
+    /// The effective fault model for a directed link.
+    pub fn faults_for(&self, from: NodeId, to: NodeId) -> LinkFaults {
+        self.overrides
+            .iter()
+            .find(|(f, t, _)| *f == from && *t == to)
+            .map(|(_, _, l)| *l)
+            .unwrap_or(self.link)
+    }
+
+    /// True when the plan can never inject anything. Empty plans keep the
+    /// endpoints on the fast (ack-free) delivery path.
+    pub fn is_empty(&self) -> bool {
+        self.link.is_none()
+            && self.blackouts.is_empty()
+            && self.overrides.iter().all(|(_, _, l)| l.is_none())
+    }
+
+    /// Validates probabilities and blackout windows.
+    pub fn validate(&self) -> Result<(), String> {
+        self.link.validate()?;
+        for (_, _, l) in &self.overrides {
+            l.validate()?;
+        }
+        for b in &self.blackouts {
+            if b.until < b.from {
+                return Err(format!(
+                    "blackout of {:?} ends ({}) before it starts ({})",
+                    b.node, b.until, b.from
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Counters of faults actually injected by one endpoint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Frames silently dropped (including blackout losses).
+    pub drops: u64,
+    /// Frames delivered with one bit flipped.
+    pub corruptions: u64,
+    /// Frames delivered late.
+    pub delays: u64,
+    /// Drops attributable to a scheduled blackout window.
+    pub blackout_drops: u64,
+}
+
+impl FaultCounters {
+    /// Total frames interfered with.
+    pub fn total(&self) -> u64 {
+        self.drops + self.corruptions + self.delays
+    }
+
+    /// Accumulates another endpoint's counters.
+    pub fn merge(&mut self, other: &FaultCounters) {
+        self.drops += other.drops;
+        self.corruptions += other.corruptions;
+        self.delays += other.delays;
+        self.blackout_drops += other.blackout_drops;
+    }
+}
+
+/// What the injector decided for one frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultVerdict {
+    /// Deliver untouched.
+    Deliver,
+    /// Lose the frame (never enqueue it).
+    Drop {
+        /// Whether a blackout window (rather than a random drop) fired.
+        blackout: bool,
+    },
+    /// Deliver with one bit flipped; the flipped index is
+    /// `bit_entropy % (frame_len * 8)`.
+    Corrupt {
+        /// Raw entropy for choosing the flipped bit.
+        bit_entropy: u64,
+    },
+    /// Deliver late by the attached duration.
+    Delay(SimDuration),
+}
+
+/// Private splitmix64 stream — small, fast, and deterministic. Kept
+/// separate from the protocol RNG (`psml_parallel::Mt19937`) so injecting
+/// faults can never perturb share or triple generation.
+#[derive(Clone, Debug)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// The per-endpoint fault engine: owns the plan, a private random stream,
+/// and the injected-fault counters.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SplitMix64,
+    counters: FaultCounters,
+}
+
+impl FaultInjector {
+    /// Builds an injector for one endpoint. `lane` separates the random
+    /// streams of different endpoints sharing a plan (use the node index),
+    /// so each sender's verdicts are independent of the others' send
+    /// counts.
+    pub fn new(plan: FaultPlan, lane: u64) -> Self {
+        let seed = plan
+            .seed
+            .wrapping_add(lane.wrapping_mul(0xa076_1d64_78bd_642f));
+        FaultInjector {
+            plan,
+            rng: SplitMix64::new(seed),
+            counters: FaultCounters::default(),
+        }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Faults injected so far.
+    pub fn counters(&self) -> FaultCounters {
+        self.counters
+    }
+
+    /// Decides the fate of one frame sent `from -> to` at sender clock
+    /// `now`, and records the decision in the counters.
+    ///
+    /// Exactly four random draws are consumed per call regardless of the
+    /// outcome, so the verdict stream for send *n* depends only on the
+    /// seed and *n* — never on earlier verdicts or blackout geometry.
+    pub fn judge(&mut self, from: NodeId, to: NodeId, now: SimTime) -> FaultVerdict {
+        let d_drop = self.rng.unit_f64();
+        let d_corrupt = self.rng.unit_f64();
+        let d_delay = self.rng.unit_f64();
+        let bit_entropy = self.rng.next_u64();
+
+        if self
+            .plan
+            .blackouts
+            .iter()
+            .any(|b| b.covers(from, now) || b.covers(to, now))
+        {
+            self.counters.drops += 1;
+            self.counters.blackout_drops += 1;
+            return FaultVerdict::Drop { blackout: true };
+        }
+        let link = self.plan.faults_for(from, to);
+        if d_drop < link.drop_prob {
+            self.counters.drops += 1;
+            return FaultVerdict::Drop { blackout: false };
+        }
+        if d_corrupt < link.corrupt_prob {
+            self.counters.corruptions += 1;
+            return FaultVerdict::Corrupt { bit_entropy };
+        }
+        if d_delay < link.delay_prob {
+            self.counters.delays += 1;
+            return FaultVerdict::Delay(link.delay);
+        }
+        FaultVerdict::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn empty_plan_is_empty_and_valid() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        p.validate().unwrap();
+        let mut inj = FaultInjector::new(p, 0);
+        for _ in 0..100 {
+            assert_eq!(
+                inj.judge(NodeId::Server0, NodeId::Server1, SimTime::ZERO),
+                FaultVerdict::Deliver
+            );
+        }
+        assert_eq!(inj.counters(), FaultCounters::default());
+    }
+
+    #[test]
+    fn verdicts_are_deterministic_per_seed() {
+        let plan = FaultPlan::seeded(7)
+            .with_drop(0.3)
+            .with_corruption(0.2)
+            .with_delay(0.1, SimDuration::from_micros(5.0));
+        let run = |lane| {
+            let mut inj = FaultInjector::new(plan.clone(), lane);
+            (0..64)
+                .map(|_| inj.judge(NodeId::Server0, NodeId::Server1, SimTime::ZERO))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1), "same lane replays identically");
+        assert_ne!(run(1), run(2), "lanes draw independent streams");
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let plan = FaultPlan::seeded(11).with_drop(0.25);
+        let mut inj = FaultInjector::new(plan, 0);
+        let n = 4000;
+        let drops = (0..n)
+            .filter(|_| {
+                matches!(
+                    inj.judge(NodeId::Server0, NodeId::Server1, SimTime::ZERO),
+                    FaultVerdict::Drop { .. }
+                )
+            })
+            .count();
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.03, "observed drop rate {rate}");
+        assert_eq!(inj.counters().drops, drops as u64);
+    }
+
+    #[test]
+    fn blackout_window_is_absolute() {
+        let plan =
+            FaultPlan::seeded(3).with_blackout(NodeId::Server1, secs(1.0), secs(2.0));
+        let mut inj = FaultInjector::new(plan, 0);
+        // Outside the window: deliver (plan has no probabilistic faults).
+        assert_eq!(
+            inj.judge(NodeId::Server0, NodeId::Server1, secs(0.5)),
+            FaultVerdict::Deliver
+        );
+        // Inside: both directions die.
+        assert_eq!(
+            inj.judge(NodeId::Server0, NodeId::Server1, secs(1.5)),
+            FaultVerdict::Drop { blackout: true }
+        );
+        assert_eq!(
+            inj.judge(NodeId::Server1, NodeId::Server0, secs(1.5)),
+            FaultVerdict::Drop { blackout: true }
+        );
+        // `until` is exclusive.
+        assert_eq!(
+            inj.judge(NodeId::Server0, NodeId::Server1, secs(2.0)),
+            FaultVerdict::Deliver
+        );
+        assert_eq!(inj.counters().blackout_drops, 2);
+    }
+
+    #[test]
+    fn per_link_overrides_take_precedence() {
+        let plan = FaultPlan::seeded(5).with_drop(1.0).with_link(
+            NodeId::Client,
+            NodeId::Server0,
+            LinkFaults::NONE,
+        );
+        assert!(!plan.is_empty());
+        let mut inj = FaultInjector::new(plan, 0);
+        assert_eq!(
+            inj.judge(NodeId::Client, NodeId::Server0, SimTime::ZERO),
+            FaultVerdict::Deliver
+        );
+        assert!(matches!(
+            inj.judge(NodeId::Server0, NodeId::Server1, SimTime::ZERO),
+            FaultVerdict::Drop { blackout: false }
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_bad_probabilities_and_windows() {
+        assert!(FaultPlan::seeded(1).with_drop(1.5).validate().is_err());
+        assert!(FaultPlan::seeded(1).with_corruption(-0.1).validate().is_err());
+        let bad = FaultPlan::seeded(1).with_blackout(NodeId::Client, secs(2.0), secs(1.0));
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn counters_merge() {
+        let mut a = FaultCounters {
+            drops: 1,
+            corruptions: 2,
+            delays: 3,
+            blackout_drops: 1,
+        };
+        let b = FaultCounters {
+            drops: 10,
+            corruptions: 20,
+            delays: 30,
+            blackout_drops: 5,
+        };
+        a.merge(&b);
+        assert_eq!(a.drops, 11);
+        assert_eq!(a.corruptions, 22);
+        assert_eq!(a.delays, 33);
+        assert_eq!(a.blackout_drops, 6);
+        assert_eq!(a.total(), 66);
+    }
+}

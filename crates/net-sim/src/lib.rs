@@ -15,7 +15,13 @@
 //!   dense-equivalent byte count, from which Fig. 16's communication
 //!   savings are computed;
 //! - [`compress`] implements Sec. 4.4: per-stream delta tracking with the
-//!   75 %-zeros CSR policy ([`DeltaEncoder`], [`DeltaDecoder`]).
+//!   75 %-zeros CSR policy ([`DeltaEncoder`], [`DeltaDecoder`]);
+//! - [`fault`] injects seeded, deterministic chaos (drops, bit flips,
+//!   latency spikes, blackouts) at the send side, and every frame is
+//!   protected by a magic + sequence + CRC-32 header so corruption
+//!   surfaces as a typed [`NetError::Corrupt`];
+//! - [`reliable`] layers ack/retransmit delivery with exponential backoff
+//!   and a bounded retry budget on top, entirely in simulated time.
 //!
 //! Endpoints are `Send` and work both single-threaded (deterministic
 //! lock-step simulation) and with each party on its own OS thread; message
@@ -25,12 +31,16 @@
 pub mod codec;
 pub mod compress;
 pub mod endpoint;
+pub mod fault;
 pub mod message;
+pub mod reliable;
 pub mod stats;
 
 pub use compress::{DeltaDecoder, DeltaEncoder, TransmitForm};
 pub use endpoint::{build_network, Endpoint, NetError};
+pub use fault::{Blackout, FaultCounters, FaultInjector, FaultPlan, FaultVerdict, LinkFaults};
 pub use message::{NodeId, Packet, Payload};
+pub use reliable::{ReliabilityStats, ReliableChannel, RetryPolicy};
 pub use stats::TrafficStats;
 
 #[cfg(test)]

@@ -78,9 +78,11 @@ pub struct Packet<R: Num> {
     pub from: NodeId,
     /// Message body.
     pub payload: Payload<R>,
+    /// Sender-assigned frame sequence number (checksummed on the wire).
+    pub seq: u64,
     /// Simulated instant at which the bytes are fully received.
     pub available_at: SimTime,
-    /// Actual serialized size on the wire.
+    /// Actual serialized size on the wire (frame header + payload).
     pub wire_bytes: usize,
 }
 

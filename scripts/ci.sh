@@ -7,3 +7,9 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --offline --workspace
 cargo clippy --all-targets --offline -- -D warnings
+
+# Fault-injection seed matrix: every chaos scenario must hold for any
+# plan seed, not just the default.
+for seed in 1 2 3; do
+    PSML_FAULT_SEED="$seed" cargo test -q --offline --test failure_injection
+done
