@@ -1,0 +1,49 @@
+//! Overhead of the structured-tracing sink: the disabled path must cost
+//! one relaxed atomic load (zero-cost when off), and the enabled path one
+//! thread-local push, so tracing can stay compiled into every protocol
+//! hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psml_trace::TraceSink;
+use std::hint::black_box;
+
+fn record_one(i: u64) {
+    if TraceSink::is_enabled() {
+        TraceSink::span("gemm", "bench/compute", i, i + 100, 64);
+    }
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    TraceSink::disable();
+    TraceSink::clear();
+    group.bench_function("record_disabled_x1000", |b| {
+        b.iter(|| {
+            for i in 0..1000u64 {
+                record_one(black_box(i));
+            }
+        })
+    });
+
+    TraceSink::enable();
+    group.bench_function("record_enabled_x1000", |b| {
+        b.iter(|| {
+            for i in 0..1000u64 {
+                record_one(black_box(i));
+            }
+            // Drain so the buffer does not grow across iterations (the
+            // realloc would dominate and misstate the steady-state cost).
+            black_box(TraceSink::drain().len());
+        })
+    });
+    TraceSink::disable();
+    TraceSink::clear();
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

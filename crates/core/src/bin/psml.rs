@@ -6,9 +6,15 @@
 //!             [--client-aided] [--seed 42]
 //! psml infer  --model cnn --dataset cifar10 [--batch 16] [--batches 2]
 //! psml bench  --model linear --dataset synthetic    # ParSecureML vs SecureML
-//! psml models                                        # list models/datasets
+//! psml trace  --model mlp --dataset mnist [--out trace.json]
+//!                                  # chrome://tracing timeline of one run
+//! psml profile --model mlp [--json profile.json]
+//!                                  # measured-cost profile + recalibrations
+//! psml validate <file.json>        # check a psml.*.v1 JSON document
+//! psml models                      # list models/datasets
 //! ```
 
+use parsecureml::observe::{profile_json, traced, validate_document};
 use parsecureml::prelude::*;
 use std::process::exit;
 
@@ -24,13 +30,18 @@ struct Args {
     pipeline: bool,
     compression: bool,
     client_aided: bool,
+    out: Option<String>,
+    json_out: Option<String>,
+    files: Vec<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: psml <train|infer|bench|models> --model <cnn|mlp|rnn|linear|logistic|svm> \
+        "usage: psml <train|infer|bench|trace|profile|validate|models> \
+         --model <cnn|mlp|rnn|linear|logistic|svm> \
          --dataset <mnist|vggface2|nist|cifar10|synthetic> [--batch N] [--batches N] \
-         [--epochs N] [--seed N] [--secureml] [--no-pipeline] [--no-compression] [--client-aided]"
+         [--epochs N] [--seed N] [--secureml] [--no-pipeline] [--no-compression] \
+         [--client-aided] [--out FILE] [--json FILE]"
     );
     exit(2);
 }
@@ -73,6 +84,9 @@ fn parse_args() -> Args {
         pipeline: true,
         compression: true,
         client_aided: false,
+        out: None,
+        json_out: None,
+        files: Vec::new(),
     };
     let next_usize = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
         argv.next()
@@ -106,6 +120,9 @@ fn parse_args() -> Args {
             "--no-pipeline" => args.pipeline = false,
             "--no-compression" => args.compression = false,
             "--client-aided" => args.client_aided = true,
+            "--out" => args.out = Some(argv.next().unwrap_or_else(|| usage())),
+            "--json" => args.json_out = Some(argv.next().unwrap_or_else(|| usage())),
+            other if !other.starts_with('-') => args.files.push(other.to_string()),
             other => {
                 eprintln!("unknown flag '{other}'");
                 usage();
@@ -113,6 +130,34 @@ fn parse_args() -> Args {
         }
     }
     args
+}
+
+/// Writes `text` to `path`, or to stdout when `path` is `None`.
+fn emit(path: Option<&str>, text: &str) {
+    match path {
+        Some(p) => std::fs::write(p, text).unwrap_or_else(|e| {
+            eprintln!("cannot write {p}: {e}");
+            exit(1);
+        }),
+        None => println!("{text}"),
+    }
+}
+
+/// Runs one traced training workload and returns the trainer + events.
+fn traced_train(args: &Args, cfg: EngineConfig) -> (SecureTrainer<Fixed64>, Vec<TraceEvent>) {
+    let mut trainer =
+        SecureTrainer::<Fixed64>::new(cfg, spec_of(args), args.seed).unwrap_or_else(|e| {
+            eprintln!("trainer: {e}");
+            exit(1);
+        });
+    let (result, events) = traced(|| {
+        trainer.train_epochs(args.dataset, args.batch, args.batches, args.epochs, args.seed)
+    });
+    if let Err(e) = result {
+        eprintln!("training: {e}");
+        exit(1);
+    }
+    (trainer, events)
 }
 
 fn config_of(args: &Args) -> EngineConfig {
@@ -219,6 +264,61 @@ fn main() {
             );
             println!("  accuracy         : {:.1}%", result.accuracy * 100.0);
             print_report(&result.report);
+        }
+        "trace" => {
+            let (_, events) = traced_train(&args, config_of(&args));
+            let json = parsecureml::chrome_trace_json(&events);
+            emit(args.out.as_deref(), &json);
+            eprintln!(
+                "traced {} events; load the JSON in chrome://tracing or Perfetto",
+                events.len()
+            );
+        }
+        "profile" => {
+            let cfg = config_of(&args).with_policy(AdaptivePolicy::MeasuredCost);
+            let (trainer, events) = traced_train(&args, cfg);
+            let summary = Summary::from_events(&events);
+            print!("{}", summary.render());
+            let recals = trainer.context().recalibration_events();
+            if recals.is_empty() {
+                println!("recalibrations   : none (static model agreed with measurement)");
+            } else {
+                for r in recals {
+                    println!(
+                        "recalibration    : {:?} {} -> {} (measured {} vs predicted {}, after {} obs)",
+                        r.shape,
+                        r.from.name(),
+                        r.to.name(),
+                        r.measured,
+                        r.predicted,
+                        r.observations
+                    );
+                }
+            }
+            let report = trainer.report();
+            print_report(&report);
+            if let Some(path) = args.json_out.as_deref() {
+                let doc = profile_json(args.model.name(), &events, &report, recals);
+                emit(Some(path), &doc.to_json());
+                eprintln!("profile written to {path}");
+            }
+        }
+        "validate" => {
+            let path = args.files.first().unwrap_or_else(|| {
+                eprintln!("validate: missing file argument");
+                usage()
+            });
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                exit(1);
+            });
+            match validate_document(&text) {
+                Ok(schema) => println!("{path}: valid {schema}"),
+                Err(e) => {
+                    eprintln!("{path}: invalid: {e}");
+                    exit(1);
+                }
+            }
         }
         "bench" => {
             let run = |cfg: EngineConfig| {

@@ -1,5 +1,6 @@
 //! Engine configuration: which of the paper's techniques are enabled.
 
+use crate::error::ConfigError;
 use psml_gpu::MachineConfig;
 use psml_mpc::EvalStrategy;
 use psml_net::{FaultPlan, RetryPolicy};
@@ -17,6 +18,14 @@ pub enum AdaptivePolicy {
     /// the paper's adaptive engine.
     #[default]
     Auto,
+    /// Like [`AdaptivePolicy::Auto`], but the
+    /// [`Recalibrator`](crate::adaptive::Recalibrator) folds *measured*
+    /// simulated span costs back into the decision: when observation
+    /// disagrees with the static model for
+    /// [`EngineConfig::recal_window`] consecutive multiplications of a
+    /// shape, the placement flips. This is the paper's profiling-guided
+    /// loop made literal — the static model only seeds the first decision.
+    MeasuredCost,
 }
 
 /// Full engine configuration.
@@ -81,6 +90,10 @@ pub struct EngineConfig {
     /// faults. Ignored (no ack traffic at all) while the fault plan is
     /// empty.
     pub retry: RetryPolicy,
+    /// Hysteresis window for [`AdaptivePolicy::MeasuredCost`]: how many
+    /// consecutive measured-cost disagreements a shape must accumulate
+    /// before its placement flips. Ignored by the other policies.
+    pub recal_window: usize,
 }
 
 impl EngineConfig {
@@ -105,6 +118,7 @@ impl EngineConfig {
             learning_rate: 0.05,
             fault_plan: FaultPlan::none(),
             retry: RetryPolicy::default(),
+            recal_window: 2,
         }
     }
 
@@ -129,6 +143,7 @@ impl EngineConfig {
             learning_rate: 0.05,
             fault_plan: FaultPlan::none(),
             retry: RetryPolicy::default(),
+            recal_window: 2,
         }
     }
 
@@ -249,22 +264,165 @@ impl EngineConfig {
     }
 
     /// Validates internal consistency.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if !(0.0..=1.0).contains(&self.sparsity_threshold) {
-            return Err(format!(
-                "sparsity_threshold {} outside [0,1]",
-                self.sparsity_threshold
-            ));
+            return Err(ConfigError::Sparsity(self.sparsity_threshold));
         }
         if self.cpu_threads == 0 {
-            return Err("cpu_threads must be >= 1".into());
+            return Err(ConfigError::Threads);
         }
         if !(self.learning_rate.is_finite() && self.learning_rate > 0.0) {
-            return Err(format!("bad learning rate {}", self.learning_rate));
+            return Err(ConfigError::LearningRate(self.learning_rate));
         }
-        self.fault_plan.validate()?;
-        self.retry.validate()?;
+        if self.recal_window == 0 {
+            return Err(ConfigError::RecalWindow);
+        }
+        self.fault_plan.validate().map_err(ConfigError::Faults)?;
+        self.retry.validate().map_err(ConfigError::Retry)?;
         Ok(())
+    }
+
+    /// Starts a validated builder seeded from the
+    /// [`EngineConfig::parsecureml`] preset. Prefer this over struct
+    /// literals / direct field mutation in application code: the terminal
+    /// [`EngineConfigBuilder::build`] runs [`EngineConfig::validate`], so
+    /// an inconsistent configuration surfaces as a typed [`ConfigError`]
+    /// at construction instead of a panic inside the engine.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            cfg: Self::parsecureml(),
+        }
+    }
+}
+
+/// Typed, validating builder for [`EngineConfig`]; see
+/// [`EngineConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct EngineConfigBuilder {
+    cfg: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Replaces the whole base configuration with a preset (or any
+    /// existing config) while keeping the builder flow.
+    pub fn preset(mut self, cfg: EngineConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Hardware model for every node.
+    pub fn machine(mut self, machine: MachineConfig) -> Self {
+        self.cfg.machine = machine;
+        self
+    }
+
+    /// *compute2* placement policy.
+    pub fn policy(mut self, policy: AdaptivePolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Double pipeline on/off.
+    pub fn pipeline(mut self, on: bool) -> Self {
+        self.cfg.pipeline = on;
+        self
+    }
+
+    /// Compressed transmission on/off.
+    pub fn compression(mut self, on: bool) -> Self {
+        self.cfg.compression = on;
+        self
+    }
+
+    /// Zero-fraction threshold for compression (validated into `[0, 1]`).
+    pub fn sparsity_threshold(mut self, threshold: f64) -> Self {
+        self.cfg.sparsity_threshold = threshold;
+        self
+    }
+
+    /// Tensor-Core GEMMs on/off.
+    pub fn tensor_cores(mut self, on: bool) -> Self {
+        self.cfg.tensor_cores = on;
+        self
+    }
+
+    /// Server-side CPU threads (validated `>= 1`; unlike the legacy
+    /// `with_cpu_threads` combinator this does not silently clamp).
+    pub fn cpu_threads(mut self, threads: usize) -> Self {
+        self.cfg.cpu_threads = threads;
+        self
+    }
+
+    /// Host GEMM-pool worker count.
+    pub fn host_workers(mut self, workers: usize) -> Self {
+        self.cfg.host_workers = Some(workers.max(1));
+        self
+    }
+
+    /// Client-side CPU threads.
+    pub fn client_cpu_threads(mut self, threads: usize) -> Self {
+        self.cfg.client_cpu_threads = threads.max(1);
+        self
+    }
+
+    /// Tuned (blocked/SIMD) CPU GEMM rate on/off.
+    pub fn tuned_cpu_gemm(mut self, on: bool) -> Self {
+        self.cfg.tuned_cpu_gemm = on;
+        self
+    }
+
+    /// Client GPU offline generation on/off.
+    pub fn gpu_offline(mut self, on: bool) -> Self {
+        self.cfg.gpu_offline = on;
+        self
+    }
+
+    /// Server evaluation strategy (Eq. 6 expanded vs Eq. 8 fused).
+    pub fn eval_strategy(mut self, strategy: EvalStrategy) -> Self {
+        self.cfg.eval_strategy = strategy;
+        self
+    }
+
+    /// Client-aided activation on/off.
+    pub fn client_aided_activation(mut self, on: bool) -> Self {
+        self.cfg.client_aided_activation = on;
+        self
+    }
+
+    /// Beaver-triple reuse on/off.
+    pub fn reuse_triples(mut self, on: bool) -> Self {
+        self.cfg.reuse_triples = on;
+        self
+    }
+
+    /// Learning rate (validated finite and positive).
+    pub fn learning_rate(mut self, lr: f64) -> Self {
+        self.cfg.learning_rate = lr;
+        self
+    }
+
+    /// Fault-injection plan (validated).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.cfg.fault_plan = plan;
+        self
+    }
+
+    /// Retransmission policy (validated).
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.cfg.retry = retry;
+        self
+    }
+
+    /// Measured-cost hysteresis window (validated `>= 1`).
+    pub fn recal_window(mut self, window: usize) -> Self {
+        self.cfg.recal_window = window;
+        self
+    }
+
+    /// Validates and returns the finished configuration.
+    pub fn build(self) -> Result<EngineConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -323,6 +481,49 @@ mod tests {
         let mut cfg = EngineConfig::parsecureml();
         cfg.learning_rate = -1.0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn builder_validates_on_build() {
+        let cfg = EngineConfig::builder()
+            .policy(AdaptivePolicy::MeasuredCost)
+            .pipeline(false)
+            .cpu_threads(4)
+            .learning_rate(0.01)
+            .recal_window(3)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.policy, AdaptivePolicy::MeasuredCost);
+        assert!(!cfg.pipeline);
+        assert_eq!(cfg.cpu_threads, 4);
+        assert_eq!(cfg.client_cpu_threads, EngineConfig::parsecureml().client_cpu_threads);
+        assert_eq!(cfg.recal_window, 3);
+
+        let err = EngineConfig::builder().cpu_threads(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::Threads);
+        let err = EngineConfig::builder()
+            .sparsity_threshold(1.5)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Sparsity(_)));
+        let err = EngineConfig::builder()
+            .learning_rate(f64::NAN)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::LearningRate(_)));
+        let err = EngineConfig::builder().recal_window(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::RecalWindow);
+    }
+
+    #[test]
+    fn builder_preset_switches_base() {
+        let cfg = EngineConfig::builder()
+            .preset(EngineConfig::secureml())
+            .compression(true)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.policy, AdaptivePolicy::ForceCpu);
+        assert!(cfg.compression, "override applies on top of the preset");
     }
 
     #[test]

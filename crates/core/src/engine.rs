@@ -43,7 +43,44 @@ use psml_net::{
 use psml_parallel::Mt19937;
 use psml_simtime::{Resource, SimDuration, SimTime};
 use psml_tensor::{gemm_auto, pack_b, ConvShape, Matrix, PackedB};
+use psml_trace::{ns_of_secs, Phase, TraceEvent, TraceSink};
 use std::collections::HashMap;
+
+/// Layer index encoded in a stream key (`"l3.fwd"` -> `Some(3)`).
+fn layer_of_key(key: &str) -> Option<u32> {
+    let rest = key.strip_prefix('l')?;
+    let digits: &str = &rest[..rest.bytes().take_while(u8::is_ascii_digit).count()];
+    digits.parse().ok()
+}
+
+/// Records one engine-level phase span (no-op unless tracing is enabled).
+#[allow(clippy::too_many_arguments)] // a span is wide: op, lane, interval, shape
+fn trace_phase(
+    op: &str,
+    phase: Phase,
+    layer: Option<u32>,
+    start: SimTime,
+    end: SimTime,
+    shape: Option<[u32; 3]>,
+    placement: Option<&'static str>,
+    bytes: usize,
+) {
+    if !TraceSink::is_enabled() {
+        return;
+    }
+    TraceSink::record(TraceEvent {
+        phase,
+        op: op.to_string(),
+        track: "engine".to_string(),
+        layer,
+        shape,
+        placement,
+        start_ns: ns_of_secs(start.as_secs()),
+        end_ns: ns_of_secs(end.as_secs()),
+        wall_ns: 0,
+        bytes: bytes as u64,
+    });
+}
 
 /// A value plus the simulated instant it becomes available.
 #[derive(Clone, Debug)]
@@ -172,8 +209,8 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
             decoders: HashMap::new(),
             end: SimTime::ZERO,
         };
-        SecureContext {
-            adaptive: AdaptiveEngine::new(cfg.policy),
+        let mut ctx = SecureContext {
+            adaptive: AdaptiveEngine::with_window(cfg.policy, cfg.recal_window),
             rng: Mt19937::new(seed),
             client: ClientState {
                 cpu: Resource::new("client-cpu"),
@@ -190,7 +227,11 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
             activation_roundtrips: 0,
             reliable: ReliableChannel::new(cfg.retry),
             cfg,
-        }
+        };
+        ctx.client.device.set_trace_scope("client");
+        ctx.servers[0].device.set_trace_scope("server0");
+        ctx.servers[1].device.set_trace_scope("server1");
+        ctx
     }
 
     /// The active configuration.
@@ -322,16 +363,31 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
     /// Offline: encodes a client plaintext and distributes its two shares
     /// (the Fig. 1b partitioning step).
     pub fn share_input(&mut self, m: &PlainMatrix) -> Result<SharedMatrix<R>> {
+        let _offline = TraceSink::scope(Phase::Offline, None);
+        let start = self.client.now;
         let secret = R::encode_matrix(m);
         let mask = self.client_random(m.rows(), m.cols());
         self.client_cpu(2 * secret.byte_size());
         let other = secret.sub(&mask);
-        self.distribute(mask, other)
+        let shared = self.distribute(mask, other)?;
+        trace_phase(
+            "share_input",
+            Phase::Offline,
+            None,
+            start,
+            self.offline_end.max(self.client.now),
+            Some([m.rows() as u32, 0, m.cols() as u32]),
+            None,
+            2 * m.rows() * m.cols() * R::BYTES,
+        );
+        Ok(shared)
     }
 
     /// Offline: generates one Beaver triple for an `(m x k) * (k x n)`
     /// product and distributes the shares.
     pub fn gen_triple(&mut self, m: usize, k: usize, n: usize) -> Result<DistTriple<R>> {
+        let _offline = TraceSink::scope(Phase::Offline, None);
+        let t_start = self.client.now;
         let u = self.client_random(m, k);
         let v = self.client_random(k, n);
         let z = self.client_product(&u, &v);
@@ -352,6 +408,16 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         let [u0, u1] = us.parts;
         let [v0, v1] = vs.parts;
         let [z0, z1] = zs.parts;
+        trace_phase(
+            "gen_triple",
+            Phase::Offline,
+            None,
+            t_start,
+            self.offline_end.max(self.client.now),
+            Some([m as u32, k as u32, n as u32]),
+            None,
+            2 * (m * k + k * n + m * n) * R::BYTES,
+        );
         Ok(DistTriple {
             shares: [
                 Timed::at_zero(TripleShare {
@@ -486,13 +552,16 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
             )));
         }
         self.secure_muls += 1;
+        let layer = layer_of_key(key);
         if !self.cfg.pipeline {
             self.barrier();
         }
 
         // --- compute1: E_i = A_i - U_i, F_i = B_i - V_i (CPU) ---
+        let c1_guard = TraceSink::scope(Phase::Compute1, layer);
         let mut masked: Vec<(Matrix<R>, Matrix<R>, SimTime)> = Vec::with_capacity(2);
         let c1_dur = self.cpu_dur(3 * (m * k + k * n) * R::BYTES);
+        let mut c1_start: Option<SimTime> = None;
         for i in 0..2 {
             let tri = &triple.shares[i];
             let e = a.parts[i].v.sub(&tri.v.u);
@@ -501,13 +570,26 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
                 .ready
                 .max(b.parts[i].ready)
                 .max(tri.ready);
+            c1_start = Some(c1_start.map_or(ready, |s| s.min(ready)));
             let t = self.server_cpu(i, ready, c1_dur);
             masked.push((e, f, t));
         }
         self.breakdown.compute1 += c1_dur;
+        drop(c1_guard);
 
         // --- communicate: exchange E_i, F_i; reconstruct E, F ---
+        let comm_guard = TraceSink::scope(Phase::Communicate, layer);
         let comm_start = masked[0].2.max(masked[1].2);
+        trace_phase(
+            "compute1",
+            Phase::Compute1,
+            layer,
+            c1_start.unwrap_or(SimTime::ZERO),
+            comm_start,
+            Some([m as u32, k as u32, n as u32]),
+            None,
+            0,
+        );
         let ekey = format!("{key}.E");
         let fkey = format!("{key}.F");
         // theirs[i] = (E, F) received *by* server i from its peer, each
@@ -534,12 +616,24 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         }
         let comm_end = publics[0].2.max(publics[1].2);
         self.breakdown.communicate += comm_end.saturating_since(comm_start);
+        trace_phase(
+            "communicate",
+            Phase::Communicate,
+            layer,
+            comm_start,
+            comm_end,
+            Some([m as u32, k as u32, n as u32]),
+            None,
+            4 * (m * k + k * n) * R::BYTES,
+        );
+        drop(comm_guard);
 
         if !self.cfg.pipeline {
             self.barrier();
         }
 
         // --- compute2: C_i = [D | E] x [F ; B_i] + Z_i ---
+        let c2_guard = TraceSink::scope(Phase::Compute2, layer);
         let bytes_moved = (2 * m * k + 2 * k * n + 2 * m * n) * R::BYTES;
         let placement = self.adaptive.place(&self.cfg, m, 2 * k, n, bytes_moved);
         let c2_start = comm_end;
@@ -574,6 +668,27 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         }
         let c2_end = outs[0].ready.max(outs[1].ready);
         self.breakdown.compute2 += c2_end.saturating_since(c2_start);
+        // Measured span of compute2 on the critical server: readiness of
+        // its output relative to its own public (E, F) instant. This is
+        // what the MeasuredCost recalibrator compares against the static
+        // prediction — it includes per-operand transfers, launch overheads
+        // and queueing the model omits.
+        let measured = (0..2)
+            .map(|i| outs[i].ready.saturating_since(publics[i].2))
+            .fold(SimDuration::ZERO, SimDuration::max);
+        self.adaptive
+            .observe(&self.cfg, (m, 2 * k, n), bytes_moved, placement, measured);
+        trace_phase(
+            "compute2",
+            Phase::Compute2,
+            layer,
+            c2_start,
+            c2_end,
+            Some([m as u32, 2 * k as u32, n as u32]),
+            Some(placement.name()),
+            bytes_moved,
+        );
+        drop(c2_guard);
 
         let mut it = outs.into_iter();
         Ok(SharedMatrix::new(it.next().unwrap(), it.next().unwrap()))
@@ -632,7 +747,9 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
             )));
         }
         let (m, n) = a.shape();
+        let layer = layer_of_key(key);
         // Offline: element-wise triple (cached per key, like matmul).
+        let offline_guard = TraceSink::scope(Phase::Offline, layer);
         let hkey = format!("{key}.had");
         let triple = match self
             .triple_cache
@@ -679,12 +796,14 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
                 t
             }
         };
+        drop(offline_guard);
         self.secure_muls += 1;
         if !self.cfg.pipeline {
             self.barrier();
         }
 
         // compute1 + communicate, identical structure to secure_mul.
+        let c1_guard = TraceSink::scope(Phase::Compute1, layer);
         let c1_dur = self.cpu_dur(6 * m * n * R::BYTES);
         let mut masked: Vec<(Matrix<R>, Matrix<R>, SimTime)> = Vec::with_capacity(2);
         for i in 0..2 {
@@ -696,6 +815,8 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
             masked.push((e, f, t));
         }
         self.breakdown.compute1 += c1_dur;
+        drop(c1_guard);
+        let comm_guard = TraceSink::scope(Phase::Communicate, layer);
         let comm_start = masked[0].2.max(masked[1].2);
         let ekey = format!("{hkey}.E");
         let fkey = format!("{hkey}.F");
@@ -706,6 +827,8 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
             let f = self.transfer_mat(j, &fkey, &masked[j].1, masked[j].2)?;
             theirs.push((e, f));
         }
+        drop(comm_guard);
+        let _c2_guard = TraceSink::scope(Phase::Compute2, layer);
         let mut outs: Vec<Timed<Matrix<R>>> = Vec::with_capacity(2);
         let c2_dur = self.cpu_dur(8 * m * n * R::BYTES);
         for i in 0..2 {
@@ -1001,6 +1124,7 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         df: impl Fn(f64) -> f64,
         key: &str,
     ) -> Result<(SharedMatrix<R>, PlainMatrix)> {
+        let _act = TraceSink::scope(Phase::Activation, layer_of_key(key));
         if self.cfg.client_aided_activation {
             return self.client_aided_activation(z, f, df);
         }
@@ -1042,6 +1166,17 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         );
         let end = out.parts[0].ready.max(out.parts[1].ready);
         self.breakdown.activation += end.saturating_since(start);
+        let (rows, cols) = out.shape();
+        trace_phase(
+            "activation",
+            Phase::Activation,
+            None,
+            start,
+            end,
+            Some([rows as u32, 0, cols as u32]),
+            None,
+            2 * rows * cols * R::BYTES,
+        );
         Ok((out, mask))
     }
 
@@ -1122,6 +1257,17 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         let out = SharedMatrix::new(it.next().unwrap(), it.next().unwrap());
         let end = out.parts[0].ready.max(out.parts[1].ready);
         self.breakdown.activation += end.saturating_since(start);
+        let (rows, cols) = out.shape();
+        trace_phase(
+            "activation[client-aided]",
+            Phase::Activation,
+            None,
+            start,
+            end,
+            Some([rows as u32, 0, cols as u32]),
+            None,
+            4 * rows * cols * R::BYTES,
+        );
         Ok((out, mask))
     }
 
@@ -1217,6 +1363,12 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
     /// The two servers' GPU profiles (nvprof-style), `[server0, server1]`.
     pub fn gpu_profiles(&self) -> [psml_gpu::ProfileReport; 2] {
         [self.servers[0].device.profile(), self.servers[1].device.profile()]
+    }
+
+    /// Placement flips recorded by the measured-cost recalibrator (empty
+    /// unless the policy is [`crate::AdaptivePolicy::MeasuredCost`]).
+    pub fn recalibration_events(&self) -> &[crate::adaptive::RecalEvent] {
+        self.adaptive.recalibrator().events()
     }
 }
 

@@ -5,7 +5,7 @@
 //! exported by the client and reloaded into either the secure trainer or
 //! the plaintext baseline. No external format crates required.
 
-use crate::error::{EngineError, Result};
+use crate::error::{ConfigError, EngineError, Result};
 use psml_mpc::PlainMatrix;
 use std::io::{Read, Write};
 use std::path::Path;
@@ -14,7 +14,7 @@ const MAGIC: &[u8; 8] = b"PSMLWTS\x01";
 
 /// Serializes layered weights (`layers x matrices-per-layer`) to a writer.
 pub fn write_weights<W: Write>(mut w: W, weights: &[Vec<PlainMatrix>]) -> Result<()> {
-    let io_err = |e: std::io::Error| EngineError::Config(format!("weight io: {e}"));
+    let io_err = |e: std::io::Error| EngineError::io("write weights", &e);
     w.write_all(MAGIC).map_err(io_err)?;
     w.write_all(&(weights.len() as u32).to_le_bytes())
         .map_err(io_err)?;
@@ -34,11 +34,11 @@ pub fn write_weights<W: Write>(mut w: W, weights: &[Vec<PlainMatrix>]) -> Result
 
 /// Deserializes layered weights from a reader.
 pub fn read_weights<R: Read>(mut r: R) -> Result<Vec<Vec<PlainMatrix>>> {
-    let io_err = |e: std::io::Error| EngineError::Config(format!("weight io: {e}"));
+    let io_err = |e: std::io::Error| EngineError::io("read weights", &e);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic).map_err(io_err)?;
     if &magic != MAGIC {
-        return Err(EngineError::Config("bad weight-file magic".into()));
+        return Err(ConfigError::WeightFormat("bad weight-file magic".into()).into());
     }
     let mut u32buf = [0u8; 4];
     let mut read_u32 = |r: &mut R| -> Result<usize> {
@@ -47,20 +47,20 @@ pub fn read_weights<R: Read>(mut r: R) -> Result<Vec<Vec<PlainMatrix>>> {
     };
     let layers = read_u32(&mut r)?;
     if layers > 4096 {
-        return Err(EngineError::Config("implausible layer count".into()));
+        return Err(ConfigError::WeightFormat("implausible layer count".into()).into());
     }
     let mut out = Vec::with_capacity(layers);
     for _ in 0..layers {
         let mats = read_u32(&mut r)?;
         if mats > 16 {
-            return Err(EngineError::Config("implausible matrix count".into()));
+            return Err(ConfigError::WeightFormat("implausible matrix count".into()).into());
         }
         let mut layer = Vec::with_capacity(mats);
         for _ in 0..mats {
             let rows = read_u32(&mut r)?;
             let cols = read_u32(&mut r)?;
             if rows.checked_mul(cols).is_none_or(|n| n > (1 << 28)) {
-                return Err(EngineError::Config("implausible matrix shape".into()));
+                return Err(ConfigError::WeightFormat("implausible matrix shape".into()).into());
             }
             let mut data = Vec::with_capacity(rows * cols);
             let mut f64buf = [0u8; 8];
@@ -77,15 +77,13 @@ pub fn read_weights<R: Read>(mut r: R) -> Result<Vec<Vec<PlainMatrix>>> {
 
 /// Writes weights to a file.
 pub fn save_weights(path: impl AsRef<Path>, weights: &[Vec<PlainMatrix>]) -> Result<()> {
-    let f = std::fs::File::create(path)
-        .map_err(|e| EngineError::Config(format!("weight io: {e}")))?;
+    let f = std::fs::File::create(path).map_err(|e| EngineError::io("create weight file", &e))?;
     write_weights(std::io::BufWriter::new(f), weights)
 }
 
 /// Reads weights from a file.
 pub fn load_weights(path: impl AsRef<Path>) -> Result<Vec<Vec<PlainMatrix>>> {
-    let f = std::fs::File::open(path)
-        .map_err(|e| EngineError::Config(format!("weight io: {e}")))?;
+    let f = std::fs::File::open(path).map_err(|e| EngineError::io("open weight file", &e))?;
     read_weights(std::io::BufReader::new(f))
 }
 

@@ -39,13 +39,14 @@ pub mod error;
 pub mod io;
 pub mod layers;
 pub mod models;
+pub mod observe;
 pub mod report;
 pub mod trainer;
 
-pub use adaptive::{AdaptiveEngine, Placement};
-pub use config::{AdaptivePolicy, EngineConfig};
+pub use adaptive::{AdaptiveEngine, Placement, RecalEvent, Recalibrator};
+pub use config::{AdaptivePolicy, EngineConfig, EngineConfigBuilder};
 pub use engine::SecureContext;
-pub use error::EngineError;
+pub use error::{ConfigError, EngineError};
 pub use layers::{Activation, LayerSpec};
 pub use models::{ModelKind, ModelSpec};
 pub use report::{PhaseBreakdown, RunReport};
@@ -59,16 +60,33 @@ pub use psml_net::{
     RetryPolicy,
 };
 
+// Simulated-GPU vocabulary surfaced so applications need not depend on
+// `psml_gpu` directly: device handles for custom protocols, the machine
+// model for configuration, and the nvprof-style profile in reports.
+pub use psml_gpu::{
+    CpuConfig, GemmMode, GpuConfig, GpuDevice, GpuError, MachineConfig, ProfileReport,
+};
+pub use psml_simtime::LinkModel;
+
+// Structured tracing (the `psml-trace` crate): the global sink, typed
+// span events, the Chrome `chrome://tracing` exporter, and the
+// flamegraph-style text summary.
+pub use psml_trace::{
+    chrome_trace_json, chrome_trace_json_with, ChromeTraceOptions, Phase, Summary,
+    TraceEvent, TraceSink,
+};
+
 /// Convenient re-exports for application code.
 pub mod prelude {
     pub use crate::baseline::{PlainBackend, PlainModel};
     pub use crate::{
-        Activation, AdaptivePolicy, EngineConfig, EngineError, FaultPlan, LayerSpec,
-        LinkFaults, ModelKind, ModelSpec, NetError, NodeId, RetryPolicy, RunReport,
-        SecureContext, SecureTrainer, TrainerCheckpoint,
+        Activation, AdaptivePolicy, ConfigError, EngineConfig, EngineConfigBuilder,
+        EngineError, FaultPlan, LayerSpec, LinkFaults, MachineConfig, ModelKind,
+        ModelSpec, NetError, NodeId, Phase, RecalEvent, RetryPolicy, RunReport,
+        SecureContext, SecureTrainer, Summary, TraceEvent, TraceSink,
+        TrainerCheckpoint,
     };
     pub use psml_data::{batch, Batch, DatasetKind};
-    pub use psml_gpu::MachineConfig;
     pub use psml_mpc::{Fixed64, Party, PlainMatrix, SecureRing};
     pub use psml_simtime::{SimDuration, SimTime};
     pub use psml_tensor::Matrix;

@@ -86,10 +86,10 @@ impl ModelSpec {
         let spec = match kind {
             ModelKind::Cnn => {
                 let (channels, height, width) = image.ok_or_else(|| {
-                    EngineError::Config("CNN requires image geometry".into())
+                    EngineError::config("CNN requires image geometry")
                 })?;
                 if channels * height * width != features {
-                    return Err(EngineError::Config(format!(
+                    return Err(EngineError::config(format!(
                         "image {channels}x{height}x{width} != features {features}"
                     )));
                 }
@@ -149,7 +149,7 @@ impl ModelSpec {
             ModelKind::Rnn => {
                 let seq_len = 4;
                 if !features.is_multiple_of(seq_len) {
-                    return Err(EngineError::Config(format!(
+                    return Err(EngineError::config(format!(
                         "RNN needs features divisible by seq_len={seq_len}, got {features}"
                     )));
                 }
@@ -211,11 +211,11 @@ impl ModelSpec {
     /// Checks that consecutive layers' features line up.
     pub fn validate(&self) -> Result<()> {
         if self.layers.is_empty() {
-            return Err(EngineError::Config("model has no layers".into()));
+            return Err(EngineError::config("model has no layers"));
         }
         for pair in self.layers.windows(2) {
             if pair[0].output_features() != pair[1].input_features() {
-                return Err(EngineError::Config(format!(
+                return Err(EngineError::config(format!(
                     "layer mismatch: {} outputs vs {} inputs",
                     pair[0].output_features(),
                     pair[1].input_features()
@@ -223,7 +223,7 @@ impl ModelSpec {
             }
         }
         if self.layers.last().unwrap().output_features() != self.outputs {
-            return Err(EngineError::Config("output width mismatch".into()));
+            return Err(EngineError::config("output width mismatch"));
         }
         Ok(())
     }

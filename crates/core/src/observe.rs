@@ -1,0 +1,173 @@
+//! Traced-run helpers shared by the `psml` CLI and the golden tests:
+//! enable/run/drain around a workload, the `psml.profile.v1` document
+//! assembly, and validation of every versioned JSON schema the framework
+//! emits.
+
+use crate::adaptive::RecalEvent;
+use crate::report::RunReport;
+use psml_trace::json::{obj, parse, JsonValue};
+use psml_trace::{Summary, TraceEvent, TraceSink};
+
+/// Runs `f` with tracing enabled and returns its result plus the events
+/// recorded on this thread, in insertion order. The sink is cleared first
+/// (stale events from earlier runs would corrupt the trace) and disabled
+/// afterwards, restoring the zero-cost path.
+pub fn traced<T>(f: impl FnOnce() -> T) -> (T, Vec<TraceEvent>) {
+    TraceSink::clear();
+    TraceSink::enable();
+    let out = f();
+    let events = TraceSink::drain();
+    TraceSink::disable();
+    (out, events)
+}
+
+/// Assembles the versioned `psml.profile.v1` document: per-phase busy
+/// time from the trace, the run report, and any measured-cost
+/// recalibration flips.
+pub fn profile_json(
+    model: &str,
+    events: &[TraceEvent],
+    report: &RunReport,
+    recalibrations: &[RecalEvent],
+) -> JsonValue {
+    let summary = Summary::from_events(events);
+    let phases = summary
+        .phases
+        .iter()
+        .map(|&(phase, ns, n, bytes)| {
+            obj([
+                ("phase", JsonValue::Str(phase.name().into())),
+                ("busy_ns", JsonValue::UInt(ns)),
+                ("events", JsonValue::UInt(n as u64)),
+                ("bytes", JsonValue::UInt(bytes)),
+            ])
+        })
+        .collect();
+    let recals = recalibrations
+        .iter()
+        .map(|r| {
+            obj([
+                (
+                    "shape",
+                    JsonValue::Array(vec![
+                        JsonValue::UInt(r.shape.0 as u64),
+                        JsonValue::UInt(r.shape.1 as u64),
+                        JsonValue::UInt(r.shape.2 as u64),
+                    ]),
+                ),
+                ("from", JsonValue::Str(r.from.name().into())),
+                ("to", JsonValue::Str(r.to.name().into())),
+                ("measured_secs", JsonValue::Float(r.measured.as_secs())),
+                ("predicted_secs", JsonValue::Float(r.predicted.as_secs())),
+                ("observations", JsonValue::UInt(r.observations as u64)),
+            ])
+        })
+        .collect();
+    obj([
+        ("schema", JsonValue::Str("psml.profile.v1".into())),
+        ("model", JsonValue::Str(model.into())),
+        ("trace_events", JsonValue::UInt(events.len() as u64)),
+        ("trace_busy_ns", JsonValue::UInt(summary.total_ns)),
+        ("trace_bytes", JsonValue::UInt(summary.total_bytes)),
+        ("phases", JsonValue::Array(phases)),
+        ("recalibrations", JsonValue::Array(recals)),
+        ("report", report.to_json()),
+    ])
+}
+
+/// Required top-level keys per versioned schema.
+const SCHEMAS: &[(&str, &[&str])] = &[
+    ("psml.trace.v1", &["displayTimeUnit", "traceEvents"]),
+    (
+        "psml.profile.v1",
+        &["model", "phases", "recalibrations", "report"],
+    ),
+    (
+        "psml.report.v1",
+        &["offline_time_secs", "online_time_secs", "breakdown", "traffic", "reliability"],
+    ),
+    (
+        "psml.phases.v1",
+        &["compute1_secs", "communicate_secs", "compute2_secs"],
+    ),
+    ("psml.traffic.v1", &["messages", "wire_bytes", "links"]),
+    (
+        "psml.reliability.v1",
+        &["transfers", "retransmits", "timeouts"],
+    ),
+];
+
+/// Parses `text` and checks it against its self-declared versioned
+/// schema. Returns the schema name on success; a description of the
+/// first problem otherwise.
+pub fn validate_document(text: &str) -> Result<String, String> {
+    let doc = parse(text).map_err(|e| e.to_string())?;
+    if !doc.is_object() {
+        return Err("top-level value is not an object".into());
+    }
+    let schema = doc
+        .get("schema")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| "missing string \"schema\" key".to_string())?
+        .to_string();
+    let required = SCHEMAS
+        .iter()
+        .find(|(name, _)| *name == schema)
+        .map(|(_, keys)| *keys)
+        .ok_or_else(|| format!("unknown schema '{schema}'"))?;
+    for key in required {
+        if doc.get(key).is_none() {
+            return Err(format!("schema '{schema}' is missing key '{key}'"));
+        }
+    }
+    // Embedded sub-documents declare their own schemas; validate those too.
+    for key in ["breakdown", "traffic", "reliability", "report"] {
+        if let Some(sub) = doc.get(key) {
+            if sub.get("schema").is_some() {
+                validate_document(&sub.to_json())?;
+            }
+        }
+    }
+    Ok(schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // `traced` toggles the process-global enable flag; tests sharing the
+    // binary must not interleave their toggles.
+    static FLAG_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn traced_isolates_and_restores() {
+        let _serial = FLAG_LOCK.lock().unwrap();
+        let (out, events) = traced(|| {
+            TraceSink::span("op", "lane", 0, 10, 4);
+            7
+        });
+        assert_eq!(out, 7);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].op, "op");
+        assert!(!TraceSink::is_enabled(), "tracing restored to disabled");
+    }
+
+    #[test]
+    fn profile_document_validates() {
+        let _serial = FLAG_LOCK.lock().unwrap();
+        let (_, events) = traced(|| {
+            TraceSink::span("gemm", "server0/compute", 0, 100, 0);
+        });
+        let doc = profile_json("mlp", &events, &RunReport::default(), &[]);
+        let schema = validate_document(&doc.to_json()).expect("valid profile");
+        assert_eq!(schema, "psml.profile.v1");
+    }
+
+    #[test]
+    fn validate_rejects_unknown_and_incomplete() {
+        assert!(validate_document("{\"schema\":\"psml.bogus.v9\"}").is_err());
+        assert!(validate_document("{\"schema\":\"psml.trace.v1\"}").is_err());
+        assert!(validate_document("not json").is_err());
+        assert!(validate_document("[1,2]").is_err());
+    }
+}

@@ -34,6 +34,33 @@ impl PhaseBreakdown {
         self.share_generation + self.distribution
     }
 
+    /// Versioned, serde-free JSON form (`psml.phases.v1`), durations in
+    /// f64 seconds.
+    pub fn to_json(&self) -> psml_trace::json::JsonValue {
+        use psml_trace::json::{obj, JsonValue};
+        obj([
+            ("schema", JsonValue::Str("psml.phases.v1".into())),
+            (
+                "share_generation_secs",
+                JsonValue::Float(self.share_generation.as_secs()),
+            ),
+            (
+                "distribution_secs",
+                JsonValue::Float(self.distribution.as_secs()),
+            ),
+            ("compute1_secs", JsonValue::Float(self.compute1.as_secs())),
+            (
+                "communicate_secs",
+                JsonValue::Float(self.communicate.as_secs()),
+            ),
+            ("compute2_secs", JsonValue::Float(self.compute2.as_secs())),
+            (
+                "activation_secs",
+                JsonValue::Float(self.activation.as_secs()),
+            ),
+        ])
+    }
+
     /// Accumulates another breakdown.
     pub fn merge(&mut self, other: &PhaseBreakdown) {
         self.share_generation += other.share_generation;
@@ -119,6 +146,52 @@ impl RunReport {
             baseline.offline_time.as_secs() / own
         }
     }
+
+    /// Versioned, serde-free JSON form (`psml.report.v1`). Embeds the
+    /// phase, traffic, and reliability documents under their own keys so
+    /// consumers can validate each sub-schema independently.
+    pub fn to_json(&self) -> psml_trace::json::JsonValue {
+        use psml_trace::json::{obj, JsonValue};
+        obj([
+            ("schema", JsonValue::Str("psml.report.v1".into())),
+            (
+                "offline_time_secs",
+                JsonValue::Float(self.offline_time.as_secs()),
+            ),
+            (
+                "online_time_secs",
+                JsonValue::Float(self.online_time.as_secs()),
+            ),
+            (
+                "total_time_secs",
+                JsonValue::Float(self.total_time().as_secs()),
+            ),
+            ("occupancy", JsonValue::Float(self.occupancy())),
+            ("secure_muls", JsonValue::UInt(self.secure_muls as u64)),
+            (
+                "placements",
+                obj([
+                    ("cpu", JsonValue::UInt(self.placements.0 as u64)),
+                    ("gpu", JsonValue::UInt(self.placements.1 as u64)),
+                ]),
+            ),
+            ("breakdown", self.breakdown.to_json()),
+            ("traffic", self.traffic.to_json()),
+            ("reliability", self.reliability.to_json()),
+            (
+                "injected_faults",
+                obj([
+                    ("drops", JsonValue::UInt(self.injected.drops)),
+                    ("corruptions", JsonValue::UInt(self.injected.corruptions)),
+                    ("delays", JsonValue::UInt(self.injected.delays)),
+                    (
+                        "blackout_drops",
+                        JsonValue::UInt(self.injected.blackout_drops),
+                    ),
+                ]),
+            ),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +244,43 @@ mod tests {
         assert_eq!(r.total_time(), SimDuration::ZERO);
         assert_eq!(r.speedup_over(&r), 0.0);
         assert!(r.fault_free());
+    }
+
+    #[test]
+    fn to_json_is_versioned_and_parseable() {
+        let r = RunReport {
+            offline_time: secs(1.5),
+            online_time: secs(0.5),
+            secure_muls: 3,
+            placements: (1, 2),
+            ..Default::default()
+        };
+        let doc = r.to_json();
+        let text = doc.to_json();
+        let parsed = psml_trace::json::parse(&text).expect("round-trip");
+        assert_eq!(parsed.get("schema").and_then(|v| v.as_str()), Some("psml.report.v1"));
+        assert_eq!(parsed.get("total_time_secs").and_then(|v| v.as_f64()), Some(2.0));
+        assert_eq!(
+            parsed
+                .get("breakdown")
+                .and_then(|b| b.get("schema"))
+                .and_then(|v| v.as_str()),
+            Some("psml.phases.v1")
+        );
+        assert_eq!(
+            parsed
+                .get("traffic")
+                .and_then(|b| b.get("schema"))
+                .and_then(|v| v.as_str()),
+            Some("psml.traffic.v1")
+        );
+        assert_eq!(
+            parsed
+                .get("reliability")
+                .and_then(|b| b.get("schema"))
+                .and_then(|v| v.as_str()),
+            Some("psml.reliability.v1")
+        );
     }
 
     #[test]

@@ -132,6 +132,12 @@ impl<R: GpuElement> GpuDevice<R> {
         &self.timeline
     }
 
+    /// Names this device's lane in the global structured trace (e.g.
+    /// `"server0.gpu"`); see [`Timeline::set_trace_scope`].
+    pub fn set_trace_scope(&mut self, scope: impl Into<String>) {
+        self.timeline.set_trace_scope(scope);
+    }
+
     /// nvprof-style profile of everything executed so far.
     pub fn profile(&self) -> ProfileReport {
         ProfileReport::from_timeline(&self.timeline)
@@ -195,9 +201,9 @@ impl<R: GpuElement> GpuDevice<R> {
     /// producing it).
     pub fn upload(&mut self, m: &Matrix<R>, after: SimTime) -> Result<BufferId, GpuError> {
         let dur = self.config.pcie.transfer_time(m.byte_size());
-        let ready = self
-            .timeline
-            .schedule(self.h2d, after.max(self.fence), dur, "h2d");
+        let ready =
+            self.timeline
+                .schedule_bytes(self.h2d, after.max(self.fence), dur, "h2d", m.byte_size());
         self.alloc(m.clone(), ready)
     }
 
@@ -209,9 +215,9 @@ impl<R: GpuElement> GpuDevice<R> {
             (slot.data.clone(), slot.ready, slot.bytes)
         };
         let dur = self.config.pcie.transfer_time(bytes);
-        let done = self
-            .timeline
-            .schedule(self.d2h, ready.max(self.fence), dur, "d2h");
+        let done =
+            self.timeline
+                .schedule_bytes(self.d2h, ready.max(self.fence), dur, "d2h", bytes);
         Ok((data, done))
     }
 

@@ -45,19 +45,72 @@ impl ProfileReport {
         ProfileReport { lines }
     }
 
-    /// Total time across all activities.
+    /// Total time across all activities (each label counted once, even if
+    /// a hand-assembled report carries duplicate aggregate lines).
     pub fn total(&self) -> SimDuration {
-        self.lines.iter().map(|l| l.total).sum()
+        let mut seen: Vec<&str> = Vec::new();
+        let mut total = SimDuration::ZERO;
+        for l in &self.lines {
+            if seen.contains(&l.label.as_str()) {
+                continue;
+            }
+            seen.push(&l.label);
+            total += l.total;
+        }
+        total
     }
 
     /// Fraction of activity time spent in activities whose label contains
     /// `needle` (e.g. `"gemm"` for Fig. 8).
+    ///
+    /// Computed from the recorded durations, deduplicating by label first:
+    /// after a [`ProfileReport::merge`] of reports that aggregate the same
+    /// activity, summing the per-line `fraction` fields would count such
+    /// labels twice (and the stale fractions would no longer refer to the
+    /// combined total anyway).
     pub fn fraction_matching(&self, needle: &str) -> f64 {
+        let mut seen: Vec<&str> = Vec::new();
+        let mut matched = SimDuration::ZERO;
+        let mut total = SimDuration::ZERO;
+        for l in &self.lines {
+            if seen.contains(&l.label.as_str()) {
+                continue;
+            }
+            seen.push(&l.label);
+            total += l.total;
+            if l.label.contains(needle) {
+                matched += l.total;
+            }
+        }
+        if total == SimDuration::ZERO {
+            0.0
+        } else {
+            matched / total
+        }
+    }
+
+    /// Folds `other` into this report, aggregating by label and
+    /// recomputing every fraction against the combined total.
+    pub fn merge(&mut self, other: &ProfileReport) {
+        for ol in &other.lines {
+            match self.lines.iter_mut().find(|l| l.label == ol.label) {
+                Some(l) => {
+                    l.total += ol.total;
+                    l.calls += ol.calls;
+                }
+                None => self.lines.push(ol.clone()),
+            }
+        }
+        let total: SimDuration = self.lines.iter().map(|l| l.total).sum();
+        for l in &mut self.lines {
+            l.fraction = if total == SimDuration::ZERO {
+                0.0
+            } else {
+                l.total / total
+            };
+        }
         self.lines
-            .iter()
-            .filter(|l| l.label.contains(needle))
-            .map(|l| l.fraction)
-            .sum()
+            .sort_by(|a, b| b.total.cmp(&a.total).then(a.label.cmp(&b.label)));
     }
 }
 
@@ -108,6 +161,50 @@ mod tests {
         assert!((report.fraction_matching("gemm") - 0.8).abs() < 1e-12);
         assert!((report.fraction_matching("h2d") - 0.2).abs() < 1e-12);
         assert_eq!(report.fraction_matching("nope"), 0.0);
+    }
+
+    #[test]
+    fn fraction_matching_dedupes_duplicate_aggregate_lines() {
+        // A report carrying the same aggregate label twice (as produced by
+        // naively concatenating per-server reports): summing the stored
+        // `fraction` fields would double-count "gemm" and report 1.6.
+        let dup = ProfileLine {
+            label: "gemm".into(),
+            total: SimDuration::from_secs(4.0),
+            calls: 2,
+            fraction: 0.8,
+        };
+        let report = ProfileReport {
+            lines: vec![
+                dup.clone(),
+                dup,
+                ProfileLine {
+                    label: "h2d".into(),
+                    total: SimDuration::from_secs(1.0),
+                    calls: 1,
+                    fraction: 0.2,
+                },
+            ],
+        };
+        let f = report.fraction_matching("gemm");
+        assert!((f - 0.8).abs() < 1e-12, "got {f}");
+        assert!((report.total().as_secs() - 5.0).abs() < 1e-12);
+        assert!(report.fraction_matching("") - 1.0 < 1e-12);
+    }
+
+    #[test]
+    fn merge_aggregates_by_label_and_recomputes_fractions() {
+        let mut a = ProfileReport::from_timeline(&sample_timeline());
+        let b = ProfileReport::from_timeline(&sample_timeline());
+        a.merge(&b);
+        assert_eq!(a.lines.len(), 2);
+        assert_eq!(a.lines[0].label, "gemm");
+        assert_eq!(a.lines[0].calls, 4);
+        assert!((a.lines[0].total.as_secs() - 8.0).abs() < 1e-12);
+        assert!((a.lines[0].fraction - 0.8).abs() < 1e-12);
+        let total: f64 = a.lines.iter().map(|l| l.fraction).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((a.fraction_matching("gemm") - 0.8).abs() < 1e-12);
     }
 
     #[test]

@@ -188,6 +188,15 @@ impl<R: Num> Endpoint<R> {
         self.nic_free_at = done;
         self.stats
             .record(self.id, to, wire_bytes, dense_equivalent);
+        if psml_trace::TraceSink::is_enabled() {
+            psml_trace::TraceSink::span(
+                payload.kind(),
+                &format!("net:{}->{}", self.id.short_name(), to.short_name()),
+                psml_trace::ns_of_secs(start.as_secs()),
+                psml_trace::ns_of_secs(done.as_secs()),
+                wire_bytes as u64,
+            );
+        }
         let mut available_at = done;
         if let Some(injector) = self.faults.as_mut() {
             match injector.judge(self.id, to, start) {

@@ -33,6 +33,15 @@ impl NodeId {
         NodeId::ALL.get(i).copied()
     }
 
+    /// Stable lowercase name, used as the trace lane component.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            NodeId::Client => "client",
+            NodeId::Server0 => "server0",
+            NodeId::Server1 => "server1",
+        }
+    }
+
     /// The other server, if this is a server.
     pub fn peer_server(self) -> Option<NodeId> {
         match self {
@@ -57,6 +66,15 @@ pub enum Payload<R: Num> {
 }
 
 impl<R: Num> Payload<R> {
+    /// Stable lowercase kind, used as the trace op name for sends.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Payload::Dense(_) => "send:dense",
+            Payload::SparseDelta(_) => "send:sparse-delta",
+            Payload::Control(_) => "send:control",
+        }
+    }
+
     /// Bytes the dense representation of this payload would occupy —
     /// the baseline against which compression savings are measured.
     pub fn dense_equivalent_bytes(&self) -> usize {

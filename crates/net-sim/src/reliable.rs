@@ -19,9 +19,24 @@
 //! nothing when chaos is off.
 
 use crate::endpoint::{Endpoint, NetError};
-use crate::message::{Packet, Payload};
+use crate::message::{NodeId, Packet, Payload};
 use psml_simtime::{SimDuration, SimTime};
 use psml_tensor::Num;
+
+/// Marks a retransmission in the structured trace as an instant event on
+/// the link's lane.
+fn trace_retransmit(from: NodeId, to: NodeId, at: SimTime) {
+    if psml_trace::TraceSink::is_enabled() {
+        let ns = psml_trace::ns_of_secs(at.as_secs());
+        psml_trace::TraceSink::span(
+            "retransmit",
+            &format!("net:{}->{}", from.short_name(), to.short_name()),
+            ns,
+            ns,
+            0,
+        );
+    }
+}
 
 /// Retransmission parameters for one logical transfer leg.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -104,6 +119,23 @@ impl ReliabilityStats {
         self.timeouts += other.timeouts;
         self.acks += other.acks;
         self.recovery_time += other.recovery_time;
+    }
+
+    /// Versioned, serde-free JSON form (`psml.reliability.v1`).
+    pub fn to_json(&self) -> psml_trace::json::JsonValue {
+        use psml_trace::json::{obj, JsonValue};
+        obj([
+            ("schema", JsonValue::Str("psml.reliability.v1".into())),
+            ("transfers", JsonValue::UInt(self.transfers)),
+            ("retransmits", JsonValue::UInt(self.retransmits)),
+            ("corrupt_rejected", JsonValue::UInt(self.corrupt_rejected)),
+            ("timeouts", JsonValue::UInt(self.timeouts)),
+            ("acks", JsonValue::UInt(self.acks)),
+            (
+                "recovery_time_secs",
+                JsonValue::Float(self.recovery_time.as_secs()),
+            ),
+        ])
     }
 }
 
@@ -198,6 +230,7 @@ impl ReliableChannel {
                     }
                     attempt += 1;
                     self.stats.retransmits += 1;
+                    trace_retransmit(from, to, deadline);
                 }
             }
         };
@@ -233,6 +266,7 @@ impl ReliableChannel {
                     }
                     attempt += 1;
                     self.stats.retransmits += 1;
+                    trace_retransmit(to, from, deadline);
                 }
             }
         }

@@ -78,6 +78,46 @@ impl TrafficStats {
         }
     }
 
+    /// Versioned, serde-free JSON form (`psml.traffic.v1`): aggregate
+    /// totals plus one entry per non-empty directed link.
+    pub fn to_json(&self) -> psml_trace::json::JsonValue {
+        use psml_trace::json::{obj, JsonValue};
+        let mut links = Vec::new();
+        for from in NodeId::ALL {
+            for to in NodeId::ALL {
+                let l = self.link(from, to);
+                if l.messages == 0 {
+                    continue;
+                }
+                links.push(obj([
+                    ("from", JsonValue::Str(from.short_name().into())),
+                    ("to", JsonValue::Str(to.short_name().into())),
+                    ("messages", JsonValue::UInt(l.messages as u64)),
+                    ("wire_bytes", JsonValue::UInt(l.wire_bytes as u64)),
+                    (
+                        "dense_equivalent_bytes",
+                        JsonValue::UInt(l.dense_equivalent_bytes as u64),
+                    ),
+                ]));
+            }
+        }
+        obj([
+            ("schema", JsonValue::Str("psml.traffic.v1".into())),
+            ("messages", JsonValue::UInt(self.total_messages() as u64)),
+            ("wire_bytes", JsonValue::UInt(self.total_wire_bytes() as u64)),
+            (
+                "dense_equivalent_bytes",
+                JsonValue::UInt(self.total_dense_bytes() as u64),
+            ),
+            (
+                "server_to_server_wire_bytes",
+                JsonValue::UInt(self.server_to_server_wire_bytes() as u64),
+            ),
+            ("savings", JsonValue::Float(self.savings())),
+            ("links", JsonValue::Array(links)),
+        ])
+    }
+
     /// Accumulates another endpoint's counters into this one.
     pub fn merge(&mut self, other: &TrafficStats) {
         for f in 0..3 {

@@ -36,6 +36,7 @@ pub struct Timeline {
     resources: Vec<Resource>,
     trace: Vec<OpRecord>,
     record_trace: bool,
+    trace_scope: Option<String>,
 }
 
 impl Timeline {
@@ -45,6 +46,7 @@ impl Timeline {
             resources: Vec::new(),
             trace: Vec::new(),
             record_trace: true,
+            trace_scope: None,
         }
     }
 
@@ -55,7 +57,16 @@ impl Timeline {
             resources: Vec::new(),
             trace: Vec::new(),
             record_trace: false,
+            trace_scope: None,
         }
+    }
+
+    /// Names this timeline's lane prefix for the global [`psml_trace`]
+    /// sink (e.g. `"server0.gpu"`). Events from a scoped timeline appear
+    /// on tracks `"<scope>/<resource>"`; an unscoped timeline uses the
+    /// bare resource name.
+    pub fn set_trace_scope(&mut self, scope: impl Into<String>) {
+        self.trace_scope = Some(scope.into());
     }
 
     /// Registers a new serial resource and returns its id.
@@ -84,6 +95,19 @@ impl Timeline {
         dur: SimDuration,
         label: &str,
     ) -> SimTime {
+        self.schedule_bytes(res, ready, dur, label, 0)
+    }
+
+    /// [`Timeline::schedule`] for data-movement ops: `bytes` is carried
+    /// into the structured trace (and ignored by the aggregate stats).
+    pub fn schedule_bytes(
+        &mut self,
+        res: ResourceId,
+        ready: SimTime,
+        dur: SimDuration,
+        label: &str,
+        bytes: usize,
+    ) -> SimTime {
         let (start, end) = self.resources[res.0].schedule(ready, dur);
         if self.record_trace {
             self.trace.push(OpRecord {
@@ -92,6 +116,20 @@ impl Timeline {
                 start,
                 end,
             });
+        }
+        if psml_trace::TraceSink::is_enabled() {
+            let name = self.resources[res.0].name();
+            let track = match &self.trace_scope {
+                Some(scope) => format!("{scope}/{name}"),
+                None => name.to_string(),
+            };
+            psml_trace::TraceSink::span(
+                label,
+                &track,
+                psml_trace::ns_of_secs(start.as_secs()),
+                psml_trace::ns_of_secs(end.as_secs()),
+                bytes as u64,
+            );
         }
         end
     }
@@ -208,6 +246,31 @@ mod tests {
     fn empty_timeline_makespan_zero() {
         let tl = Timeline::new();
         assert_eq!(tl.makespan(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn scheduled_ops_reach_global_trace_sink() {
+        use psml_trace::TraceSink;
+        let mut tl = Timeline::new();
+        tl.set_trace_scope("server0.gpu");
+        let gpu = tl.add_resource("gpu:compute");
+        TraceSink::enable();
+        TraceSink::clear();
+        tl.schedule(gpu, SimTime::ZERO, SimDuration::from_secs(1.5), "gemm");
+        tl.schedule_bytes(
+            gpu,
+            SimTime::ZERO,
+            SimDuration::from_secs(0.5),
+            "h2d",
+            4096,
+        );
+        let events = TraceSink::drain();
+        TraceSink::disable();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].op, "gemm");
+        assert_eq!(events[0].track, "server0.gpu/gpu:compute");
+        assert_eq!(events[0].end_ns, 1_500_000_000);
+        assert_eq!(events[1].bytes, 4096);
     }
 
     #[test]

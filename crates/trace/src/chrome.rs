@@ -1,0 +1,165 @@
+//! Chrome `chrome://tracing` / Perfetto JSON exporter.
+//!
+//! Emits the Trace Event Format's JSON-object form: complete (`"ph":"X"`)
+//! events with microsecond timestamps, one `tid` per track, plus
+//! `thread_name` metadata so the viewer labels lanes. The export is
+//! byte-deterministic for a fixed event sequence: tracks are numbered in
+//! first-appearance order, timestamps derive from simulated time only, and
+//! the non-deterministic `wall_ns` field is excluded unless explicitly
+//! requested.
+
+use crate::event::TraceEvent;
+use crate::json::{obj, JsonValue};
+
+/// Options for [`chrome_trace_json_with`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChromeTraceOptions {
+    /// Include the wall-clock `wall_ns` field in each event's `args`.
+    /// Off by default: wall time varies run to run and would break the
+    /// byte-determinism guarantee of `psml trace --json`.
+    pub include_wall: bool,
+}
+
+/// Exports events as a deterministic Chrome trace JSON document.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    chrome_trace_json_with(events, ChromeTraceOptions::default())
+}
+
+/// [`chrome_trace_json`] with explicit options.
+pub fn chrome_trace_json_with(events: &[TraceEvent], opts: ChromeTraceOptions) -> String {
+    // Assign tids in first-appearance order (deterministic).
+    let mut tracks: Vec<&str> = Vec::new();
+    for ev in events {
+        if !tracks.iter().any(|t| *t == ev.track) {
+            tracks.push(&ev.track);
+        }
+    }
+    let tid_of = |track: &str| tracks.iter().position(|t| *t == track).unwrap() as u64;
+
+    let mut out: Vec<JsonValue> = Vec::with_capacity(events.len() + tracks.len());
+    for (tid, track) in tracks.iter().enumerate() {
+        out.push(obj([
+            ("name", JsonValue::Str("thread_name".into())),
+            ("ph", JsonValue::Str("M".into())),
+            ("pid", JsonValue::UInt(1)),
+            ("tid", JsonValue::UInt(tid as u64)),
+            (
+                "args",
+                obj([("name", JsonValue::Str((*track).to_string()))]),
+            ),
+        ]));
+    }
+    for ev in events {
+        let mut args: Vec<(String, JsonValue)> = Vec::new();
+        args.push(("phase".into(), JsonValue::Str(ev.phase.name().into())));
+        if let Some(layer) = ev.layer {
+            args.push(("layer".into(), JsonValue::UInt(u64::from(layer))));
+        }
+        if let Some([m, k, n]) = ev.shape {
+            args.push((
+                "shape".into(),
+                JsonValue::Array(vec![
+                    JsonValue::UInt(u64::from(m)),
+                    JsonValue::UInt(u64::from(k)),
+                    JsonValue::UInt(u64::from(n)),
+                ]),
+            ));
+        }
+        if let Some(p) = ev.placement {
+            args.push(("placement".into(), JsonValue::Str(p.into())));
+        }
+        if ev.bytes > 0 {
+            args.push(("bytes".into(), JsonValue::UInt(ev.bytes)));
+        }
+        if opts.include_wall {
+            args.push(("wall_ns".into(), JsonValue::UInt(ev.wall_ns)));
+        }
+        out.push(obj([
+            ("name", JsonValue::Str(ev.op.clone())),
+            ("cat", JsonValue::Str(ev.phase.name().into())),
+            ("ph", JsonValue::Str("X".into())),
+            // Microseconds with nanosecond precision; formatting an exact
+            // multiple of 0.001 is deterministic.
+            ("ts", micros(ev.start_ns)),
+            ("dur", micros(ev.dur_ns())),
+            ("pid", JsonValue::UInt(1)),
+            ("tid", JsonValue::UInt(tid_of(&ev.track))),
+            ("args", JsonValue::Object(args)),
+        ]));
+    }
+
+    obj([
+        ("schema", JsonValue::Str("psml.trace.v1".into())),
+        ("displayTimeUnit", JsonValue::Str("ms".into())),
+        ("traceEvents", JsonValue::Array(out)),
+    ])
+    .to_json()
+}
+
+/// Nanoseconds as a microsecond JSON number with exactly three decimals —
+/// fixed-width formatting sidesteps any shortest-float variability.
+fn micros(ns: u64) -> JsonValue {
+    let whole = ns / 1_000;
+    let frac = ns % 1_000;
+    // Encode as a float token via string formatting: "12.345".
+    let text = format!("{whole}.{frac:03}");
+    JsonValue::Float(text.parse::<f64>().unwrap_or(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Phase;
+    use crate::json;
+
+    fn ev(op: &str, track: &str, start: u64, end: u64) -> TraceEvent {
+        TraceEvent {
+            phase: Phase::Compute2,
+            op: op.into(),
+            track: track.into(),
+            layer: Some(1),
+            shape: Some([8, 16, 4]),
+            placement: Some("gpu"),
+            start_ns: start,
+            end_ns: end,
+            wall_ns: 123,
+            bytes: 42,
+        }
+    }
+
+    #[test]
+    fn export_parses_and_is_deterministic() {
+        let events = vec![ev("gemm", "gpu", 0, 1_500), ev("h2d", "pcie", 10, 20)];
+        let a = chrome_trace_json(&events);
+        let b = chrome_trace_json(&events);
+        assert_eq!(a, b);
+        let doc = json::parse(&a).unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("psml.trace.v1"));
+        let evs = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // 2 metadata + 2 spans.
+        assert_eq!(evs.len(), 4);
+        let span = &evs[2];
+        assert_eq!(span.get("name").unwrap().as_str(), Some("gemm"));
+        assert_eq!(span.get("cat").unwrap().as_str(), Some("compute2"));
+        assert_eq!(span.get("dur").unwrap().as_f64(), Some(1.5));
+    }
+
+    #[test]
+    fn wall_clock_excluded_by_default() {
+        let events = vec![ev("gemm", "gpu", 0, 1000)];
+        let text = chrome_trace_json(&events);
+        assert!(!text.contains("wall_ns"));
+        let with = chrome_trace_json_with(
+            &events,
+            ChromeTraceOptions { include_wall: true },
+        );
+        assert!(with.contains("wall_ns"));
+    }
+
+    #[test]
+    fn micros_formatting_is_exact() {
+        assert_eq!(micros(1_500).to_json(), "1.5");
+        assert_eq!(micros(0).to_json(), "0.0");
+        assert_eq!(micros(1_000_000).to_json(), "1000.0");
+    }
+}

@@ -1,0 +1,140 @@
+//! The typed span event recorded by every instrumented layer.
+
+/// Protocol phase a span belongs to (the paper's secure-multiplication
+/// pipeline stages, plus the offline triplet-generation phase).
+///
+/// The engine establishes the current phase with [`crate::TraceSink::scope`];
+/// lower layers (GPU kernels, network sends) inherit it ambiently, which is
+/// what lets the summary attribute device and wire activity to protocol
+/// phases without plumbing a phase argument through every API.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Phase {
+    /// Offline triplet generation and share distribution.
+    Offline,
+    /// First online local product (`D x F` masking side).
+    Compute1,
+    /// Inter-server exchange of masked shares.
+    Communicate,
+    /// Second online local product (the Eq. (8) reconstruction GEMM).
+    Compute2,
+    /// Secure activation evaluation (client-aided or GC-modelled).
+    Activation,
+    /// Anything recorded outside an engine phase scope.
+    #[default]
+    Other,
+}
+
+impl Phase {
+    /// All phases, in pipeline order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Offline,
+        Phase::Compute1,
+        Phase::Communicate,
+        Phase::Compute2,
+        Phase::Activation,
+        Phase::Other,
+    ];
+
+    /// Stable lowercase name, used as the Chrome-trace category and in the
+    /// JSON schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Offline => "offline",
+            Phase::Compute1 => "compute1",
+            Phase::Communicate => "communicate",
+            Phase::Compute2 => "compute2",
+            Phase::Activation => "activation",
+            Phase::Other => "other",
+        }
+    }
+}
+
+/// One completed span: something that occupied a simulated resource from
+/// `start_ns` to `end_ns`.
+///
+/// Times are simulated time in integer nanoseconds (this crate sits below
+/// `psml-simtime`, so `SimTime` cannot appear here — see [`ns_of_secs`]).
+/// `wall_ns` is real wall-clock nanoseconds since the first recorded event
+/// of the process; it is informational only and excluded from deterministic
+/// exports.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Protocol phase (ambient at record time).
+    pub phase: Phase,
+    /// Operation kind, e.g. `"gemm"`, `"h2d:E"`, `"send"`.
+    pub op: String,
+    /// Lane the span ran on, e.g. `"server0.gpu:compute"`, `"net:S0->S1"`.
+    pub track: String,
+    /// Model layer index (ambient at record time), if inside one.
+    pub layer: Option<u32>,
+    /// GEMM-style shape `(m, k, n)` if the op has one.
+    pub shape: Option<[u32; 3]>,
+    /// `"cpu"` / `"gpu"` placement decision if the op was placed adaptively.
+    pub placement: Option<&'static str>,
+    /// Simulated start, nanoseconds.
+    pub start_ns: u64,
+    /// Simulated end, nanoseconds.
+    pub end_ns: u64,
+    /// Wall-clock nanoseconds since process trace epoch (non-deterministic).
+    pub wall_ns: u64,
+    /// Bytes moved by the op (transfers, sends), 0 for pure compute.
+    pub bytes: u64,
+}
+
+impl TraceEvent {
+    /// Simulated duration of the span, nanoseconds.
+    #[inline]
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Converts simulated seconds (the `SimTime`/`SimDuration` representation)
+/// to integer nanoseconds, rounding to nearest. Saturates at zero for
+/// negative inputs.
+#[inline]
+pub fn ns_of_secs(secs: f64) -> u64 {
+    if secs <= 0.0 || !secs.is_finite() {
+        0
+    } else {
+        (secs * 1e9).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_conversion_rounds_and_saturates() {
+        assert_eq!(ns_of_secs(1.0), 1_000_000_000);
+        assert_eq!(ns_of_secs(1.5e-9), 2);
+        assert_eq!(ns_of_secs(-3.0), 0);
+        assert_eq!(ns_of_secs(f64::NAN), 0);
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        for p in Phase::ALL {
+            assert!(!p.name().is_empty());
+        }
+        assert_eq!(Phase::Compute2.name(), "compute2");
+    }
+
+    #[test]
+    fn dur_saturates() {
+        let ev = TraceEvent {
+            phase: Phase::Other,
+            op: "x".into(),
+            track: "t".into(),
+            layer: None,
+            shape: None,
+            placement: None,
+            start_ns: 10,
+            end_ns: 4,
+            wall_ns: 0,
+            bytes: 0,
+        };
+        assert_eq!(ev.dur_ns(), 0);
+    }
+}

@@ -5,7 +5,6 @@
 //! Run with: `cargo run --release --example communication_deep_dive`
 
 use parsecureml::prelude::*;
-use psml_net::NodeId;
 
 fn train(cfg: EngineConfig, label: &str) -> RunReport {
     let spec = ModelSpec::build(ModelKind::Mlp, 2048, None, 10).expect("model");
@@ -45,11 +44,14 @@ fn main() {
     println!("MLP on SYNTHETIC, 4 epochs over fixed shares (Eq. 11 setting)\n");
     let base = train(EngineConfig::parsecureml(), "compressed (delta + CSR)");
     let dense = train(
-        EngineConfig::parsecureml().with_compression(false),
+        EngineConfig::builder().compression(false).build().unwrap(),
         "uncompressed",
     );
     let client_aided = train(
-        EngineConfig::parsecureml().with_client_aided_activation(true),
+        EngineConfig::builder()
+            .client_aided_activation(true)
+            .build()
+            .unwrap(),
         "compressed + client-aided activations",
     );
 

@@ -4,7 +4,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release --offline
+# --workspace matters: the root package is parsecureml-suite, so a bare
+# `cargo build` would skip member bin targets (notably the psml CLI the
+# observability gate below runs).
+cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --all-targets --offline -- -D warnings
 
@@ -13,3 +16,12 @@ cargo clippy --all-targets --offline -- -D warnings
 for seed in 1 2 3; do
     PSML_FAULT_SEED="$seed" cargo test -q --offline --test failure_injection
 done
+
+# Observability gate: a traced profile run must emit a JSON document that
+# validates against its self-declared psml.profile.v1 schema (and the
+# report/traffic/reliability sub-schemas it embeds).
+profile_json="$(mktemp)"
+trap 'rm -f "$profile_json"' EXIT
+./target/release/psml profile --model mlp --dataset synthetic \
+    --batch 8 --batches 1 --epochs 1 --json "$profile_json"
+./target/release/psml validate "$profile_json"

@@ -72,11 +72,7 @@ fn secure_svm_separates_classes() {
 fn secure_mlp_fits_onehot_targets() {
     let spec = ModelSpec::build(ModelKind::Mlp, 16, None, 4).unwrap();
     let mut trainer = SecureTrainer::<Fixed64>::new(
-        {
-            let mut cfg = EngineConfig::parsecureml();
-            cfg.learning_rate = 0.2;
-            cfg
-        },
+        EngineConfig::builder().learning_rate(0.2).build().unwrap(),
         spec,
         9,
     )
@@ -97,8 +93,7 @@ fn dataset_driven_training_converges_via_train_epochs() {
     let spec = ModelSpec::build(ModelKind::Linear, 2048, None, 10).unwrap();
     // High-dimensional linear regression needs a learning rate scaled to
     // the feature count to stay stable.
-    let mut cfg = EngineConfig::parsecureml();
-    cfg.learning_rate = 5e-4;
+    let cfg = EngineConfig::builder().learning_rate(5e-4).build().unwrap();
     let mut trainer = SecureTrainer::<Fixed64>::new(cfg, spec, 13).unwrap();
     let result = trainer
         .train_epochs(DatasetKind::Synthetic, 8, 1, 6, 17)

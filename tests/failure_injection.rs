@@ -3,10 +3,7 @@
 //! corrupt results.
 
 use parsecureml::prelude::*;
-use parsecureml::SecureContext;
-use psml_gpu::{GemmMode, GpuDevice, GpuError, MachineConfig as Machine};
-use psml_simtime::SimTime;
-use psml_tensor::Matrix;
+use parsecureml::{GemmMode, GpuDevice, GpuError, MachineConfig as Machine, SecureContext};
 
 #[test]
 fn shape_mismatch_is_rejected_by_secure_mul() {
@@ -54,12 +51,18 @@ fn device_oom_is_a_typed_error_and_memory_is_reclaimable() {
 
 #[test]
 fn invalid_configs_fail_validation() {
-    let mut cfg = EngineConfig::parsecureml();
-    cfg.sparsity_threshold = -0.5;
-    assert!(cfg.validate().is_err());
-    let mut cfg = EngineConfig::parsecureml();
-    cfg.learning_rate = f64::NAN;
-    assert!(cfg.validate().is_err());
+    // The builder funnels every construction through `validate`, so a bad
+    // setting surfaces as a typed `ConfigError` at build time.
+    let err = EngineConfig::builder()
+        .sparsity_threshold(-0.5)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, ConfigError::Sparsity(_)), "got {err:?}");
+    let err = EngineConfig::builder()
+        .learning_rate(f64::NAN)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, ConfigError::LearningRate(_)), "got {err:?}");
 }
 
 #[test]
@@ -94,18 +97,24 @@ fn engine_survives_oom_on_undersized_device() {
     // while Auto placement completes on the CPU.
     let mut machine = Machine::v100_node();
     machine.gpu.memory_bytes = 1024;
-    let mut cfg = EngineConfig::parsecureml().with_policy(AdaptivePolicy::ForceGpu);
-    cfg.machine = machine.clone();
-    cfg.gpu_offline = false; // keep the client CPU-side
+    let cfg = EngineConfig::builder()
+        .policy(AdaptivePolicy::ForceGpu)
+        .machine(machine.clone())
+        .gpu_offline(false) // keep the client CPU-side
+        .build()
+        .unwrap();
     let mut ctx = SecureContext::<Fixed64>::new(cfg, 4);
     let a = PlainMatrix::from_fn(16, 16, |r, c| (r + c) as f64 * 0.1);
     let b = a.clone();
     let err = ctx.secure_matmul_plain(&a, &b).unwrap_err();
     assert!(matches!(err, EngineError::Gpu(GpuError::OutOfMemory { .. })));
 
-    let mut cfg = EngineConfig::parsecureml().with_policy(AdaptivePolicy::ForceCpu);
-    cfg.machine = machine;
-    cfg.gpu_offline = false;
+    let cfg = EngineConfig::builder()
+        .policy(AdaptivePolicy::ForceCpu)
+        .machine(machine)
+        .gpu_offline(false)
+        .build()
+        .unwrap();
     let mut ctx = SecureContext::<Fixed64>::new(cfg, 4);
     let c = ctx.secure_matmul_plain(&a, &b).unwrap();
     assert!(c.max_abs_diff(&a.matmul(&b)) < 1e-2);
