@@ -21,10 +21,21 @@ use std::hint::black_box;
 use std::time::Instant;
 
 fn mat(n: usize, seed: u64) -> Matrix<f32> {
-    Matrix::from_fn(n, n, |r, c| {
+    rect(n, n, seed)
+}
+
+fn rect(rows: usize, cols: usize, seed: u64) -> Matrix<f32> {
+    Matrix::from_fn(rows, cols, |r, c| {
         (((r as u64 * 31 + c as u64 * 7) ^ seed) % 17) as f32 - 8.0
     })
 }
+
+/// The im2col-lowered conv GEMM shape `conv2d_im2col` now routes through
+/// `gemm_auto`: batch 16 of 1x28x28 images, 5x5 kernel, 8 filters —
+/// `(16*576 x 25) x (25 x 8)`, tall-skinny instead of square.
+const CONV_M: usize = 16 * 576;
+const CONV_K: usize = 25;
+const CONV_N: usize = 8;
 
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm");
@@ -56,6 +67,16 @@ fn bench_gemm(c: &mut Criterion) {
             bench.iter(|| black_box(kernels::gemm(&a, &b, GemmMode::TensorCore)))
         });
     }
+    // Conv-derived shape: the blocked seed kernel vs the dispatcher the
+    // im2col path now uses.
+    let a = rect(CONV_M, CONV_K, 1);
+    let b = rect(CONV_K, CONV_N, 2);
+    group.bench_function("conv_im2col/blocked", |bench| {
+        bench.iter(|| black_box(gemm_blocked(&a, &b)))
+    });
+    group.bench_function("conv_im2col/auto", |bench| {
+        bench.iter(|| black_box(gemm_auto(&a, &b)))
+    });
     group.finish();
 }
 
@@ -132,8 +153,36 @@ fn headline() {
             fields.join(", ")
         ));
     }
+    // Conv-derived (im2col) shape: tall-skinny, where the packed paths'
+    // register tiling pays off without any square-size sweet spot.
+    let ca = rect(CONV_M, CONV_K, 3);
+    let cb = rect(CONV_K, CONV_N, 4);
+    let mut conv_kernels: [NamedKernel; 2] = [
+        ("blocked", Box::new(|| gemm_blocked(&ca, &cb))),
+        ("auto", Box::new(|| gemm_auto(&ca, &cb))),
+    ];
+    let mut conv_best = [f64::INFINITY; 2];
+    for rep in 0..8 {
+        if rep > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+        for (slot, (_, f)) in conv_kernels.iter_mut().enumerate() {
+            conv_best[slot] = conv_best[slot].min(time_once(f));
+        }
+    }
+    let conv_speedup = conv_best[0] / conv_best[1];
+    println!(
+        "gemm headline conv {CONV_M}x{CONV_K}x{CONV_N} auto vs blocked: {conv_speedup:.2}x \
+         (blocked {:.4}s, auto {:.4}s)",
+        conv_best[0], conv_best[1]
+    );
+    let conv_entry = format!(
+        "  \"conv_im2col\": {{\"m\": {CONV_M}, \"k\": {CONV_K}, \"n\": {CONV_N}, \
+         \"blocked_secs\": {:.6}, \"auto_secs\": {:.6}, \"speedup_auto_vs_blocked\": {conv_speedup:.3}}},\n",
+        conv_best[0], conv_best[1]
+    );
     let json = format!(
-        "{{\n  \"bench\": \"gemm\",\n  \"element\": \"f32\",\n  \"host_workers\": {workers},\n  \"timing\": \"best of 8 interleaved reps per kernel\",\n  \"sizes\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"gemm\",\n  \"element\": \"f32\",\n  \"host_workers\": {workers},\n  \"timing\": \"best of 8 interleaved reps per kernel\",\n{conv_entry}  \"sizes\": [\n{}\n  ]\n}}\n",
         size_entries.join(",\n")
     );
     // crates/bench -> repo root.

@@ -77,9 +77,29 @@ pub struct EngineConfig {
     pub client_aided_activation: bool,
     /// Reuse Beaver-triple masks across iterations of the same call site
     /// (the paper's Eq. (11) premise, which enables delta compression).
+    ///
+    /// **Insecure**: reusing a triple's masks leaks linear relations
+    /// between the iterates it masks (`E = A - U` with a fixed `U` makes
+    /// `dE = dA` public). The paper accepts this to get compressible
+    /// deltas; the name keeps the trade-off visible at every call site,
+    /// and every [`crate::RunReport`] produced under it carries a warning.
     /// Set `false` for the security-conservative fresh-triple-per-use
     /// SecureML behavior (more offline work, no compressible deltas).
-    pub reuse_triples: bool,
+    pub insecure_reuse_triples: bool,
+    /// Provision Beaver triples asynchronously on a host-side pipeline
+    /// that runs ahead of (and concurrently with) the online phase, so
+    /// the engine thread never generates or serializes triple material
+    /// inline. Requires a declared shape schedule
+    /// ([`crate::SecureContext::schedule_triples`]); incompatible with
+    /// [`EngineConfig::insecure_reuse_triples`] (prefetch provisions one
+    /// fresh triple per scheduled use) and with fault injection (triple
+    /// distribution is charged on the fault-free fast path).
+    pub prefetch: bool,
+    /// Bound on triples buffered ahead by the prefetch pipeline
+    /// (backpressure: the provider blocks once this many are ready and
+    /// unconsumed). Memory stays bounded by `depth` triples of the
+    /// largest scheduled shape.
+    pub prefetch_depth: usize,
     /// Learning rate for training tasks.
     pub learning_rate: f64,
     /// Seeded, deterministic network chaos (drops, bit flips, latency
@@ -114,7 +134,9 @@ impl EngineConfig {
             gpu_offline: true,
             eval_strategy: EvalStrategy::Fused,
             client_aided_activation: false,
-            reuse_triples: true,
+            insecure_reuse_triples: true,
+            prefetch: false,
+            prefetch_depth: 4,
             learning_rate: 0.05,
             fault_plan: FaultPlan::none(),
             retry: RetryPolicy::default(),
@@ -139,7 +161,9 @@ impl EngineConfig {
             gpu_offline: false,
             eval_strategy: EvalStrategy::Expanded,
             client_aided_activation: false,
-            reuse_triples: true,
+            insecure_reuse_triples: true,
+            prefetch: false,
+            prefetch_depth: 4,
             learning_rate: 0.05,
             fault_plan: FaultPlan::none(),
             retry: RetryPolicy::default(),
@@ -210,9 +234,24 @@ impl EngineConfig {
         self
     }
 
-    /// Returns this config with triple reuse toggled.
-    pub fn with_reuse_triples(mut self, on: bool) -> Self {
-        self.reuse_triples = on;
+    /// Returns this config with (insecure) triple reuse toggled.
+    pub fn with_insecure_reuse_triples(mut self, on: bool) -> Self {
+        self.insecure_reuse_triples = on;
+        self
+    }
+
+    /// Returns this config with asynchronous triple prefetch toggled.
+    pub fn with_prefetch(mut self, on: bool) -> Self {
+        self.prefetch = on;
+        if on {
+            self.insecure_reuse_triples = false;
+        }
+        self
+    }
+
+    /// Returns this config with the prefetch backpressure depth set.
+    pub fn with_prefetch_depth(mut self, depth: usize) -> Self {
+        self.prefetch_depth = depth;
         self
     }
 
@@ -276,6 +315,27 @@ impl EngineConfig {
         }
         if self.recal_window == 0 {
             return Err(ConfigError::RecalWindow);
+        }
+        if self.prefetch {
+            if self.insecure_reuse_triples {
+                return Err(ConfigError::Prefetch(
+                    "prefetch provisions one fresh triple per scheduled use and \
+                     cannot be combined with insecure_reuse_triples"
+                        .into(),
+                ));
+            }
+            if !self.fault_plan.is_empty() {
+                return Err(ConfigError::Prefetch(
+                    "prefetch charges triple distribution on the fault-free fast \
+                     path and cannot be combined with a fault plan"
+                        .into(),
+                ));
+            }
+            if self.prefetch_depth == 0 {
+                return Err(ConfigError::Prefetch(
+                    "prefetch_depth must be at least 1".into(),
+                ));
+            }
         }
         self.fault_plan.validate().map_err(ConfigError::Faults)?;
         self.retry.validate().map_err(ConfigError::Retry)?;
@@ -389,9 +449,28 @@ impl EngineConfigBuilder {
         self
     }
 
-    /// Beaver-triple reuse on/off.
-    pub fn reuse_triples(mut self, on: bool) -> Self {
-        self.cfg.reuse_triples = on;
+    /// (Insecure) Beaver-triple reuse on/off.
+    pub fn insecure_reuse_triples(mut self, on: bool) -> Self {
+        self.cfg.insecure_reuse_triples = on;
+        self
+    }
+
+    /// Asynchronous triple prefetch on/off. Turning it on also turns
+    /// off [`EngineConfig::insecure_reuse_triples`] (the two are
+    /// mutually exclusive; set reuse explicitly *after* this call to
+    /// get a validation error instead).
+    pub fn prefetch(mut self, on: bool) -> Self {
+        self.cfg.prefetch = on;
+        if on {
+            self.cfg.insecure_reuse_triples = false;
+        }
+        self
+    }
+
+    /// Prefetch backpressure depth (validated nonzero when prefetch is
+    /// on).
+    pub fn prefetch_depth(mut self, depth: usize) -> Self {
+        self.cfg.prefetch_depth = depth;
         self
     }
 
@@ -481,6 +560,47 @@ mod tests {
         let mut cfg = EngineConfig::parsecureml();
         cfg.learning_rate = -1.0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn prefetch_excludes_reuse_faults_and_zero_depth() {
+        // The convenience toggles keep the pair consistent.
+        let cfg = EngineConfig::parsecureml().with_prefetch(true);
+        assert!(cfg.prefetch && !cfg.insecure_reuse_triples);
+        assert!(cfg.validate().is_ok());
+
+        // Forcing both on is a typed error.
+        let mut bad = cfg.clone();
+        bad.insecure_reuse_triples = true;
+        assert!(matches!(
+            bad.validate().unwrap_err(),
+            ConfigError::Prefetch(_)
+        ));
+
+        // Prefetch rides the fault-free accounted path only.
+        let mut bad = cfg.clone();
+        bad.fault_plan = FaultPlan::none().with_drop(0.5);
+        assert!(matches!(
+            bad.validate().unwrap_err(),
+            ConfigError::Prefetch(_)
+        ));
+
+        // Depth zero would deadlock the pipeline.
+        let err = EngineConfig::builder()
+            .prefetch(true)
+            .prefetch_depth(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Prefetch(_)));
+
+        // Builder order: explicitly re-enabling reuse after prefetch is
+        // surfaced as an error rather than silently overridden.
+        let err = EngineConfig::builder()
+            .prefetch(true)
+            .insecure_reuse_triples(true)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Prefetch(_)));
     }
 
     #[test]

@@ -32,10 +32,12 @@
 use crate::adaptive::{AdaptiveEngine, Placement};
 use crate::config::EngineConfig;
 use crate::error::{EngineError, Result};
+use crate::provider::TripleProvider;
 use crate::report::{PhaseBreakdown, RunReport};
 use psml_gpu::{GemmMode, GpuDevice, GpuElement};
 use psml_mpc::{
-    EvalStrategy, Party, PlainMatrix, SecureRing, ServerMulSession, TripleShare,
+    gen_triple_streamed, BeaverTriple, EvalStrategy, Party, PlainMatrix, SecureRing,
+    ServerMulSession, TripleShare, TripleSpec,
 };
 use psml_net::{
     build_network, DeltaDecoder, DeltaEncoder, Endpoint, Payload, ReliableChannel, TransmitForm,
@@ -51,6 +53,21 @@ fn layer_of_key(key: &str) -> Option<u32> {
     let rest = key.strip_prefix('l')?;
     let digits: &str = &rest[..rest.bytes().take_while(u8::is_ascii_digit).count()];
     digits.parse().ok()
+}
+
+// Per-call-site logical channels. A delta-compression stream (and its
+// encoder/decoder state) is identified by `stream_id(site, CHAN_*)` — a
+// u64 computed from the interned call-site id, so the per-multiplication
+// `format!("{key}.E")` string allocations of the old design are gone.
+const CHAN_E: u64 = 0;
+const CHAN_F: u64 = 1;
+const CHAN_ACT: u64 = 2;
+const CHAN_HAD_E: u64 = 3;
+const CHAN_HAD_F: u64 = 4;
+
+#[inline]
+fn stream_id(site: u32, chan: u64) -> u64 {
+    ((site as u64) << 3) | chan
 }
 
 /// Records one engine-level phase span (no-op unless tracing is enabled).
@@ -157,8 +174,8 @@ struct ServerState<R: SecureRing + GpuElement> {
     cpu: Resource,
     device: GpuDevice<R>,
     endpoint: Endpoint<R>,
-    encoders: HashMap<String, DeltaEncoder<R>>,
-    decoders: HashMap<String, DeltaDecoder<R>>,
+    encoders: HashMap<u64, DeltaEncoder<R>>,
+    decoders: HashMap<u64, DeltaDecoder<R>>,
     end: SimTime,
 }
 
@@ -180,7 +197,22 @@ pub struct SecureContext<R: SecureRing + GpuElement> {
     offline_end: SimTime,
     secure_muls: usize,
     curand_seed: u64,
-    triple_cache: HashMap<String, DistTriple<R>>,
+    /// Master seed of the counter-derived triple streams: triple `seq`
+    /// draws from `Mt19937::from_stream(master_seed, seq)` in both
+    /// prefetch modes, which is what makes them bit-identical.
+    master_seed: u64,
+    /// Global sequence number of the next provisioned triple.
+    triple_seq: u64,
+    /// The asynchronous provisioning pipeline (prefetch mode only).
+    provider: Option<TripleProvider<R>>,
+    /// Interned call-site keys; protocol hot paths key caches and
+    /// compression streams on the `u32` id, never on a fresh `String`.
+    site_names: HashMap<String, u32>,
+    triple_cache: HashMap<(u32, TripleSpec), DistTriple<R>>,
+    /// How many multiplications were served a *cached* triple (only ever
+    /// non-zero under `insecure_reuse_triples`; surfaces as a
+    /// [`RunReport::warnings`] entry).
+    triple_reuses: usize,
     activation_roundtrips: usize,
     /// Every protocol transfer goes through this ack/retransmit channel.
     /// With an empty fault plan it degenerates to bare send/recv (no ack
@@ -223,7 +255,16 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
             offline_end: SimTime::ZERO,
             secure_muls: 0,
             curand_seed: seed as u64,
+            master_seed: seed as u64,
+            triple_seq: 0,
+            provider: if cfg.prefetch {
+                Some(TripleProvider::new(seed as u64, cfg.prefetch_depth))
+            } else {
+                None
+            },
+            site_names: HashMap::new(),
             triple_cache: HashMap::new(),
+            triple_reuses: 0,
             activation_roundtrips: 0,
             reliable: ReliableChannel::new(cfg.retry),
             cfg,
@@ -272,11 +313,43 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         }
     }
 
-    /// Client-side product `Z = U x V` for triple generation — the step
-    /// that is >90 % of the offline phase and the first GPU target.
-    fn client_product(&mut self, u: &Matrix<R>, v: &Matrix<R>) -> Matrix<R> {
-        let (m, k, n) = (u.rows(), u.cols(), v.cols());
-        let bytes = (u.byte_size() + v.byte_size()) + m * n * R::BYTES;
+    /// Charges client CPU time for an element-wise pass over `bytes`.
+    fn client_cpu(&mut self, bytes: usize) {
+        let dur = self.cfg.client_elementwise_time(bytes);
+        let (_, end) = self.client.cpu.schedule(self.client.now, dur);
+        self.client.now = self.client.now.max(end);
+        self.breakdown.share_generation += dur;
+    }
+
+    /// Clock-only mirror of [`SecureContext::client_random`]: charges the
+    /// same CPU-or-GPU cost (including the cuRAND seed bump and the
+    /// device-timeline roundtrip on the GPU path) without drawing values.
+    /// Used when triple material comes from a counter-derived stream —
+    /// simulated time must not depend on where the values were made.
+    fn charge_client_random(&mut self, rows: usize, cols: usize) {
+        let n = rows * cols;
+        let cpu_cost = self.cfg.client_rng_time(n);
+        let gpu_cost = self.cfg.machine.gpu.rng_time(n)
+            + self.cfg.machine.gpu.pcie.transfer_time(n * R::BYTES);
+        if self.cfg.gpu_offline && gpu_cost < cpu_cost {
+            self.curand_seed = self.curand_seed.wrapping_add(1);
+            let done = self
+                .client
+                .device
+                .charge_random_roundtrip(rows, cols, self.client.now)
+                .expect("client device rng");
+            self.client.now = self.client.now.max(done);
+            self.breakdown.share_generation += gpu_cost;
+        } else {
+            let (_, end) = self.client.cpu.schedule(self.client.now, cpu_cost);
+            self.client.now = self.client.now.max(end);
+            self.breakdown.share_generation += cpu_cost;
+        }
+    }
+
+    /// Clock-only mirror of [`SecureContext::client_product`].
+    fn charge_client_product(&mut self, m: usize, k: usize, n: usize) {
+        let bytes = (m * k + k * n + m * n) * R::BYTES;
         let cpu_cost = self.cfg.client_gemm_time(m, k, n);
         let gpu_cost = self
             .cfg
@@ -285,35 +358,18 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
             .gemm_time(m, k, n, self.cfg.tensor_cores)
             + self.cfg.machine.gpu.pcie.transfer_time(bytes);
         if self.cfg.gpu_offline && gpu_cost < cpu_cost {
-            let hu = self.client.device.upload(u, self.client.now).expect("h2d U");
-            let hv = self.client.device.upload(v, self.client.now).expect("h2d V");
-            let mode = if self.cfg.tensor_cores {
-                GemmMode::TensorCore
-            } else {
-                GemmMode::Fp32
-            };
-            let hz = self.client.device.gemm(hu, hv, mode).expect("gemm Z");
-            let (z, done) = self.client.device.download(hz).expect("d2h Z");
-            for h in [hu, hv, hz] {
-                self.client.device.free(h).expect("free");
-            }
+            let done = self
+                .client
+                .device
+                .charge_gemm_roundtrip(m, k, n, self.cfg.tensor_cores, self.client.now)
+                .expect("client device gemm");
             self.client.now = self.client.now.max(done);
             self.breakdown.share_generation += gpu_cost;
-            z
         } else {
             let (_, end) = self.client.cpu.schedule(self.client.now, cpu_cost);
             self.client.now = self.client.now.max(end);
             self.breakdown.share_generation += cpu_cost;
-            gemm_auto(u, v)
         }
-    }
-
-    /// Charges client CPU time for an element-wise pass over `bytes`.
-    fn client_cpu(&mut self, bytes: usize) {
-        let dur = self.cfg.client_elementwise_time(bytes);
-        let (_, end) = self.client.cpu.schedule(self.client.now, dur);
-        self.client.now = self.client.now.max(end);
-        self.breakdown.share_generation += dur;
     }
 
     /// Distributes a pair of matrices to the two servers, returning their
@@ -360,6 +416,37 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         Ok(SharedMatrix::new(Timed::at_zero(m0), Timed::at_zero(m1)))
     }
 
+    /// Clock-only mirror of [`SecureContext::distribute`] for a
+    /// `rows x cols` dense share pair: advances the same clocks, NIC
+    /// serialization windows, traffic stats and phase accounting as the
+    /// real fault-free path ([`ReliableChannel::transfer_accounted`] is
+    /// tested bit-exact against it) — without encoding, framing,
+    /// checksumming, or copying a single payload byte. This elision *is*
+    /// the prefetch pipeline's host-side win: the material already sits
+    /// on the servers, so the engine pays only the simulated wire time.
+    fn distribute_accounted(&mut self, rows: usize, cols: usize) -> Result<()> {
+        let start = self.client.now;
+        let mut arrive = SimTime::ZERO;
+        {
+            let [srv0, srv1] = &mut self.servers;
+            for srv in [srv0, srv1] {
+                let mut srv_clock = SimTime::ZERO;
+                let done = self.reliable.transfer_accounted(
+                    &mut self.client.endpoint,
+                    &mut self.client.now,
+                    &srv.endpoint,
+                    &mut srv_clock,
+                    rows,
+                    cols,
+                )?;
+                arrive = arrive.max(done);
+            }
+        }
+        self.breakdown.distribution += arrive.saturating_since(start.min(arrive));
+        self.offline_end = self.offline_end.max(arrive).max(self.client.now);
+        Ok(())
+    }
+
     /// Offline: encodes a client plaintext and distributes its two shares
     /// (the Fig. 1b partitioning step).
     pub fn share_input(&mut self, m: &PlainMatrix) -> Result<SharedMatrix<R>> {
@@ -386,53 +473,132 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
     /// Offline: generates one Beaver triple for an `(m x k) * (k x n)`
     /// product and distributes the shares.
     pub fn gen_triple(&mut self, m: usize, k: usize, n: usize) -> Result<DistTriple<R>> {
+        self.provision_triple(TripleSpec::Gemm { m, k, n })
+    }
+
+    /// Declares upcoming triple shapes to the prefetch pipeline so it can
+    /// generate them ahead of the multiplications that will consume them.
+    /// No-op when prefetch is off. Order matters: triples are delivered
+    /// in exactly this order, and a multiplication whose shape disagrees
+    /// with the schedule is a protocol error.
+    pub fn schedule_triples(&mut self, specs: &[TripleSpec]) {
+        if let Some(p) = &self.provider {
+            p.schedule(specs);
+        }
+    }
+
+    /// Charges the client-side compute of generating one triple —
+    /// randomness, the `Z = U x V` product (or Hadamard pass), and the
+    /// three share splits — mirroring the legacy inline path exactly.
+    fn charge_triple_compute(&mut self, spec: TripleSpec) {
+        let (ur, uc) = spec.u_shape();
+        let (vr, vc) = spec.v_shape();
+        self.charge_client_random(ur, uc);
+        self.charge_client_random(vr, vc);
+        match spec {
+            TripleSpec::Gemm { m, k, n } => self.charge_client_product(m, k, n),
+            TripleSpec::Hadamard { m, n } => self.client_cpu(3 * m * n * R::BYTES),
+        }
+        for (rows, cols) in [spec.u_shape(), spec.v_shape(), spec.z_shape()] {
+            self.charge_client_random(rows, cols);
+            self.client_cpu(2 * rows * cols * R::BYTES);
+        }
+    }
+
+    /// Provisions one Beaver triple: value material from the
+    /// counter-derived stream `(master_seed, seq)` — produced ahead of
+    /// time by the prefetch pipeline, or inline when prefetch is off —
+    /// plus full offline accounting (client compute charges and share
+    /// distribution). The two modes advance every simulated clock
+    /// identically and yield bit-identical shares; prefetch merely
+    /// removes the generation and wire-serialization work from the
+    /// engine thread's wall-clock critical path.
+    fn provision_triple(&mut self, spec: TripleSpec) -> Result<DistTriple<R>> {
         let _offline = TraceSink::scope(Phase::Offline, None);
         let t_start = self.client.now;
-        let u = self.client_random(m, k);
-        let v = self.client_random(k, n);
-        let z = self.client_product(&u, &v);
-
-        let split = |mat: &Matrix<R>, ctx: &mut Self| -> (Matrix<R>, Matrix<R>) {
-            let mask = ctx.client_random(mat.rows(), mat.cols());
-            ctx.client_cpu(2 * mat.byte_size());
-            let other = mat.sub(&mask);
-            (mask, other)
+        let seq = self.triple_seq;
+        self.triple_seq += 1;
+        let triple: BeaverTriple<R> = match &self.provider {
+            Some(p) => {
+                let (triple, events) = p.take(seq, spec).map_err(EngineError::Protocol)?;
+                TraceSink::adopt(events);
+                triple
+            }
+            None => gen_triple_streamed(spec, self.master_seed, seq, gemm_auto),
         };
-        let (u0, u1) = split(&u, self);
-        let (v0, v1) = split(&v, self);
-        let (z0, z1) = split(&z, self);
+        self.charge_triple_compute(spec);
 
-        let us = self.distribute(u0, u1)?;
-        let vs = self.distribute(v0, v1)?;
-        let zs = self.distribute(z0, z1)?;
-        let [u0, u1] = us.parts;
-        let [v0, v1] = vs.parts;
-        let [z0, z1] = zs.parts;
+        let (s0, s1) = triple.into_shares();
+        let (shares, prefetched) = (
+            [
+                TripleShare {
+                    u: s0.u,
+                    v: s0.v,
+                    z: s0.z,
+                },
+                TripleShare {
+                    u: s1.u,
+                    v: s1.v,
+                    z: s1.z,
+                },
+            ],
+            self.provider.is_some(),
+        );
+        let shares = if prefetched {
+            // The material is already server-side; charge the identical
+            // fault-free wire time without serializing it again.
+            for (rows, cols) in [spec.u_shape(), spec.v_shape(), spec.z_shape()] {
+                self.distribute_accounted(rows, cols)?;
+            }
+            shares
+        } else {
+            let [s0, s1] = shares;
+            let us = self.distribute(s0.u, s1.u)?;
+            let vs = self.distribute(s0.v, s1.v)?;
+            let zs = self.distribute(s0.z, s1.z)?;
+            let [u0, u1] = us.parts;
+            let [v0, v1] = vs.parts;
+            let [z0, z1] = zs.parts;
+            [
+                TripleShare {
+                    u: u0.v,
+                    v: v0.v,
+                    z: z0.v,
+                },
+                TripleShare {
+                    u: u1.v,
+                    v: v1.v,
+                    z: z1.v,
+                },
+            ]
+        };
+        let dims = spec.dims();
         trace_phase(
             "gen_triple",
             Phase::Offline,
             None,
             t_start,
             self.offline_end.max(self.client.now),
-            Some([m as u32, k as u32, n as u32]),
+            Some([dims.0 as u32, dims.1 as u32, dims.2 as u32]),
             None,
-            2 * (m * k + k * n + m * n) * R::BYTES,
+            2 * (dims.0 * dims.1 + dims.1 * dims.2 + dims.0 * dims.2) * R::BYTES,
         );
+        let [sh0, sh1] = shares;
         Ok(DistTriple {
-            shares: [
-                Timed::at_zero(TripleShare {
-                    u: u0.v,
-                    v: v0.v,
-                    z: z0.v,
-                }),
-                Timed::at_zero(TripleShare {
-                    u: u1.v,
-                    v: v1.v,
-                    z: z1.v,
-                }),
-            ],
-            dims: (m, k, n),
+            shares: [Timed::at_zero(sh0), Timed::at_zero(sh1)],
+            dims,
         })
+    }
+
+    /// Interns a call-site key, returning its stable `u32` id. Allocates
+    /// once per distinct key for the context's lifetime.
+    fn site_id(&mut self, key: &str) -> u32 {
+        if let Some(&id) = self.site_names.get(key) {
+            return id;
+        }
+        let id = u32::try_from(self.site_names.len()).expect("site count fits u32");
+        self.site_names.insert(key.to_string(), id);
+        id
     }
 
     // ---------------------------------------------------------------
@@ -464,9 +630,10 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
     }
 
     /// Moves one matrix from server `i` to its peer through the reliable
-    /// channel, delta-compressing per stream `key` on the way out and
-    /// decoding on arrival. `now` is the instant the data is ready on the
-    /// sender.
+    /// channel, delta-compressing per `stream` on the way out and
+    /// decoding on arrival (`stream` is a [`stream_id`] of the interned
+    /// call site and a channel constant). `now` is the instant the data
+    /// is ready on the sender.
     ///
     /// The stream is delta-encoded exactly once per logical transfer —
     /// retransmissions inside [`ReliableChannel::transfer`] resend the
@@ -475,14 +642,14 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
     fn transfer_mat(
         &mut self,
         i: usize,
-        key: &str,
+        stream: u64,
         m: &Matrix<R>,
         now: SimTime,
     ) -> Result<Timed<Matrix<R>>> {
         let payload = if self.cfg.compression {
             let enc = self.servers[i]
                 .encoders
-                .entry(key.to_string())
+                .entry(stream)
                 .or_insert_with(|| DeltaEncoder::with_threshold(self.cfg.sparsity_threshold));
             match enc.encode(m) {
                 TransmitForm::Full(full) => Payload::Dense(full),
@@ -513,7 +680,7 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         };
         let decoded = rcv
             .decoders
-            .entry(key.to_string())
+            .entry(stream)
             .or_default()
             .decode(form)
             .map_err(|e| EngineError::Protocol(e.to_string()))?;
@@ -553,6 +720,7 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         }
         self.secure_muls += 1;
         let layer = layer_of_key(key);
+        let site = self.site_id(key);
         if !self.cfg.pipeline {
             self.barrier();
         }
@@ -590,15 +758,13 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
             None,
             0,
         );
-        let ekey = format!("{key}.E");
-        let fkey = format!("{key}.F");
         // theirs[i] = (E, F) received *by* server i from its peer, each
         // moved through the reliable channel (retransmits under faults).
         let mut theirs = Vec::with_capacity(2);
         for i in 0..2 {
             let j = 1 - i;
-            let e = self.transfer_mat(j, &ekey, &masked[j].0, masked[j].2)?;
-            let f = self.transfer_mat(j, &fkey, &masked[j].1, masked[j].2)?;
+            let e = self.transfer_mat(j, stream_id(site, CHAN_E), &masked[j].0, masked[j].2)?;
+            let f = self.transfer_mat(j, stream_id(site, CHAN_F), &masked[j].1, masked[j].2)?;
             theirs.push((e, f));
         }
         let mut publics: Vec<(Matrix<R>, Matrix<R>, SimTime)> = Vec::with_capacity(2);
@@ -694,13 +860,16 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         Ok(SharedMatrix::new(it.next().unwrap(), it.next().unwrap()))
     }
 
-    /// Offline + online in one call: generates the triple on demand.
+    /// Offline + online in one call: provisions the triple on demand.
     ///
-    /// Triples are cached per call-site `key` and **reused across
-    /// iterations** (the paper's Eq. (11) keeps `U_i` fixed across epochs
-    /// so that `E` evolves by the sparse delta `dA` — the premise of the
-    /// compressed-transmission design). The offline cost is therefore paid
-    /// once per call site.
+    /// With [`EngineConfig::insecure_reuse_triples`] triples are cached
+    /// per `(call site, shape)` and **reused across iterations** (the
+    /// paper's Eq. (11) keeps `U_i` fixed across epochs so that `E`
+    /// evolves by the sparse delta `dA` — the premise of the
+    /// compressed-transmission design, and a deliberate information
+    /// leak; see DESIGN.md). The offline cost is then paid once per call
+    /// site. Without it, every multiplication consumes a fresh triple —
+    /// which is what the prefetch pipeline provisions ahead of time.
     pub fn secure_mul_auto(
         &mut self,
         a: &SharedMatrix<R>,
@@ -709,20 +878,22 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
     ) -> Result<SharedMatrix<R>> {
         let (m, k) = a.shape();
         let n = b.shape().1;
-        let cached = if self.cfg.reuse_triples {
-            self.triple_cache
-                .get(key)
-                .filter(|t| t.dims == (m, k, n))
-                .cloned()
+        let spec = TripleSpec::Gemm { m, k, n };
+        let site = self.site_id(key);
+        let cached = if self.cfg.insecure_reuse_triples {
+            self.triple_cache.get(&(site, spec)).cloned()
         } else {
             None
         };
         let triple = match cached {
-            Some(t) => t,
+            Some(t) => {
+                self.triple_reuses += 1;
+                t
+            }
             None => {
-                let t = self.gen_triple(m, k, n)?;
-                if self.cfg.reuse_triples {
-                    self.triple_cache.insert(key.to_string(), t.clone());
+                let t = self.provision_triple(spec)?;
+                if self.cfg.insecure_reuse_triples {
+                    self.triple_cache.insert((site, spec), t.clone());
                 }
                 t
             }
@@ -748,51 +919,27 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         }
         let (m, n) = a.shape();
         let layer = layer_of_key(key);
-        // Offline: element-wise triple (cached per key, like matmul).
+        let site = self.site_id(key);
+        // Offline: element-wise triple, provisioned like the matmul kind
+        // (the `Hadamard` spec cannot collide with a `Gemm` cache entry
+        // for the same site).
         let offline_guard = TraceSink::scope(Phase::Offline, layer);
-        let hkey = format!("{key}.had");
-        let triple = match self
-            .triple_cache
-            .get(&hkey)
-            .filter(|t| t.dims == (m, 0, n))
-            .cloned()
-        {
-            Some(t) => t,
+        let spec = TripleSpec::Hadamard { m, n };
+        let cached = if self.cfg.insecure_reuse_triples {
+            self.triple_cache.get(&(site, spec)).cloned()
+        } else {
+            None
+        };
+        let triple = match cached {
+            Some(t) => {
+                self.triple_reuses += 1;
+                t
+            }
             None => {
-                let u = self.client_random(m, n);
-                let v = self.client_random(m, n);
-                self.client_cpu(3 * u.byte_size());
-                let z = u.hadamard(&v);
-                let split = |mat: &Matrix<R>, ctx: &mut Self| {
-                    let mask = ctx.client_random(mat.rows(), mat.cols());
-                    ctx.client_cpu(2 * mat.byte_size());
-                    (mask.clone(), mat.sub(&mask))
-                };
-                let (u0, u1) = split(&u, self);
-                let (v0, v1) = split(&v, self);
-                let (z0, z1) = split(&z, self);
-                let us = self.distribute(u0, u1)?;
-                let vs = self.distribute(v0, v1)?;
-                let zs = self.distribute(z0, z1)?;
-                let [u0, u1] = us.parts;
-                let [v0, v1] = vs.parts;
-                let [z0, z1] = zs.parts;
-                let t = DistTriple {
-                    shares: [
-                        Timed::at_zero(TripleShare {
-                            u: u0.v,
-                            v: v0.v,
-                            z: z0.v,
-                        }),
-                        Timed::at_zero(TripleShare {
-                            u: u1.v,
-                            v: v1.v,
-                            z: z1.v,
-                        }),
-                    ],
-                    dims: (m, 0, n),
-                };
-                self.triple_cache.insert(hkey.clone(), t.clone());
+                let t = self.provision_triple(spec)?;
+                if self.cfg.insecure_reuse_triples {
+                    self.triple_cache.insert((site, spec), t.clone());
+                }
                 t
             }
         };
@@ -818,13 +965,13 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         drop(c1_guard);
         let comm_guard = TraceSink::scope(Phase::Communicate, layer);
         let comm_start = masked[0].2.max(masked[1].2);
-        let ekey = format!("{hkey}.E");
-        let fkey = format!("{hkey}.F");
         let mut theirs = Vec::with_capacity(2);
         for i in 0..2 {
             let j = 1 - i;
-            let e = self.transfer_mat(j, &ekey, &masked[j].0, masked[j].2)?;
-            let f = self.transfer_mat(j, &fkey, &masked[j].1, masked[j].2)?;
+            let e =
+                self.transfer_mat(j, stream_id(site, CHAN_HAD_E), &masked[j].0, masked[j].2)?;
+            let f =
+                self.transfer_mat(j, stream_id(site, CHAN_HAD_F), &masked[j].1, masked[j].2)?;
             theirs.push((e, f));
         }
         drop(comm_guard);
@@ -1133,11 +1280,16 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         }
         let start = z.parts[0].ready.max(z.parts[1].ready);
         // Exchange shares through the reliable channel.
-        let akey = format!("{key}.act");
+        let site = self.site_id(key);
         let mut theirs: Vec<Timed<Matrix<R>>> = Vec::with_capacity(2);
         for i in 0..2 {
             let j = 1 - i;
-            theirs.push(self.transfer_mat(j, &akey, &z.parts[j].v, z.parts[j].ready)?);
+            theirs.push(self.transfer_mat(
+                j,
+                stream_id(site, CHAN_ACT),
+                &z.parts[j].v,
+                z.parts[j].ready,
+            )?);
         }
         let mut rebuilt: Vec<Timed<Matrix<R>>> = Vec::with_capacity(2);
         let dur = self.cpu_dur(4 * z.parts[0].v.byte_size());
@@ -1319,6 +1471,11 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         a: &PlainMatrix,
         b: &PlainMatrix,
     ) -> Result<PlainMatrix> {
+        self.schedule_triples(&[TripleSpec::Gemm {
+            m: a.rows(),
+            k: a.cols(),
+            n: b.cols(),
+        }]);
         let sa = self.share_input(a)?;
         let sb = self.share_input(b)?;
         let c = self.secure_mul_auto(&sa, &sb, "quickstart")?;
@@ -1348,6 +1505,15 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         for s in &self.servers {
             injected.merge(&s.endpoint.fault_counters());
         }
+        let mut warnings = Vec::new();
+        if self.triple_reuses > 0 {
+            warnings.push(format!(
+                "insecure_reuse_triples served a cached Beaver triple to {} \
+                 multiplication(s); reused masks leak linear relations \
+                 between the masked operands",
+                self.triple_reuses
+            ));
+        }
         RunReport {
             offline_time: self.offline_end.saturating_since(SimTime::ZERO),
             online_time: self.online_end().saturating_since(SimTime::ZERO),
@@ -1357,6 +1523,7 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
             secure_muls: self.secure_muls,
             reliability: *self.reliable.stats(),
             injected,
+            warnings,
         }
     }
 
@@ -1559,5 +1726,69 @@ mod tests {
         let _ = ctx.secure_mul_auto(&sa, &sa, "k2").unwrap();
         let _ = ctx.secure_hadamard(&sa, &sa, "k3").unwrap();
         assert_eq!(ctx.report().secure_muls, 3);
+    }
+
+    #[test]
+    fn report_warns_on_actual_triple_reuse_only() {
+        let mut ctx = ctx(EngineConfig::parsecureml());
+        let a = plain(4, 4, 1.0);
+        let sa = ctx.share_input(&a).unwrap();
+        let _ = ctx.secure_mul_auto(&sa, &sa, "k1").unwrap();
+        assert!(ctx.report().warnings.is_empty(), "first use is fresh");
+        let _ = ctx.secure_mul_auto(&sa, &sa, "k1").unwrap();
+        let warnings = ctx.report().warnings;
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("insecure_reuse_triples"));
+    }
+
+    // Runs matmul + hadamard and returns the revealed values plus the
+    // report; used to pin prefetch-on against prefetch-off bit-exactly.
+    fn mul_and_hadamard(cfg: EngineConfig) -> (PlainMatrix, PlainMatrix, RunReport) {
+        let mut ctx = ctx(cfg);
+        let a = plain(6, 9, 1.0);
+        let b = plain(9, 4, 2.0);
+        let c = ctx.secure_matmul_plain(&a, &b).unwrap();
+        ctx.schedule_triples(&[TripleSpec::Hadamard { m: 5, n: 4 }]);
+        let x = ctx.share_input(&plain(5, 4, 1.0)).unwrap();
+        let y = ctx.share_input(&plain(5, 4, 0.5)).unwrap();
+        let h = ctx.secure_hadamard(&x, &y, "had").unwrap();
+        let hv = ctx.reveal(&h).unwrap().v;
+        (c, hv, ctx.report())
+    }
+
+    #[test]
+    fn prefetch_is_bit_identical_to_direct_provisioning() {
+        let off = mul_and_hadamard(
+            EngineConfig::parsecureml().with_insecure_reuse_triples(false),
+        );
+        let on = mul_and_hadamard(EngineConfig::parsecureml().with_prefetch(true));
+        assert_eq!(on.0, off.0, "matmul outputs diverged");
+        assert_eq!(on.1, off.1, "hadamard outputs diverged");
+        assert_eq!(
+            format!("{:?}", on.2),
+            format!("{:?}", off.2),
+            "simulated reports diverged"
+        );
+    }
+
+    #[test]
+    fn prefetch_schedule_mismatch_is_a_protocol_error() {
+        let mut ctx1 = ctx(EngineConfig::parsecureml().with_prefetch(true));
+        let a = ctx1.share_input(&plain(2, 3, 1.0)).unwrap();
+        let b = ctx1.share_input(&plain(3, 4, 1.0)).unwrap();
+        // Nothing scheduled: the engine must fail fast, not hang.
+        match ctx1.secure_mul_auto(&a, &b, "t").unwrap_err() {
+            EngineError::Protocol(msg) => assert!(msg.contains("exhausted"), "{msg}"),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+        // Wrong shape scheduled: also a protocol error.
+        let mut ctx2 = ctx(EngineConfig::parsecureml().with_prefetch(true));
+        ctx2.schedule_triples(&[TripleSpec::Hadamard { m: 2, n: 4 }]);
+        let a = ctx2.share_input(&plain(2, 3, 1.0)).unwrap();
+        let b = ctx2.share_input(&plain(3, 4, 1.0)).unwrap();
+        assert!(matches!(
+            ctx2.secure_mul_auto(&a, &b, "t").unwrap_err(),
+            EngineError::Protocol(_)
+        ));
     }
 }

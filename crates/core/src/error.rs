@@ -21,6 +21,9 @@ pub enum ConfigError {
     Faults(String),
     /// The retransmission policy was inconsistent.
     Retry(String),
+    /// The triple-prefetch settings were inconsistent (reuse enabled,
+    /// fault plan present, or zero depth).
+    Prefetch(String),
     /// A model specification was inconsistent (bad layer chain, empty
     /// model, shape mismatch).
     Model(String),
@@ -42,6 +45,7 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::Faults(s) => write!(f, "fault plan: {s}"),
             ConfigError::Retry(s) => write!(f, "retry policy: {s}"),
+            ConfigError::Prefetch(s) => write!(f, "prefetch: {s}"),
             ConfigError::Model(s) => write!(f, "model: {s}"),
             ConfigError::WeightFormat(s) => write!(f, "weight format: {s}"),
         }

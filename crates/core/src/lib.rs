@@ -40,6 +40,7 @@ pub mod io;
 pub mod layers;
 pub mod models;
 pub mod observe;
+pub mod provider;
 pub mod report;
 pub mod trainer;
 
@@ -49,6 +50,7 @@ pub use engine::SecureContext;
 pub use error::{ConfigError, EngineError};
 pub use layers::{Activation, LayerSpec};
 pub use models::{ModelKind, ModelSpec};
+pub use provider::TripleProvider;
 pub use report::{PhaseBreakdown, RunReport};
 pub use trainer::{InferenceResult, SecureTrainer, TrainResult, TrainerCheckpoint};
 
@@ -87,7 +89,7 @@ pub mod prelude {
         TrainerCheckpoint,
     };
     pub use psml_data::{batch, Batch, DatasetKind};
-    pub use psml_mpc::{Fixed64, Party, PlainMatrix, SecureRing};
+    pub use psml_mpc::{Fixed64, Party, PlainMatrix, SecureRing, TripleSpec};
     pub use psml_simtime::{SimDuration, SimTime};
     pub use psml_tensor::Matrix;
 }

@@ -2,6 +2,7 @@
 
 use crate::error::{EngineError, Result};
 use crate::layers::{Activation, LayerSpec};
+use psml_mpc::TripleSpec;
 use psml_tensor::ConvShape;
 
 /// Which benchmark to build.
@@ -236,6 +237,116 @@ impl ModelSpec {
     /// Total triplet multiplications per forward pass.
     pub fn forward_muls(&self) -> usize {
         self.layers.iter().map(LayerSpec::forward_muls).sum()
+    }
+
+    /// The Beaver-triple shapes one secure forward pass consumes for a
+    /// batch of `batch` samples, in the exact order
+    /// [`crate::SecureTrainer`] provisions them. Activations are
+    /// client-aided and consume no triples; pooling is local.
+    ///
+    /// This is the declaration the prefetch pipeline
+    /// ([`crate::TripleProvider`]) runs ahead on: the trainer enqueues it
+    /// before the pass so offline generation overlaps online compute.
+    pub fn forward_schedule(&self, batch: usize) -> Vec<TripleSpec> {
+        let mut sched = Vec::with_capacity(self.forward_muls());
+        for layer in &self.layers {
+            match layer {
+                LayerSpec::Dense { inputs, outputs, .. } => {
+                    sched.push(TripleSpec::Gemm {
+                        m: batch,
+                        k: *inputs,
+                        n: *outputs,
+                    });
+                }
+                LayerSpec::Conv2D { shape, .. } => {
+                    sched.push(TripleSpec::Gemm {
+                        m: batch * shape.patches(),
+                        k: shape.patch_len(),
+                        n: shape.filters,
+                    });
+                }
+                LayerSpec::AvgPool2D { .. } => {}
+                LayerSpec::Rnn {
+                    step_inputs,
+                    hidden,
+                    seq_len,
+                    ..
+                } => {
+                    for _ in 0..*seq_len {
+                        sched.push(TripleSpec::Gemm {
+                            m: batch,
+                            k: *step_inputs,
+                            n: *hidden,
+                        });
+                        sched.push(TripleSpec::Gemm {
+                            m: batch,
+                            k: *hidden,
+                            n: *hidden,
+                        });
+                    }
+                }
+            }
+        }
+        sched
+    }
+
+    /// The triple shapes of one full training step — forward pass, loss
+    /// gradient, backward pass — in provisioning order (the backward half
+    /// walks the layers in reverse, mirroring
+    /// [`crate::SecureTrainer`]'s update order).
+    pub fn step_schedule(&self, batch: usize) -> Vec<TripleSpec> {
+        let mut sched = self.forward_schedule(batch);
+        if self.loss == Loss::Hinge {
+            // `margin = 1 - y o pred` needs one element-wise triple; the
+            // subgradient mask reuses the activation mechanism (no triple).
+            sched.push(TripleSpec::Hadamard {
+                m: batch,
+                n: self.outputs,
+            });
+        }
+        for (li, layer) in self.layers.iter().enumerate().rev() {
+            match layer {
+                LayerSpec::Dense { inputs, outputs, .. } => {
+                    sched.push(TripleSpec::Gemm {
+                        m: *inputs,
+                        k: batch,
+                        n: *outputs,
+                    });
+                    if li > 0 {
+                        sched.push(TripleSpec::Gemm {
+                            m: batch,
+                            k: *outputs,
+                            n: *inputs,
+                        });
+                    }
+                }
+                LayerSpec::Conv2D { shape, .. } => {
+                    sched.push(TripleSpec::Gemm {
+                        m: shape.patch_len(),
+                        k: batch * shape.patches(),
+                        n: shape.filters,
+                    });
+                }
+                LayerSpec::AvgPool2D { .. } => {}
+                LayerSpec::Rnn {
+                    step_inputs, hidden, ..
+                } => {
+                    // Truncated BPTT: one step of gradients, two weight
+                    // matrices.
+                    sched.push(TripleSpec::Gemm {
+                        m: *step_inputs,
+                        k: batch,
+                        n: *hidden,
+                    });
+                    sched.push(TripleSpec::Gemm {
+                        m: *hidden,
+                        k: batch,
+                        n: *hidden,
+                    });
+                }
+            }
+        }
+        sched
     }
 }
 

@@ -95,6 +95,15 @@ const SCHEMAS: &[(&str, &[&str])] = &[
         "psml.reliability.v1",
         &["transfers", "retransmits", "timeouts"],
     ),
+    (
+        "psml.bench.triple.v1",
+        &[
+            "prefetch_on_ms",
+            "prefetch_off_ms",
+            "speedup",
+            "identical_results",
+        ],
+    ),
 ];
 
 /// Parses `text` and checks it against its self-declared versioned

@@ -94,6 +94,10 @@ pub struct RunReport {
     /// Faults the endpoints *injected* (the chaos side of the ledger, as
     /// opposed to `reliability`, which is the recovery side).
     pub injected: FaultCounters,
+    /// Human-readable caveats about the run's security posture — e.g. a
+    /// note that `insecure_reuse_triples` served one triple to many
+    /// multiplications. Empty for a clean run.
+    pub warnings: Vec<String>,
 }
 
 impl RunReport {
@@ -189,6 +193,15 @@ impl RunReport {
                         JsonValue::UInt(self.injected.blackout_drops),
                     ),
                 ]),
+            ),
+            (
+                "warnings",
+                JsonValue::Array(
+                    self.warnings
+                        .iter()
+                        .map(|w| JsonValue::Str(w.clone()))
+                        .collect(),
+                ),
             ),
         ])
     }

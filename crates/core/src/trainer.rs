@@ -518,6 +518,11 @@ impl<R: SecureRing + GpuElement> SecureTrainer<R> {
         ys: &SharedMatrix<R>,
         y_plain: &PlainMatrix,
     ) -> Result<f64> {
+        // Declare the whole step's triple shapes up front so the
+        // provisioning pipeline generates them concurrently with the
+        // online phase (no-op without `prefetch`).
+        self.ctx
+            .schedule_triples(&self.spec.step_schedule(xs.shape().0));
         let (pred, caches) = self.forward(xs)?;
         let pred_plain = self.ctx.reveal(&pred)?.v;
         let (grad, loss) = self.loss_grad(&pred, &pred_plain, ys, y_plain)?;
@@ -572,6 +577,8 @@ impl<R: SecureRing + GpuElement> SecureTrainer<R> {
 
     /// Secure inference on one plaintext batch; reveals the outputs.
     pub fn infer_batch(&mut self, x: &PlainMatrix) -> Result<PlainMatrix> {
+        self.ctx
+            .schedule_triples(&self.spec.forward_schedule(x.rows()));
         let xs = self.ctx.share_input(x)?;
         let (pred, _) = self.forward(&xs)?;
         let out = self.ctx.reveal(&pred)?.v;

@@ -337,6 +337,99 @@ impl<R: GpuElement> GpuDevice<R> {
         self.alloc(out, done)
     }
 
+    /// Reserves `bytes` of device memory without materializing data —
+    /// the accounting half of [`GpuDevice::alloc`], with the identical
+    /// OOM check.
+    fn charge_alloc(&mut self, bytes: usize) -> Result<(), GpuError> {
+        let available = self.config.memory_bytes.saturating_sub(self.allocated);
+        if bytes > available {
+            return Err(GpuError::OutOfMemory {
+                requested: bytes,
+                available,
+            });
+        }
+        self.allocated += bytes;
+        Ok(())
+    }
+
+    /// Charges the timeline for `random(rows, cols, …)` followed by
+    /// `download` and `free`, without generating or moving any data.
+    ///
+    /// Bit-exact mirror of the real sequence: same engines, same labels,
+    /// same durations, same dependency chain, same transient memory
+    /// pressure (the buffer exists between the RNG kernel's issue and
+    /// the post-download free, so OOM behavior matches). Used by the
+    /// prefetch path, where triple material is produced elsewhere but
+    /// the device clock must advance exactly as if it were produced
+    /// here.
+    pub fn charge_random_roundtrip(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        after: SimTime,
+    ) -> Result<SimTime, GpuError> {
+        let bytes = rows * cols * R::BYTES;
+        let dur = self.config.rng_time(rows * cols);
+        let ready = self
+            .timeline
+            .schedule(self.compute, after.max(self.fence), dur, "curand");
+        self.charge_alloc(bytes)?;
+        let dl = self.config.pcie.transfer_time(bytes);
+        let done = self
+            .timeline
+            .schedule_bytes(self.d2h, ready.max(self.fence), dl, "d2h", bytes);
+        self.allocated -= bytes;
+        Ok(done)
+    }
+
+    /// Charges the timeline for `upload(A)`, `upload(B)`, `gemm`,
+    /// `download(C)` and the three frees, without touching any data.
+    /// Both uploads start no earlier than `after` (the host-ready
+    /// instant), exactly as when the engine issues them back to back.
+    ///
+    /// Same bit-exactness contract as
+    /// [`GpuDevice::charge_random_roundtrip`].
+    pub fn charge_gemm_roundtrip(
+        &mut self,
+        m: usize,
+        k: usize,
+        n: usize,
+        tensor_core: bool,
+        after: SimTime,
+    ) -> Result<SimTime, GpuError> {
+        let a_bytes = m * k * R::BYTES;
+        let b_bytes = k * n * R::BYTES;
+        let c_bytes = m * n * R::BYTES;
+        let start = after.max(self.fence);
+        let a_ready = self.timeline.schedule_bytes(
+            self.h2d,
+            start,
+            self.config.pcie.transfer_time(a_bytes),
+            "h2d",
+            a_bytes,
+        );
+        self.charge_alloc(a_bytes)?;
+        let b_ready = self.timeline.schedule_bytes(
+            self.h2d,
+            after.max(self.fence),
+            self.config.pcie.transfer_time(b_bytes),
+            "h2d",
+            b_bytes,
+        );
+        self.charge_alloc(b_bytes)?;
+        let ready = a_ready.max(b_ready).max(self.fence);
+        let dur = self.config.gemm_time(m, k, n, tensor_core);
+        let label = if tensor_core { "gemm_tc" } else { "gemm" };
+        let c_ready = self.timeline.schedule(self.compute, ready, dur, label);
+        self.charge_alloc(c_bytes)?;
+        let dl = self.config.pcie.transfer_time(c_bytes);
+        let done = self
+            .timeline
+            .schedule_bytes(self.d2h, c_ready.max(self.fence), dl, "d2h", c_bytes);
+        self.allocated -= a_bytes + b_bytes + c_bytes;
+        Ok(done)
+    }
+
     /// Builds the Eq. (8) fused operands on device:
     /// `left = [d | e]`, `right = [f ; b]` (concatenation kernels).
     pub fn concat_pair(
@@ -551,6 +644,78 @@ mod tests {
         let h2 = dev2.random(32, 32, 99, SimTime::ZERO).unwrap();
         let (m2, _) = dev2.download(h2).unwrap();
         assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn charge_random_roundtrip_matches_real_sequence() {
+        // Real: random + download + free.
+        let mut real = device();
+        let h = real.random(33, 17, 4, SimTime::ZERO).unwrap();
+        let (_, real_done) = real.download(h).unwrap();
+        real.free(h).unwrap();
+
+        // Charged: identical clocks and profile, no data.
+        let mut charged = device();
+        let done = charged.charge_random_roundtrip(33, 17, SimTime::ZERO).unwrap();
+
+        assert_eq!(done, real_done);
+        assert_eq!(charged.now(), real.now());
+        assert_eq!(charged.allocated_bytes(), real.allocated_bytes());
+        assert_eq!(charged.allocated_bytes(), 0);
+        assert_eq!(charged.profile().to_string(), real.profile().to_string());
+
+        // Clocks keep agreeing when more work lands after the roundtrip.
+        let t2r = real.random(8, 8, 5, SimTime::ZERO).unwrap();
+        let t2c = charged.random(8, 8, 5, SimTime::ZERO).unwrap();
+        assert_eq!(real.ready_at(t2r).unwrap(), charged.ready_at(t2c).unwrap());
+    }
+
+    #[test]
+    fn charge_gemm_roundtrip_matches_real_sequence() {
+        let (m, k, n) = (24, 40, 16);
+        let a = Matrix::from_fn(m, k, |r, c| ((r + 2 * c) % 7) as f32);
+        let b = Matrix::from_fn(k, n, |r, c| ((3 * r + c) % 5) as f32);
+        let after = SimTime::from_secs(1e-4);
+
+        for tc in [false, true] {
+            let mode = if tc { GemmMode::TensorCore } else { GemmMode::Fp32 };
+            let mut real = device();
+            let ha = real.upload(&a, after).unwrap();
+            let hb = real.upload(&b, after).unwrap();
+            let hc = real.gemm(ha, hb, mode).unwrap();
+            let (_, real_done) = real.download(hc).unwrap();
+            real.free(ha).unwrap();
+            real.free(hb).unwrap();
+            real.free(hc).unwrap();
+
+            let mut charged = device();
+            let done = charged.charge_gemm_roundtrip(m, k, n, tc, after).unwrap();
+
+            assert_eq!(done, real_done, "tc={tc}");
+            assert_eq!(charged.now(), real.now(), "tc={tc}");
+            assert_eq!(charged.allocated_bytes(), 0, "tc={tc}");
+            assert_eq!(
+                charged.profile().to_string(),
+                real.profile().to_string(),
+                "tc={tc}"
+            );
+        }
+    }
+
+    #[test]
+    fn charge_roundtrips_hit_the_same_oom_wall() {
+        let mut cfg = MachineConfig::v100_node().gpu;
+        cfg.memory_bytes = 10_000;
+        let mut dev = GpuDevice::<f32>::new(cfg);
+        // 40x40 f32 = 6400 B fits; a second one does not.
+        dev.charge_random_roundtrip(40, 40, SimTime::ZERO).unwrap();
+        assert_eq!(dev.allocated_bytes(), 0, "charge must release its bytes");
+        let resident = dev.upload(&Matrix::<f32>::zeros(40, 40), SimTime::ZERO).unwrap();
+        let err = dev.charge_random_roundtrip(40, 40, SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, GpuError::OutOfMemory { requested: 6400, .. }));
+        dev.free(resident).unwrap();
+        dev.charge_gemm_roundtrip(20, 20, 20, false, SimTime::ZERO).unwrap();
+        assert_eq!(dev.allocated_bytes(), 0);
     }
 
     #[test]

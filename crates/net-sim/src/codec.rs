@@ -194,6 +194,14 @@ fn put_element<R: Num>(buf: &mut Vec<u8>, x: R) {
     buf.extend_from_slice(&bits.to_le_bytes()[..R::BYTES]);
 }
 
+/// Exact encoded size of a [`Payload::Dense`] matrix of the given shape:
+/// tag (1) + rows (4) + cols (4) + elements. Wire length is a pure
+/// function of shape, which is what lets the accounted (charge-only)
+/// send path reproduce real transfer timing without serializing bytes.
+pub const fn dense_payload_bytes<R: Num>(rows: usize, cols: usize) -> usize {
+    9 + rows * cols * R::BYTES
+}
+
 /// Serializes a payload into its wire bytes.
 pub fn encode<R: Num>(payload: &Payload<R>) -> Vec<u8> {
     let mut buf = Vec::new();
@@ -325,6 +333,7 @@ mod tests {
         let p = dense();
         let bytes = encode(&p);
         assert_eq!(bytes.len(), 1 + 4 + 4 + 15 * 4);
+        assert_eq!(bytes.len(), dense_payload_bytes::<f32>(3, 5));
         let p = sparse();
         let bytes = encode(&p);
         assert_eq!(bytes.len(), 1 + 12 + 5 * 4 + 2 * 4 + 2 * 8);

@@ -229,6 +229,51 @@ impl<R: Num> Endpoint<R> {
         Ok(done)
     }
 
+    /// Charge-only send of a dense `rows x cols` matrix: advances the NIC
+    /// clock, sequence counter, traffic stats, and trace exactly as
+    /// [`Endpoint::send`] of `Payload::Dense` would — the wire length is a
+    /// pure function of shape — but serializes and enqueues nothing.
+    ///
+    /// The provisioning pipeline uses this when a prefetched triple's
+    /// share material is already derivable at the consumer (counter-based
+    /// RNG streams), so only the transfer's *cost* must be reproduced.
+    /// Only valid on fault-free endpoints: an accounted frame can never be
+    /// dropped, corrupted, or delayed, so charging one under an armed
+    /// fault plan would diverge from the real protocol.
+    pub fn send_accounted(
+        &mut self,
+        to: NodeId,
+        rows: usize,
+        cols: usize,
+        now: SimTime,
+    ) -> Result<SimTime, NetError> {
+        if to == self.id {
+            return Err(NetError::SelfSend);
+        }
+        debug_assert!(
+            self.faults.is_none(),
+            "accounted sends are only valid on fault-free endpoints"
+        );
+        self.next_seq += 1;
+        let wire_bytes = codec::FRAME_HEADER_BYTES + codec::dense_payload_bytes::<R>(rows, cols);
+        let dense_equivalent = rows * cols * R::BYTES;
+        let start = now.max(self.nic_free_at);
+        let done = start + self.link.transfer_time(wire_bytes);
+        self.nic_free_at = done;
+        self.stats
+            .record(self.id, to, wire_bytes, dense_equivalent);
+        if psml_trace::TraceSink::is_enabled() {
+            psml_trace::TraceSink::span(
+                "send:dense",
+                &format!("net:{}->{}", self.id.short_name(), to.short_name()),
+                psml_trace::ns_of_secs(start.as_secs()),
+                psml_trace::ns_of_secs(done.as_secs()),
+                wire_bytes as u64,
+            );
+        }
+        Ok(done)
+    }
+
     /// Verifies and decodes one wire frame into a packet.
     fn unpack(frame: WireFrame) -> Result<Packet<R>, NetError> {
         let wire_bytes = frame.bytes.len();

@@ -272,6 +272,35 @@ impl ReliableChannel {
         }
     }
 
+    /// Charge-only counterpart of the fault-free fast path of
+    /// [`ReliableChannel::transfer`] for a dense `rows x cols` matrix:
+    /// advances both clocks, the transfer counter, and the sender's NIC,
+    /// stats, and sequence state exactly as the real transfer would, but
+    /// moves no bytes. Returns the instant the transfer completes (which
+    /// on the fault-free path equals the packet's `available_at`).
+    ///
+    /// Only valid when neither endpoint has faults armed — see
+    /// [`Endpoint::send_accounted`].
+    pub fn transfer_accounted<R: Num>(
+        &mut self,
+        sender: &mut Endpoint<R>,
+        sender_now: &mut SimTime,
+        receiver: &Endpoint<R>,
+        receiver_now: &mut SimTime,
+        rows: usize,
+        cols: usize,
+    ) -> Result<SimTime, NetError> {
+        debug_assert!(
+            !sender.has_faults() && !receiver.has_faults(),
+            "accounted transfers are only valid on fault-free channels"
+        );
+        self.stats.transfers += 1;
+        let done = sender.send_accounted(receiver.id(), rows, cols, *sender_now)?;
+        *sender_now = done;
+        *receiver_now = (*receiver_now).max(done);
+        Ok(done)
+    }
+
     /// Classifies a failed receive; recoverable failures update counters,
     /// anything else propagates.
     fn note_leg_failure(&mut self, err: &NetError) -> Result<(), NetError> {
@@ -457,6 +486,60 @@ mod tests {
             timeouts_total += chan.stats().timeouts;
         }
         assert!(timeouts_total > 0, "scenario never forced a late frame");
+    }
+
+    #[test]
+    fn accounted_transfer_matches_fast_path_bit_exactly() {
+        // The same sequence of transfers, once for real and once charge-
+        // only, must leave clocks, NIC state, traffic stats, sequence
+        // numbers, and channel counters identical.
+        let shapes = [(8usize, 8usize), (64, 3), (1, 1), (8, 8)];
+
+        let [_, mut s0, mut s1] = build_network::<f32>(LinkModel::infiniband_100g());
+        let mut chan = ReliableChannel::new(RetryPolicy::default());
+        let (mut t0, mut t1) = (SimTime::ZERO, SimTime::ZERO);
+        let mut real_dones = Vec::new();
+        for &(r, c) in &shapes {
+            let p = Payload::Dense(Matrix::from_fn(r, c, |i, j| (i * c + j) as f32));
+            let pkt = chan
+                .transfer(&mut s0, &mut t0, &mut s1, &mut t1, &p)
+                .unwrap();
+            real_dones.push(pkt.available_at);
+        }
+
+        let [_, mut a0, mut a1] = build_network::<f32>(LinkModel::infiniband_100g());
+        let mut achan = ReliableChannel::new(RetryPolicy::default());
+        let (mut u0, mut u1) = (SimTime::ZERO, SimTime::ZERO);
+        let mut acc_dones = Vec::new();
+        for &(r, c) in &shapes {
+            let done = achan
+                .transfer_accounted(&mut a0, &mut u0, &a1, &mut u1, r, c)
+                .unwrap();
+            acc_dones.push(done);
+        }
+
+        assert_eq!(real_dones, acc_dones);
+        assert_eq!((t0, t1), (u0, u1));
+        assert_eq!(chan.stats(), achan.stats());
+        let real_link = s0.stats().link(NodeId::Server0, NodeId::Server1);
+        let acc_link = a0.stats().link(NodeId::Server0, NodeId::Server1);
+        assert_eq!(real_link.messages, acc_link.messages);
+        assert_eq!(real_link.wire_bytes, acc_link.wire_bytes);
+        assert_eq!(
+            real_link.dense_equivalent_bytes,
+            acc_link.dense_equivalent_bytes
+        );
+        // Sequence numbers continue from where the accounted sends left
+        // off, exactly as after real sends.
+        let probe = Payload::Dense(Matrix::<f32>::zeros(2, 2));
+        let real_next = chan
+            .transfer(&mut s0, &mut t0, &mut s1, &mut t1, &probe)
+            .unwrap();
+        let acc_next = achan
+            .transfer(&mut a0, &mut u0, &mut a1, &mut u1, &probe)
+            .unwrap();
+        assert_eq!(real_next.seq, acc_next.seq);
+        assert_eq!(real_next.available_at, acc_next.available_at);
     }
 
     #[test]

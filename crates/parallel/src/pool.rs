@@ -187,7 +187,21 @@ impl ThreadPool {
     }
 }
 
+thread_local! {
+    /// True on threads that are pool workers (set for the lifetime of the
+    /// worker loop). Lets nested parallel helpers detect that they are
+    /// already *inside* a pooled job and degrade to serial execution
+    /// instead of blocking on the pool they are running on.
+    static IN_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// True when the calling thread is one of a [`ThreadPool`]'s workers.
+pub fn in_pool_worker() -> bool {
+    IN_POOL_WORKER.with(std::cell::Cell::get)
+}
+
 fn worker_loop(receiver: &Mutex<Receiver<Job>>, pending: &PendingState) {
+    IN_POOL_WORKER.with(|flag| flag.set(true));
     loop {
         let job = {
             let rx = receiver.lock().unwrap();
@@ -297,14 +311,21 @@ where
 /// per-call thread spawn. The calling thread executes the first chunk while
 /// the pool's workers execute the rest.
 ///
-/// Must not be called from inside another pooled job (the wait could then
-/// starve the pool); the GEMM hot paths only invoke it from protocol-level
-/// code, never from within a chunk body.
+/// Safe to call from inside another pooled job: when the calling thread
+/// is itself a pool worker (see [`in_pool_worker`]), the whole slice runs
+/// serially on the caller instead of re-entering the pool, so a nested
+/// wait can never starve the workers it is waiting on.
 pub fn for_each_chunk_mut_pooled<T, F>(data: &mut [T], align: usize, body: F)
 where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
+    if in_pool_worker() {
+        if !data.is_empty() {
+            body(0, data);
+        }
+        return;
+    }
     let pool = global_pool();
     // The caller participates, so plan for one part more than the pool has
     // workers.
@@ -547,6 +568,25 @@ mod tests {
         for_each_chunk_mut_pooled(&mut data, CACHE_LINE_F32, |_, _| {
             panic!("must not be called")
         });
+    }
+
+    #[test]
+    fn pooled_call_from_inside_worker_degrades_to_serial() {
+        // A pooled job that itself calls for_each_chunk_mut_pooled must not
+        // deadlock waiting on the pool it runs on; the nested call covers
+        // the slice serially on the worker.
+        assert!(!in_pool_worker(), "test thread is not a pool worker");
+        let mut data = vec![0u32; 515];
+        let data_ref = &mut data;
+        global_pool().scoped_run(vec![Box::new(move || {
+            assert!(in_pool_worker());
+            for_each_chunk_mut_pooled(data_ref, CACHE_LINE_F32, |off, slice| {
+                for (i, v) in slice.iter_mut().enumerate() {
+                    *v = (off + i) as u32;
+                }
+            });
+        }) as Box<dyn FnOnce() + Send + '_>]);
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32));
     }
 
     #[test]

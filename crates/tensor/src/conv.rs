@@ -8,7 +8,7 @@
 //! filters` GEMM — plus a direct reference implementation used as oracle.
 //! Valid padding, unit stride (the paper's 5x5-kernel CNN).
 
-use crate::gemm::gemm_blocked;
+use crate::gemm::gemm_auto;
 use crate::matrix::Matrix;
 use crate::num::Num;
 
@@ -105,7 +105,10 @@ pub fn conv2d_im2col<T: Num>(
         "kernel shape mismatch"
     );
     let patches = im2col(input, shape);
-    gemm_blocked(&patches, kernels)
+    // The packed production dispatcher: conv-sized problems (patches x
+    // patch_len x filters) routinely clear the packing threshold, where
+    // the register-tiled kernel wins (see `cargo bench --bench gemm`).
+    gemm_auto(&patches, kernels)
 }
 
 /// Direct sliding-window convolution (test oracle).

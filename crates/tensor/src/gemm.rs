@@ -29,7 +29,9 @@
 
 use crate::matrix::Matrix;
 use crate::num::Num;
-use psml_parallel::{configured_workers, for_each_chunk_mut, for_each_chunk_mut_pooled};
+use psml_parallel::{
+    configured_workers, for_each_chunk_mut, for_each_chunk_mut_pooled, global_pool,
+};
 
 /// Cache tile edge (elements) for [`gemm_blocked`]. 64 puts a 64x64 f32
 /// tile (16 KiB) well within L1 on common cores.
@@ -618,6 +620,102 @@ pub fn gemm_auto<T: Num>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
     }
 }
 
+/// Dispatch tier [`gemm_auto`] would pick for an `m x k x n` product.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AutoTier {
+    Blocked,
+    Packed,
+    Parallel,
+}
+
+fn auto_tier(m: usize, k: usize, n: usize) -> AutoTier {
+    let flops = m.saturating_mul(k).saturating_mul(n);
+    if flops < AUTO_PACK_FLOPS {
+        AutoTier::Blocked
+    } else if flops < AUTO_PARALLEL_FLOPS || configured_workers() < 2 {
+        AutoTier::Packed
+    } else {
+        AutoTier::Parallel
+    }
+}
+
+/// Evaluates a batch of *independent* products, each with the exact kernel
+/// [`gemm_auto`] would pick for it, amortizing pool dispatch across the
+/// batch: all serial-tier items (blocked / serial-packed) are submitted to
+/// the process-global pool as one region and run concurrently, while
+/// parallel-tier items run one after another, each owning the whole pool.
+///
+/// Results are bit-identical to calling [`gemm_auto`] per pair — the same
+/// kernel functions execute on the same operands; only *where* they run
+/// changes. When every pair shares the same right-hand side (pointer
+/// equality), `B` is packed once and reused by all packed-tier items.
+///
+/// This is the triple-provisioning batch path: `b` pending same-shape
+/// triples become `b` concurrent `Z = U x V` products. Stacking them into
+/// one `(b*m, k) x (k, n)` GEMM — the more obvious fusion — would be
+/// wrong for independent triples, since each has its own `V`; see
+/// DESIGN.md ("Offline/online overlap on the host").
+pub fn gemm_batch<T: Num>(pairs: &[(&Matrix<T>, &Matrix<T>)]) -> Vec<Matrix<T>> {
+    for (a, b) in pairs {
+        assert_shapes(a, b);
+    }
+    let tiers: Vec<AutoTier> = pairs
+        .iter()
+        .map(|&(a, b)| auto_tier(a.rows(), a.cols(), b.cols()))
+        .collect();
+    // Pack a shared right-hand side once (only worth it when some item is
+    // in the packed tier and the B really is the same allocation).
+    let shared_packed: Option<PackedB<T>> = if pairs.len() > 1
+        && tiers.contains(&AutoTier::Packed)
+        && pairs.iter().all(|&(_, b)| std::ptr::eq(b, pairs[0].1))
+    {
+        Some(pack_b(pairs[0].1))
+    } else {
+        None
+    };
+    let run_serial = |i: usize, slot: &mut Option<Matrix<T>>| {
+        let (a, b) = pairs[i];
+        *slot = Some(match tiers[i] {
+            AutoTier::Blocked => gemm_blocked(a, b),
+            AutoTier::Packed => match &shared_packed {
+                Some(p) => gemm_packed_with(a, p),
+                None => gemm_packed(a, b),
+            },
+            AutoTier::Parallel => unreachable!("parallel items run below"),
+        });
+    };
+    let mut results: Vec<Option<Matrix<T>>> = pairs.iter().map(|_| None).collect();
+    let serial_items = tiers.iter().filter(|&&t| t != AutoTier::Parallel).count();
+    if serial_items > 1 && configured_workers() >= 2 {
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = results
+            .iter_mut()
+            .enumerate()
+            .filter(|&(i, _)| tiers[i] != AutoTier::Parallel)
+            .map(|(i, slot)| {
+                let run_serial = &run_serial;
+                Box::new(move || run_serial(i, slot)) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        global_pool().scoped_run(jobs);
+    } else {
+        for (i, slot) in results.iter_mut().enumerate() {
+            if tiers[i] != AutoTier::Parallel {
+                run_serial(i, slot);
+            }
+        }
+    }
+    for (i, slot) in results.iter_mut().enumerate() {
+        if tiers[i] == AutoTier::Parallel {
+            let (a, b) = pairs[i];
+            *slot = Some(gemm_packed_parallel(a, b));
+        }
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every batch item computed"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -816,6 +914,58 @@ mod tests {
     #[should_panic(expected = "gemm shape mismatch")]
     fn packed_mismatched_inner_dims_panic() {
         let _ = gemm_packed(&fmat(2, 3, 1), &fmat(4, 2, 1));
+    }
+
+    #[test]
+    fn batch_matches_auto_exactly_in_ring() {
+        // Items spread over all three dispatch tiers.
+        let shapes = [(8, 8, 8), (48, 48, 48), (160, 160, 160), (3, 5, 2), (40, 33, 50)];
+        let mats: Vec<(Matrix<u64>, Matrix<u64>)> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(m, k, n))| (umat(m, k, i as u64 + 1), umat(k, n, i as u64 + 11)))
+            .collect();
+        let pairs: Vec<(&Matrix<u64>, &Matrix<u64>)> =
+            mats.iter().map(|(a, b)| (a, b)).collect();
+        let batched = gemm_batch(&pairs);
+        for ((a, b), got) in mats.iter().zip(&batched) {
+            assert_eq!(got, &gemm_auto(a, b));
+        }
+    }
+
+    #[test]
+    fn batch_matches_auto_bitwise_f32() {
+        // f32 summation order is kernel-dependent, so bit-identity here
+        // proves the batch really runs the same kernels as gemm_auto.
+        let mats: Vec<(Matrix<f32>, Matrix<f32>)> = [(8, 8, 8), (48, 48, 48), (33, 70, 41)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(m, k, n))| (fmat(m, k, i as u64 + 1), fmat(k, n, i as u64 + 7)))
+            .collect();
+        let pairs: Vec<(&Matrix<f32>, &Matrix<f32>)> =
+            mats.iter().map(|(a, b)| (a, b)).collect();
+        for (got, (a, b)) in gemm_batch(&pairs).iter().zip(&mats) {
+            assert_eq!(got.as_slice(), gemm_auto(a, b).as_slice());
+        }
+    }
+
+    #[test]
+    fn batch_shared_rhs_packs_once_and_matches() {
+        let b = umat(48, 48, 3);
+        let lhs: Vec<Matrix<u64>> = (0..4).map(|i| umat(48, 48, i + 21)).collect();
+        let pairs: Vec<(&Matrix<u64>, &Matrix<u64>)> =
+            lhs.iter().map(|a| (a, &b)).collect();
+        for (got, a) in gemm_batch(&pairs).iter().zip(&lhs) {
+            assert_eq!(got, &gemm_auto(a, &b));
+        }
+    }
+
+    #[test]
+    fn batch_of_empty_and_one() {
+        assert!(gemm_batch::<u64>(&[]).is_empty());
+        let a = umat(5, 6, 1);
+        let b = umat(6, 4, 2);
+        assert_eq!(gemm_batch(&[(&a, &b)]), vec![gemm_auto(&a, &b)]);
     }
 
     #[test]

@@ -23,8 +23,8 @@ pub mod sparse;
 
 pub use conv::{conv2d_direct, conv2d_im2col, im2col, ConvShape};
 pub use gemm::{
-    gemm_auto, gemm_blocked, gemm_naive, gemm_packed, gemm_packed_parallel, gemm_packed_sum,
-    gemm_packed_with, gemm_parallel, pack_b, PackedB, MR, NR,
+    gemm_auto, gemm_batch, gemm_blocked, gemm_naive, gemm_packed, gemm_packed_parallel,
+    gemm_packed_sum, gemm_packed_with, gemm_parallel, pack_b, PackedB, MR, NR,
 };
 pub use half::{f16_bits_to_f32, f32_to_f16_bits, quantize_f16};
 pub use matrix::Matrix;

@@ -104,6 +104,23 @@ impl TraceSink {
         });
     }
 
+    /// Appends already-formed events to the calling thread's buffer,
+    /// preserving their `wall_ns` stamps.
+    ///
+    /// This is the hand-over half of cross-thread tracing: a producer
+    /// thread (the triple-provisioning pipeline) drains its own buffer
+    /// and ships the events with its results; the engine thread adopts
+    /// them at consumption time. Unlike [`TraceSink::record`], the wall
+    /// clock is *not* re-stamped — the events describe when the work
+    /// actually ran, which is exactly what makes offline/online overlap
+    /// visible in the profile.
+    pub fn adopt(events: Vec<TraceEvent>) {
+        if !Self::is_enabled() || events.is_empty() {
+            return;
+        }
+        BUFFER.with(|b| b.borrow_mut().extend(events));
+    }
+
     /// Establishes the ambient `(phase, layer)` for the calling thread
     /// until the returned guard drops. Scopes nest; the previous context
     /// is restored on drop.
@@ -192,6 +209,58 @@ mod tests {
             assert_eq!(TraceSink::current(), (Phase::Compute1, Some(1)));
         }
         assert_eq!(TraceSink::current(), (Phase::Offline, None));
+    }
+
+    #[test]
+    fn adopt_preserves_wall_clock_and_order() {
+        let _l = FLAG_LOCK.lock().unwrap();
+        TraceSink::enable();
+        TraceSink::clear();
+        // Events "produced on another thread", with wall stamps from the
+        // past that record() would have overwritten.
+        let foreign: Vec<TraceEvent> = (0..3)
+            .map(|i| TraceEvent {
+                phase: Phase::Offline,
+                op: format!("provider:gen_triple:{i}"),
+                track: "provider".into(),
+                layer: None,
+                shape: None,
+                placement: None,
+                start_ns: i * 10,
+                end_ns: i * 10 + 5,
+                wall_ns: 1000 + i,
+                bytes: 0,
+            })
+            .collect();
+        TraceSink::span("local", "cpu", 0, 1, 0);
+        TraceSink::adopt(foreign.clone());
+        let evs = TraceSink::drain();
+        TraceSink::disable();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs[0].op, "local");
+        for (i, ev) in evs[1..].iter().enumerate() {
+            assert_eq!(ev, &foreign[i], "adopted event {i} was altered");
+        }
+    }
+
+    #[test]
+    fn adopt_when_disabled_is_a_no_op() {
+        let _l = FLAG_LOCK.lock().unwrap();
+        TraceSink::disable();
+        TraceSink::clear();
+        TraceSink::adopt(vec![TraceEvent {
+            phase: Phase::Offline,
+            op: "x".into(),
+            track: "provider".into(),
+            layer: None,
+            shape: None,
+            placement: None,
+            start_ns: 0,
+            end_ns: 1,
+            wall_ns: 7,
+            bytes: 0,
+        }]);
+        assert!(TraceSink::drain().is_empty());
     }
 
     #[test]

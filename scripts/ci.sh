@@ -25,3 +25,12 @@ trap 'rm -f "$profile_json"' EXIT
 ./target/release/psml profile --model mlp --dataset synthetic \
     --batch 8 --batches 1 --epochs 1 --json "$profile_json"
 ./target/release/psml validate "$profile_json"
+
+# Triple-prefetch gate: a smoke run of the provisioning-pipeline bench
+# must complete (it asserts prefetch-on/off bit-identity internally) and
+# emit a valid psml.bench.triple.v1 document; the committed full-workload
+# measurement must validate too.
+PSML_SMOKE=1 cargo bench --offline -p psml-bench --bench triple_pipeline
+./target/release/psml validate BENCH_triple.smoke.json
+rm -f BENCH_triple.smoke.json
+./target/release/psml validate BENCH_triple.json

@@ -1,0 +1,79 @@
+//! The asynchronous triple-provisioning pipeline is an *optimization*:
+//! with the same seed it must change neither the revealed results nor a
+//! single simulated-time or traffic counter, across every model family.
+
+use parsecureml::prelude::*;
+
+const SEED: u32 = 61;
+
+/// Trains two steps and infers once; returns everything observable.
+fn train_and_infer(
+    kind: ModelKind,
+    prefetch: bool,
+) -> (Vec<f64>, PlainMatrix, RunReport) {
+    let cfg = if prefetch {
+        EngineConfig::parsecureml().with_prefetch(true)
+    } else {
+        // Fresh triples either way: prefetch provisions one triple per
+        // scheduled multiplication, so the fair (and bit-comparable)
+        // baseline also regenerates per call.
+        EngineConfig::parsecureml().with_insecure_reuse_triples(false)
+    };
+    let image = matches!(kind, ModelKind::Cnn).then_some((1, 8, 8));
+    let spec = ModelSpec::build(kind, 64, image, 4).unwrap();
+    let mut trainer = SecureTrainer::<Fixed64>::new(cfg, spec, SEED).unwrap();
+    let mut rng = psml_parallel::Mt19937::new(17);
+    let x = PlainMatrix::from_fn(6, 64, |_, _| rng.next_f64());
+    let y = match trainer.spec().loss {
+        parsecureml::models::Loss::Hinge => {
+            PlainMatrix::from_fn(6, 1, |r, _| if r % 2 == 0 { 1.0 } else { -1.0 })
+        }
+        _ => PlainMatrix::from_fn(6, trainer.spec().outputs, |r, c| {
+            if c == r % trainer.spec().outputs {
+                1.0
+            } else {
+                0.0
+            }
+        }),
+    };
+    let mut losses = Vec::new();
+    for _ in 0..2 {
+        losses.push(trainer.train_batch(&x, &y).unwrap());
+    }
+    let out = trainer.infer_batch(&x).unwrap();
+    (losses, out, trainer.report())
+}
+
+#[test]
+fn prefetch_is_invisible_in_results_and_reports_across_models() {
+    for kind in [
+        ModelKind::Mlp,
+        ModelKind::Cnn,
+        ModelKind::Rnn,
+        ModelKind::Svm,
+        ModelKind::Logistic,
+    ] {
+        let off = train_and_infer(kind, false);
+        let on = train_and_infer(kind, true);
+        assert_eq!(on.0, off.0, "{kind:?}: losses diverged");
+        assert_eq!(on.1, off.1, "{kind:?}: predictions diverged");
+        assert_eq!(
+            format!("{:?}", on.2),
+            format!("{:?}", off.2),
+            "{kind:?}: simulated reports diverged"
+        );
+    }
+}
+
+#[test]
+fn prefetch_replay_is_deterministic() {
+    let first = train_and_infer(ModelKind::Mlp, true);
+    let second = train_and_infer(ModelKind::Mlp, true);
+    assert_eq!(first.0, second.0, "losses not reproducible");
+    assert_eq!(first.1, second.1, "predictions not reproducible");
+    assert_eq!(
+        format!("{:?}", first.2),
+        format!("{:?}", second.2),
+        "reports not reproducible"
+    );
+}

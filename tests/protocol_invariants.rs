@@ -140,7 +140,7 @@ fn fresh_triples_cost_offline_but_preserve_results() {
     let (a, b) = inputs();
     let run = |reuse: bool| {
         let mut ctx = SecureContext::<Fixed64>::new(
-            EngineConfig::parsecureml().with_reuse_triples(reuse),
+            EngineConfig::parsecureml().with_insecure_reuse_triples(reuse),
             SEED,
         );
         let sa = ctx.share_input(&a).unwrap();
