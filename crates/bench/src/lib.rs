@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared harness for the paper-reproduction experiments.
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the paper;

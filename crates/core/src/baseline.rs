@@ -12,6 +12,7 @@ use crate::models::{Loss, ModelSpec};
 use crate::trainer::{batched_im2col, column_slice, conv_to_rows, rows_to_conv};
 use psml_data::DatasetKind;
 use psml_mpc::PlainMatrix;
+#[cfg(test)]
 use psml_parallel::Mt19937;
 use psml_simtime::SimDuration;
 use psml_tensor::ConvShape;
@@ -74,7 +75,7 @@ impl PlainModel {
     /// [`crate::SecureTrainer`] (same seed -> same initial weights).
     pub fn new(cfg: EngineConfig, spec: ModelSpec, backend: PlainBackend, seed: u32) -> Result<Self> {
         spec.validate()?;
-        let mut init_rng = Mt19937::new(seed.wrapping_add(0x5EED));
+        let mut init_rng = psml_parallel::derived_rng(seed, 0x5EED);
         let mut weights = Vec::with_capacity(spec.layers.len());
         let mut upload = 0usize;
         for layer in &spec.layers {

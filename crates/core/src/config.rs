@@ -656,8 +656,10 @@ mod tests {
             .with_fault_plan(FaultPlan::seeded(7).with_drop(1.5));
         assert!(cfg.validate().is_err(), "drop probability outside [0,1]");
 
-        let mut retry = RetryPolicy::default();
-        retry.backoff = 0.5;
+        let retry = RetryPolicy {
+            backoff: 0.5,
+            ..RetryPolicy::default()
+        };
         let cfg = EngineConfig::parsecureml().with_retry(retry);
         assert!(cfg.validate().is_err(), "backoff below 1 shrinks timeouts");
 

@@ -120,9 +120,21 @@ impl<T> Timed<T> {
 
 /// A matrix additively shared between the two servers, each share tagged
 /// with its readiness on that server's online clock.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct SharedMatrix<R: SecureRing> {
     parts: [Timed<Matrix<R>>; 2],
+}
+
+/// Redacting formatter: shape, readiness, and ring — never the share
+/// limbs, which are one-time-pad halves of the underlying secret.
+impl<R: SecureRing> std::fmt::Debug for SharedMatrix<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedMatrix")
+            .field("shape", &self.shape())
+            .field("ready", &[self.parts[0].ready, self.parts[1].ready])
+            .field("ring", &std::any::type_name::<R>())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<R: SecureRing> SharedMatrix<R> {
@@ -150,10 +162,21 @@ impl<R: SecureRing> SharedMatrix<R> {
 }
 
 /// A distributed Beaver triple: each server's `TripleShare` with readiness.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct DistTriple<R: SecureRing> {
     shares: [Timed<TripleShare<R>>; 2],
     dims: (usize, usize, usize),
+}
+
+/// Redacting formatter: dimensions, readiness, and ring only.
+impl<R: SecureRing> std::fmt::Debug for DistTriple<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistTriple")
+            .field("dims", &self.dims)
+            .field("ready", &[self.shares[0].ready, self.shares[1].ready])
+            .field("ring", &std::any::type_name::<R>())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<R: SecureRing> DistTriple<R> {
@@ -243,7 +266,7 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         };
         let mut ctx = SecureContext {
             adaptive: AdaptiveEngine::with_window(cfg.policy, cfg.recal_window),
-            rng: Mt19937::new(seed),
+            rng: psml_parallel::protocol_rng(seed),
             client: ClientState {
                 cpu: Resource::new("client-cpu"),
                 device: GpuDevice::new(cfg.machine.gpu.clone()),
@@ -715,7 +738,7 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         if triple.dims != (m, k, n) {
             return Err(EngineError::Shape(format!(
                 "triple dims {:?} do not match product ({m},{k},{n})",
-                triple.dims
+                triple.dims()
             )));
         }
         self.secure_muls += 1;

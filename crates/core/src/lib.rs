@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # ParSecureML-rs
 //!
 //! A Rust reproduction of **ParSecureML** (Zhang et al., ICPP 2020 / TPDS

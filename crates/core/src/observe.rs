@@ -104,6 +104,10 @@ const SCHEMAS: &[(&str, &[&str])] = &[
             "identical_results",
         ],
     ),
+    (
+        "psml.lint.v1",
+        &["tool", "files_scanned", "rules", "findings", "summary"],
+    ),
 ];
 
 /// Parses `text` and checks it against its self-declared versioned

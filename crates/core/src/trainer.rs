@@ -16,6 +16,7 @@ use crate::report::RunReport;
 use psml_data::DatasetKind;
 use psml_gpu::GpuElement;
 use psml_mpc::{PlainMatrix, SecureRing};
+#[cfg(test)]
 use psml_parallel::Mt19937;
 use psml_tensor::{im2col, ConvShape, Matrix, Num};
 
@@ -99,7 +100,7 @@ impl<R: SecureRing + GpuElement> SecureTrainer<R> {
     pub fn new(cfg: EngineConfig, spec: ModelSpec, seed: u32) -> Result<Self> {
         spec.validate()?;
         let mut ctx = SecureContext::new(cfg, seed);
-        let mut init_rng = Mt19937::new(seed.wrapping_add(0x5EED));
+        let mut init_rng = psml_parallel::derived_rng(seed, 0x5EED);
         let mut weights = Vec::with_capacity(spec.layers.len());
         for layer in &spec.layers {
             let mut per_layer = Vec::new();
@@ -697,22 +698,26 @@ pub(crate) fn batched_im2col<T: Num>(x: &Matrix<T>, shape: &ConvShape) -> Matrix
 
 /// `(batch*patches) x filters` -> `batch x (patches*filters)`.
 pub(crate) fn conv_to_rows<T: Num>(y: &Matrix<T>, batch: usize, shape: &ConvShape) -> Matrix<T> {
-    let patches = shape.patches();
+    // `n_patches`, not `patches`: a field elsewhere in this file binds
+    // `patches` to a secret share, and psml-lint's taint tracking is
+    // file-granular — never reuse a secret-typed name for plain data.
+    let n_patches = shape.patches();
     let filters = shape.filters;
-    debug_assert_eq!(y.shape(), (batch * patches, filters));
-    Matrix::from_fn(batch, patches * filters, |s, j| {
+    debug_assert_eq!(y.shape(), (batch * n_patches, filters));
+    Matrix::from_fn(batch, n_patches * filters, |s, j| {
         let (p, f) = (j / filters, j % filters);
-        y[(s * patches + p, f)]
+        y[(s * n_patches + p, f)]
     })
 }
 
 /// Inverse of [`conv_to_rows`].
 pub(crate) fn rows_to_conv<T: Num>(d: &Matrix<T>, batch: usize, shape: &ConvShape) -> Matrix<T> {
-    let patches = shape.patches();
+    // See `conv_to_rows` for why this is not named `patches`.
+    let n_patches = shape.patches();
     let filters = shape.filters;
-    debug_assert_eq!(d.shape(), (batch, patches * filters));
-    Matrix::from_fn(batch * patches, filters, |r, f| {
-        let (s, p) = (r / patches, r % patches);
+    debug_assert_eq!(d.shape(), (batch, n_patches * filters));
+    Matrix::from_fn(batch * n_patches, filters, |r, f| {
+        let (s, p) = (r / n_patches, r % n_patches);
         d[(s, p * filters + f)]
     })
 }

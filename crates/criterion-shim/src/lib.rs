@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Std-only, in-tree stand-in for the `criterion` crate.
 //!
 //! The build environment is fully offline, so the real `criterion` cannot be

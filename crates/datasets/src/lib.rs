@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Seeded synthetic dataset generators.
 //!
 //! The paper evaluates on MNIST, VGGFace2, NIST fingerprints, CIFAR-10 and

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Functional + timed GPU device simulator for ParSecureML-rs.
 //!
 //! # Why a simulator

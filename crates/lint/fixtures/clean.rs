@@ -1,0 +1,16 @@
+//@ crate: core
+//@ module: core::engine
+//@ context: lib
+//
+// Clean protocol-path file: ordered maps, metadata-only formatting, no
+// unsafe, no wall clock. Must produce zero findings.
+
+use std::collections::BTreeMap;
+
+pub fn schedule(pair: &SharePair, sites: &BTreeMap<u32, u64>) -> String {
+    let mut total = 0u64;
+    for (_site, cost) in sites {
+        total += cost;
+    }
+    format!("pair {:?} total {total}", pair.shape())
+}

@@ -1,0 +1,18 @@
+//@ crate: core
+//@ module: core::engine
+//@ context: lib
+//@ expect: determinism.hashmap-iteration@11
+//@ expect: determinism.hashmap-iteration@14
+
+use std::collections::HashMap;
+
+pub fn bad_iter(sites: &HashMap<u32, u64>) -> u64 {
+    let mut total = 0;
+    for (_k, v) in sites.iter() {
+        total += v;
+    }
+    for (_k, v) in sites {
+        total += v;
+    }
+    total
+}

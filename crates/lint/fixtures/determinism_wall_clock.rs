@@ -1,0 +1,9 @@
+//@ crate: core
+//@ module: core::engine
+//@ context: lib
+//@ expect: determinism.wall-clock@7
+
+pub fn bad_clock() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    start.elapsed()
+}

@@ -1,0 +1,8 @@
+//@ crate: core
+//@ module: core::engine
+//@ context: lib
+//@ expect: rng.fault-rng-reference@7
+
+pub fn bad_fault(seed: u64) -> u64 {
+    SplitMix64::new(seed).next_u64()
+}

@@ -1,0 +1,8 @@
+//@ crate: core
+//@ module: core::engine
+//@ context: lib
+//@ expect: rng.construction-not-sanctioned@7
+
+pub fn bad_seed(seed: u32) -> Mt19937 {
+    Mt19937::new(seed)
+}

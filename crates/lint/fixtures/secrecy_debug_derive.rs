@@ -1,0 +1,11 @@
+//@ crate: core
+//@ module: core::models
+//@ context: lib
+//@ expect: secrecy.debug-derive@8
+
+/// A locally-declared masked buffer, registered via the marker attribute.
+#[doc = "psml-secret"]
+#[derive(Clone, Debug)]
+pub struct MaskedBlock {
+    limbs: Vec<u64>,
+}

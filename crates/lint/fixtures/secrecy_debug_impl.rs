@@ -1,0 +1,12 @@
+//@ crate: core
+//@ module: core::models
+//@ context: lib
+//@ expect: secrecy.debug-impl-outside-redaction@8
+
+use std::fmt;
+
+impl fmt::Debug for SharePair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharePair").finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,8 @@
+//@ crate: core
+//@ module: core::engine
+//@ context: lib
+//@ expect: secrecy.format-leak@7
+
+pub fn leak(pair: &SharePair) -> String {
+    format!("{:?}", pair)
+}

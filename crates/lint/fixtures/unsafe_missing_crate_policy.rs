@@ -1,0 +1,7 @@
+//@ crate: trace
+//@ module: trace
+//@ context: lib
+//@ crate-root
+//@ expect: unsafe.missing-crate-policy@1
+
+pub fn emit() {}

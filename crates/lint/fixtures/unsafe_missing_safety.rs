@@ -1,0 +1,9 @@
+//@ crate: tensor
+//@ module: tensor::gemm
+//@ context: lib
+//@ expect: unsafe.missing-safety-comment@8
+
+pub fn head(xs: &[f32]) -> f32 {
+    let p = xs.as_ptr();
+    unsafe { *p }
+}

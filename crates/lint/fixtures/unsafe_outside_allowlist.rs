@@ -1,0 +1,10 @@
+//@ crate: core
+//@ module: core::engine
+//@ context: lib
+//@ expect: unsafe.module-not-allowlisted@9
+
+pub fn head(xs: &[f32]) -> f32 {
+    let p = xs.as_ptr();
+    // SAFETY: xs is non-empty by contract; reading element 0 is in bounds.
+    unsafe { *p }
+}

@@ -1,0 +1,109 @@
+//! `psml-lint` — the workspace's secrecy/determinism/unsafe-hygiene gate.
+//!
+//! ```text
+//! psml-lint [--root DIR] [--deny all|FAMILY[,FAMILY..]] [--json FILE]
+//!           [--quiet] [--list-rules]
+//! ```
+//!
+//! Scans the workspace (default: the nearest ancestor of the current
+//! directory containing `Cargo.toml` + `crates/`), prints one diagnostic
+//! per finding, and optionally writes the versioned `psml.lint.v1`
+//! document. With `--deny`, findings in the named families (or any
+//! finding, for `all`) make the exit status 1 — that is the CI gate.
+
+use psml_lint::{lint_workspace, RuleId};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: psml-lint [--root DIR] [--deny all|FAMILY[,FAMILY..]] \
+         [--json FILE] [--quiet] [--list-rules]"
+    );
+    std::process::exit(2);
+}
+
+fn find_root(start: PathBuf) -> PathBuf {
+    let mut dir = start.clone();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return dir;
+        }
+        match dir.parent() {
+            Some(p) => dir = p.to_path_buf(),
+            None => return start,
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut deny: Vec<String> = Vec::new();
+    let mut json_path: Option<PathBuf> = None;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--deny" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                deny.extend(v.split(',').map(str::to_string));
+            }
+            "--json" => json_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--quiet" => quiet = true,
+            "--list-rules" => {
+                for r in RuleId::ALL {
+                    println!("{:<40} {}", r.id(), r.description());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("psml-lint: unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+
+    let families: Vec<&str> = ["unsafe", "rng", "secrecy", "determinism"].to_vec();
+    for d in &deny {
+        if d != "all" && !families.contains(&d.as_str()) {
+            eprintln!(
+                "psml-lint: unknown --deny family '{d}' (expected all, {})",
+                families.join(", ")
+            );
+            return ExitCode::from(2);
+        }
+    }
+
+    let root = root
+        .unwrap_or_else(|| find_root(std::env::current_dir().unwrap_or_else(|_| ".".into())));
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("psml-lint: scan failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("psml-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !quiet {
+        print!("{}", report.render_human());
+    }
+
+    let denied = report.findings.iter().any(|f| {
+        deny.iter()
+            .any(|d| d == "all" || d == f.rule.family())
+    });
+    if denied {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

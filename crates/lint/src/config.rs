@@ -1,0 +1,150 @@
+//! The rule configuration: allowlists, registries, and sink catalogs.
+//!
+//! Everything here is a compile-time constant on purpose. The analyzer
+//! guards *protocol invariants of this workspace* — which modules may hold
+//! `unsafe`, which may mint RNGs, which types are secret — and those facts
+//! change only when the architecture changes, at which point editing this
+//! file (and re-running the tier-1 gate) *is* the review trail. A config
+//! file would invite drive-by exemptions that no compiler error ever
+//! surfaces. Rationale for each entry lives in DESIGN.md § Static
+//! analysis.
+
+/// Modules permitted to contain the `unsafe` keyword at all. Each exists
+/// for one vetted reason: the GEMM carrier casts (`tensor::gemm`), the
+/// `WRAPPING_U64` trait contract (`tensor::num`), the scoped-job lifetime
+/// transmute (`parallel::pool`), and the `Fixed64` ring carrier's
+/// `unsafe impl Num` (`mpc::fixed`).
+pub const UNSAFE_MODULES: &[&str] = &[
+    "tensor::gemm",
+    "tensor::num",
+    "parallel::pool",
+    "mpc::fixed",
+];
+
+/// Crates that contain an allowlisted unsafe module. Their roots must
+/// carry `#![deny(unsafe_op_in_unsafe_fn)]` (every unsafe operation gets
+/// its own block and justification); every *other* crate root must carry
+/// `#![forbid(unsafe_code)]`.
+pub const UNSAFE_CRATES: &[&str] = &["tensor", "parallel", "mpc"];
+
+/// Modules sanctioned to construct `Mt19937` generators. Protocol share
+/// masking must draw from the engine's seed-derived generator (replay
+/// identity depends on it), so minting fresh generators is confined to:
+/// the RNG's home crate (`parallel`, including the paper's per-thread
+/// generators), triple provisioning (`mpc::triple`, counter-derived
+/// streams), and dataset synthesis (`datasets`). Everything else obtains
+/// a generator through `psml_parallel::protocol_rng` /
+/// `psml_parallel::derived_rng`.
+pub const RNG_MODULES: &[&str] = &["parallel::*", "mpc::triple", "datasets::*"];
+
+/// `Mt19937` associated functions that create a generator.
+pub const RNG_CONSTRUCTORS: &[&str] = &["new", "from_key", "from_stream", "default"];
+
+/// The fault-injection RNG type. It exists so chaos decisions never
+/// perturb the protocol's Mt19937 streams; protocol code referencing it
+/// would couple the two randomness domains.
+pub const FAULT_RNG_IDENT: &str = "SplitMix64";
+
+/// The only module that may name the fault RNG.
+pub const FAULT_RNG_MODULES: &[&str] = &["net-sim::fault"];
+
+/// The fault-injection driver; only the delivery layer (`net-sim`) may
+/// touch it. Protocol and engine code see faults solely as the typed
+/// errors the endpoint surfaces.
+pub const FAULT_INJECTOR_IDENT: &str = "FaultInjector";
+
+/// Modules that may reference [`FAULT_INJECTOR_IDENT`].
+pub const FAULT_INJECTOR_MODULES: &[&str] = &["net-sim::*"];
+
+/// Types whose values are secret shares or masked material. Formatting
+/// one (debug or display) leaks limb values into logs, traces, or panic
+/// messages. Extended in-source by marking a type with
+/// `#[doc = "psml-secret"]`.
+pub const SECRET_TYPES: &[&str] = &[
+    "SharePair",
+    "TripleShare",
+    "BeaverTriple",
+    "DistTriple",
+    "SharedMatrix",
+];
+
+/// Doc-attribute marker that adds a type to the secret registry.
+pub const SECRET_MARKER: &str = "psml-secret";
+
+/// Modules that may hand-implement `Debug` for a secret type — the
+/// redacting impls themselves (shape + ring, never limbs). `derive(Debug)`
+/// on a secret type is forbidden everywhere; a derive is never redacting.
+pub const REDACTION_MODULES: &[&str] = &["mpc::share", "mpc::triple", "core::engine"];
+
+/// Methods on secret values whose results are *metadata*, safe to format:
+/// shapes, dimensions, readiness times. `pair.shape()` in an assert is
+/// fine; `pair.u` is not.
+pub const METADATA_ACCESSORS: &[&str] = &[
+    "shape",
+    "rows",
+    "cols",
+    "dims",
+    "len",
+    "is_empty",
+    "ready",
+    "spec",
+];
+
+/// Macros whose arguments end up in human-readable output.
+pub const FORMAT_MACROS: &[&str] = &[
+    "format",
+    "format_args",
+    "print",
+    "println",
+    "eprint",
+    "eprintln",
+    "write",
+    "writeln",
+    "panic",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+    "todo",
+    "unimplemented",
+    "unreachable",
+];
+
+/// Protocol-path modules that must stay bit-deterministic: simulated time
+/// and replay identity break if they read the wall clock or iterate a
+/// randomly-seeded `HashMap`. The trace crate (host-time spans are its
+/// job), the bench harness, and `parallel` (the paper's wall-clock
+/// thread seeding, outside the protocol's determinism domain) are
+/// deliberately absent.
+pub const DETERMINISM_MODULES: &[&str] = &[
+    "core::engine",
+    "core::provider",
+    "core::trainer",
+    "core::adaptive",
+    "core::layers",
+    "core::models",
+    "core::baseline",
+    "mpc::*",
+    "net-sim::*",
+    "simtime::*",
+];
+
+/// Wall-clock types forbidden in [`DETERMINISM_MODULES`].
+pub const WALL_CLOCK_IDENTS: &[&str] = &["Instant", "SystemTime"];
+
+/// Methods that iterate a `HashMap` in arbitrary order. Keyed lookups
+/// (`get`, `entry`, `contains_key`) stay allowed.
+pub const HASHMAP_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];

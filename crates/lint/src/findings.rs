@@ -1,0 +1,286 @@
+//! Finding and report types, human rendering, and the versioned
+//! `psml.lint.v1` JSON document.
+
+use crate::json::{obj, Json};
+use std::collections::BTreeMap;
+
+/// Every rule the analyzer enforces. The string id (`family.name`) is the
+/// stable external identity — it appears in human diagnostics, the JSON
+/// document, and fixture expectations.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum RuleId {
+    /// `unsafe` block/impl/trait/fn without a `SAFETY:` / `# Safety`
+    /// justification.
+    UnsafeMissingSafety,
+    /// `unsafe` outside the allowlisted modules.
+    UnsafeOutsideAllowlist,
+    /// Crate root missing its unsafe policy attribute
+    /// (`forbid(unsafe_code)` or `deny(unsafe_op_in_unsafe_fn)`).
+    UnsafeCratePolicy,
+    /// `Mt19937` constructed outside the sanctioned modules.
+    RngConstruction,
+    /// Protocol code referencing the fault RNG / injector.
+    FaultRngReference,
+    /// `derive(Debug)` on a secret type.
+    SecretDebugDerive,
+    /// Hand-written `Debug`/`Display` for a secret type outside the
+    /// redaction modules.
+    SecretDebugImpl,
+    /// Secret value reaching a format macro or trace sink.
+    SecretFormatLeak,
+    /// Wall-clock type in a determinism-critical module.
+    WallClock,
+    /// `HashMap` iteration in a determinism-critical module.
+    HashMapIteration,
+}
+
+impl RuleId {
+    /// All rules, in catalog order.
+    pub const ALL: [RuleId; 10] = [
+        RuleId::UnsafeMissingSafety,
+        RuleId::UnsafeOutsideAllowlist,
+        RuleId::UnsafeCratePolicy,
+        RuleId::RngConstruction,
+        RuleId::FaultRngReference,
+        RuleId::SecretDebugDerive,
+        RuleId::SecretDebugImpl,
+        RuleId::SecretFormatLeak,
+        RuleId::WallClock,
+        RuleId::HashMapIteration,
+    ];
+
+    /// Stable `family.name` identifier.
+    pub fn id(self) -> &'static str {
+        match self {
+            RuleId::UnsafeMissingSafety => "unsafe.missing-safety-comment",
+            RuleId::UnsafeOutsideAllowlist => "unsafe.module-not-allowlisted",
+            RuleId::UnsafeCratePolicy => "unsafe.missing-crate-policy",
+            RuleId::RngConstruction => "rng.construction-not-sanctioned",
+            RuleId::FaultRngReference => "rng.fault-rng-reference",
+            RuleId::SecretDebugDerive => "secrecy.debug-derive",
+            RuleId::SecretDebugImpl => "secrecy.debug-impl-outside-redaction",
+            RuleId::SecretFormatLeak => "secrecy.format-leak",
+            RuleId::WallClock => "determinism.wall-clock",
+            RuleId::HashMapIteration => "determinism.hashmap-iteration",
+        }
+    }
+
+    /// Rule family (`unsafe`, `rng`, `secrecy`, `determinism`).
+    pub fn family(self) -> &'static str {
+        self.id().split('.').next().unwrap()
+    }
+
+    /// One-line description for the catalog.
+    pub fn description(self) -> &'static str {
+        match self {
+            RuleId::UnsafeMissingSafety => {
+                "every unsafe block/impl/trait/fn carries a SAFETY: or # Safety justification"
+            }
+            RuleId::UnsafeOutsideAllowlist => {
+                "unsafe code is confined to the vetted kernel/pool/ring-carrier modules"
+            }
+            RuleId::UnsafeCratePolicy => {
+                "crate roots declare forbid(unsafe_code), or deny(unsafe_op_in_unsafe_fn) where unsafe is allowlisted"
+            }
+            RuleId::RngConstruction => {
+                "Mt19937 generators are minted only by provisioning/dataset/RNG-home modules"
+            }
+            RuleId::FaultRngReference => {
+                "protocol code never touches the fault-injection RNG or injector"
+            }
+            RuleId::SecretDebugDerive => {
+                "secret share types never derive Debug (a derive is never redacting)"
+            }
+            RuleId::SecretDebugImpl => {
+                "manual Debug for secret types lives only in the redaction modules"
+            }
+            RuleId::SecretFormatLeak => {
+                "secret values never reach format macros or trace sinks (metadata accessors exempt)"
+            }
+            RuleId::WallClock => {
+                "protocol paths never read Instant/SystemTime (simulated time only)"
+            }
+            RuleId::HashMapIteration => {
+                "protocol paths never iterate HashMaps (arbitrary order breaks replay identity)"
+            }
+        }
+    }
+
+    /// Parses a stable id back to the rule.
+    pub fn from_id(s: &str) -> Option<RuleId> {
+        RuleId::ALL.into_iter().find(|r| r.id() == s)
+    }
+}
+
+/// One violation.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Violated rule.
+    pub rule: RuleId,
+    /// Root-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human message with the specifics.
+    pub message: String,
+}
+
+impl Finding {
+    /// `file:line: [rule] message` diagnostic line.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+/// Full analyzer output for one workspace scan.
+pub struct Report {
+    /// Workspace root the scan ran over.
+    pub root: String,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Sorts findings into the canonical (file, line, rule) order.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    }
+
+    /// Findings grouped per family, in family order.
+    pub fn by_family(&self) -> BTreeMap<&'static str, usize> {
+        let mut map = BTreeMap::new();
+        for f in &self.findings {
+            *map.entry(f.rule.family()).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// Human-readable rendering: one line per finding plus a summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        if self.findings.is_empty() {
+            out.push_str(&format!(
+                "psml-lint: {} files clean ({} rules)\n",
+                self.files_scanned,
+                RuleId::ALL.len()
+            ));
+        } else {
+            let fam: Vec<String> = self
+                .by_family()
+                .into_iter()
+                .map(|(k, v)| format!("{k}: {v}"))
+                .collect();
+            out.push_str(&format!(
+                "psml-lint: {} finding(s) in {} files ({})\n",
+                self.findings.len(),
+                self.files_scanned,
+                fam.join(", ")
+            ));
+        }
+        out
+    }
+
+    /// The versioned `psml.lint.v1` document.
+    pub fn to_json(&self) -> String {
+        let rules = RuleId::ALL
+            .into_iter()
+            .map(|r| {
+                obj([
+                    ("id", Json::Str(r.id().into())),
+                    ("family", Json::Str(r.family().into())),
+                    ("description", Json::Str(r.description().into())),
+                ])
+            })
+            .collect();
+        let findings = self
+            .findings
+            .iter()
+            .map(|f| {
+                obj([
+                    ("rule", Json::Str(f.rule.id().into())),
+                    ("file", Json::Str(f.file.clone())),
+                    ("line", Json::UInt(f.line as u64)),
+                    ("message", Json::Str(f.message.clone())),
+                ])
+            })
+            .collect();
+        let by_family = self
+            .by_family()
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), Json::UInt(v as u64)))
+            .collect();
+        obj([
+            ("schema", Json::Str("psml.lint.v1".into())),
+            ("tool", Json::Str("psml-lint".into())),
+            ("root", Json::Str(self.root.clone())),
+            ("files_scanned", Json::UInt(self.files_scanned as u64)),
+            ("rules", Json::Array(rules)),
+            ("findings", Json::Array(findings)),
+            (
+                "summary",
+                Json::Object(vec![
+                    (
+                        "total".to_string(),
+                        Json::UInt(self.findings.len() as u64),
+                    ),
+                    ("clean".to_string(), Json::Bool(self.findings.is_empty())),
+                    ("by_family".to_string(), Json::Object(by_family)),
+                ]),
+            ),
+        ])
+        .to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_families_partition() {
+        let mut seen = std::collections::BTreeSet::new();
+        for r in RuleId::ALL {
+            assert!(seen.insert(r.id()), "duplicate id {}", r.id());
+            assert!(
+                ["unsafe", "rng", "secrecy", "determinism"].contains(&r.family()),
+                "unknown family {}",
+                r.family()
+            );
+            assert_eq!(RuleId::from_id(r.id()), Some(r));
+        }
+    }
+
+    #[test]
+    fn document_shape_is_stable() {
+        let mut rep = Report {
+            root: ".".into(),
+            files_scanned: 2,
+            findings: vec![Finding {
+                rule: RuleId::WallClock,
+                file: "b.rs".into(),
+                line: 3,
+                message: "Instant".into(),
+            }],
+        };
+        rep.sort();
+        let json = rep.to_json();
+        assert!(json.starts_with("{\"schema\":\"psml.lint.v1\""));
+        for key in ["\"tool\"", "\"files_scanned\"", "\"rules\"", "\"findings\"", "\"summary\""] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        assert!(json.contains("\"determinism\":1"));
+    }
+}

@@ -1,0 +1,402 @@
+//! Hand-rolled Rust token scanner.
+//!
+//! `psml-lint` must stay std-only (the workspace builds fully offline), so
+//! instead of `syn` it carries this small lexer: good enough to separate
+//! identifiers, punctuation, literals, and comments, with line numbers —
+//! exactly what the token-pattern rules in [`crate::rules`] need. It is
+//! *not* a parser: it never builds a syntax tree, and it deliberately
+//! ignores distinctions the rules don't use (e.g. numeric literal shapes).
+//!
+//! Guarantees the rules rely on:
+//!
+//! - comments (line, block, doc) never appear in the token stream — they
+//!   are collected separately with their line spans, so `unsafe` in prose
+//!   can't trip the hygiene rule;
+//! - string/char literal *contents* never appear as tokens (a log message
+//!   mentioning `Mt19937` is not a construction site); raw strings,
+//!   byte strings, and nested block comments are handled;
+//! - lifetimes are distinguished from char literals, so `'a` does not eat
+//!   the rest of the file.
+
+/// What a token is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// Identifier or keyword (including `unsafe`, `impl`, ...).
+    Ident,
+    /// One punctuation byte (`::` arrives as two `:` tokens).
+    Punct,
+    /// String literal (text holds the *contents*, escapes unprocessed).
+    Str,
+    /// Char or byte literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`, text holds the name without the quote).
+    Lifetime,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Kind of the token.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what each kind stores).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment with its line span.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based first line.
+    pub line: u32,
+    /// 1-based last line (differs for block comments).
+    pub end_line: u32,
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// Token stream plus the comments that were stripped out of it.
+#[derive(Default, Debug)]
+pub struct Lexed {
+    /// Significant tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unrecognized bytes
+/// become single-byte punctuation, and unterminated literals run to EOF —
+/// for a linter, a degraded scan of a malformed file beats an abort.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    out: Lexed,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic()
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.b.get(self.i + ahead).unwrap_or(&0)
+    }
+
+    fn run(mut self) -> Lexed {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ if c.is_ascii_whitespace() => self.i += 1,
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => self.string(),
+                b'r' if self.peek(1) == b'"' || self.peek(1) == b'#' => self.raw_prefixed(),
+                b'b' if self.peek(1) == b'"' => {
+                    self.i += 1;
+                    self.string();
+                }
+                b'b' if self.peek(1) == b'\'' => {
+                    self.i += 1;
+                    self.char_lit();
+                }
+                b'b' if self.peek(1) == b'r' && (self.peek(2) == b'"' || self.peek(2) == b'#') => {
+                    self.i += 1;
+                    self.raw_prefixed();
+                }
+                b'\'' => self.quote(),
+                _ if is_ident_start(c) => self.ident(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ => {
+                    self.out.toks.push(Tok {
+                        kind: TokKind::Punct,
+                        text: (c as char).to_string(),
+                        line: self.line,
+                    });
+                    self.i += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i] != b'\n' {
+            self.i += 1;
+        }
+        self.out.comments.push(Comment {
+            line: self.line,
+            end_line: self.line,
+            text: String::from_utf8_lossy(&self.b[start..self.i]).into_owned(),
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.i;
+        let start_line = self.line;
+        self.i += 2;
+        let mut depth = 1usize;
+        while self.i < self.b.len() && depth > 0 {
+            match self.b[self.i] {
+                b'\n' => self.line += 1,
+                b'/' if self.peek(1) == b'*' => {
+                    depth += 1;
+                    self.i += 1;
+                }
+                b'*' if self.peek(1) == b'/' => {
+                    depth -= 1;
+                    self.i += 1;
+                }
+                _ => {}
+            }
+            self.i += 1;
+        }
+        self.out.comments.push(Comment {
+            line: start_line,
+            end_line: self.line,
+            text: String::from_utf8_lossy(&self.b[start..self.i]).into_owned(),
+        });
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        self.i += 1; // opening quote
+        let start = self.i;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.i += 2,
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b'"' => break,
+                _ => self.i += 1,
+            }
+        }
+        let end = self.i.min(self.b.len());
+        self.i = end + 1; // closing quote
+        self.out.toks.push(Tok {
+            kind: TokKind::Str,
+            text: String::from_utf8_lossy(&self.b[start..end]).into_owned(),
+            line,
+        });
+    }
+
+    /// `r"..."`, `r#"..."#`, ..., or a raw identifier `r#ident`.
+    fn raw_prefixed(&mut self) {
+        let line = self.line;
+        let mut j = self.i + 1;
+        let mut hashes = 0usize;
+        while j < self.b.len() && self.b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j < self.b.len() && self.b[j] == b'"' {
+            // Raw string: scan for `"` followed by `hashes` hashes.
+            self.i = j + 1;
+            let start = self.i;
+            let end;
+            loop {
+                if self.i >= self.b.len() {
+                    end = self.b.len();
+                    break;
+                }
+                if self.b[self.i] == b'\n' {
+                    self.line += 1;
+                } else if self.b[self.i] == b'"'
+                    && self.b[self.i + 1..].iter().take(hashes).filter(|&&c| c == b'#').count()
+                        == hashes
+                {
+                    end = self.i;
+                    self.i += 1 + hashes;
+                    break;
+                }
+                self.i += 1;
+            }
+            self.out.toks.push(Tok {
+                kind: TokKind::Str,
+                text: String::from_utf8_lossy(&self.b[start..end]).into_owned(),
+                line,
+            });
+        } else if hashes == 1 && j < self.b.len() && is_ident_start(self.b[j]) {
+            // Raw identifier: emit without the `r#` so rules see the name.
+            self.i = j;
+            self.ident();
+        } else {
+            // Plain identifier starting with `r`.
+            self.ident();
+        }
+    }
+
+    fn char_lit(&mut self) {
+        let line = self.line;
+        self.i += 1; // opening quote
+        let start = self.i;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.i += 2,
+                b'\'' => break,
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        let end = self.i.min(self.b.len());
+        self.i = end + 1;
+        self.out.toks.push(Tok {
+            kind: TokKind::Char,
+            text: String::from_utf8_lossy(&self.b[start..end]).into_owned(),
+            line,
+        });
+    }
+
+    /// Disambiguates a lifetime from a char literal at a `'`.
+    fn quote(&mut self) {
+        // `'a`, `'static`, `'_` — lifetime iff the ident run is not closed
+        // by another quote (which would make it a char literal like 'x').
+        if is_ident_start(self.peek(1)) {
+            let mut j = self.i + 1;
+            while j < self.b.len() && is_ident_cont(self.b[j]) {
+                j += 1;
+            }
+            if self.b.get(j) != Some(&b'\'') {
+                let text = String::from_utf8_lossy(&self.b[self.i + 1..j]).into_owned();
+                self.out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line: self.line,
+                });
+                self.i = j;
+                return;
+            }
+        }
+        self.char_lit();
+    }
+
+    fn ident(&mut self) {
+        let start = self.i;
+        while self.i < self.b.len() && is_ident_cont(self.b[self.i]) {
+            self.i += 1;
+        }
+        self.out.toks.push(Tok {
+            kind: TokKind::Ident,
+            text: String::from_utf8_lossy(&self.b[start..self.i]).into_owned(),
+            line: self.line,
+        });
+    }
+
+    fn number(&mut self) {
+        let start = self.i;
+        while self.i < self.b.len() && is_ident_cont(self.b[self.i]) {
+            self.i += 1;
+        }
+        // Fractional part — but never eat `..` (range syntax).
+        if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            self.i += 1;
+            while self.i < self.b.len() && is_ident_cont(self.b[self.i]) {
+                self.i += 1;
+            }
+        }
+        self.out.toks.push(Tok {
+            kind: TokKind::Num,
+            text: String::from_utf8_lossy(&self.b[start..self.i]).into_owned(),
+            line: self.line,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).toks.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_are_stripped_and_recorded() {
+        let l = lex("// unsafe in prose\nlet x = 1; /* Mt19937::new */ y");
+        assert!(l.toks.iter().all(|t| t.text != "unsafe" && t.text != "Mt19937"));
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].line, 2);
+        assert!(l.comments[1].text.contains("Mt19937"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_line_counting() {
+        let l = lex("/* a /* b\n */ c\n*/ token");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!((l.comments[0].line, l.comments[0].end_line), (1, 3));
+        assert_eq!(l.toks.len(), 1);
+        assert_eq!(l.toks[0].line, 3);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let t = texts(r#"let s = "unsafe { Instant }"; b"x"; 'u'; "#);
+        assert!(t.iter().all(|(_, s)| s != "unsafe" && s != "Instant"));
+        assert!(t.iter().any(|(k, _)| *k == TokKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let t = texts(r##"r#"quote " inside"# r#struct x"##);
+        assert_eq!(t[0], (TokKind::Str, "quote \" inside".into()));
+        assert_eq!(t[1], (TokKind::Ident, "struct".into()));
+        assert_eq!(t[2], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = texts("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Lifetime && s == "a"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Char && s == "x"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Char && s == "\\n"));
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let t = texts("for i in 0..10 { let f = 1.5e3; }");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Num && s == "0"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Num && s == "10"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Num && s == "1.5e3"));
+    }
+
+    #[test]
+    fn double_colon_is_two_puncts() {
+        let t = texts("Mt19937::new(7)");
+        let kinds: Vec<&str> = t.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(kinds, ["Mt19937", ":", ":", "new", "(", "7", ")"]);
+    }
+
+    #[test]
+    fn lines_are_one_based_and_accurate() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<u32> = l.toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+}

@@ -1,0 +1,227 @@
+//! Workspace discovery: finds every `.rs` file the analyzer owns, assigns
+//! its crate/module identity and build context, and runs the rules.
+
+use crate::findings::Report;
+use crate::rules::{self, SecretRegistry};
+use crate::source::{Context, SourceFile};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One discovered file before lexing.
+struct Discovered {
+    abs: PathBuf,
+    rel: String,
+    crate_name: String,
+    module: String,
+    context: Context,
+}
+
+/// Scans the workspace rooted at `root` and returns the full report.
+///
+/// Layout knowledge: member crates live in `crates/<name>` (module paths
+/// are `<name>::<src-relative path>`), the umbrella crate is `src/` +
+/// `tests/` + `examples/` at the root (crate name `suite`). `target/` and
+/// the lint fixture corpus are never scanned — fixtures contain seeded
+/// violations by design.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            let crate_name = dir
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            discover_crate(root, &dir, &crate_name, &mut files)?;
+        }
+    }
+    // Workspace umbrella crate.
+    discover_tree(root, &root.join("src"), "suite", Context::Lib, &mut files)?;
+    discover_tree(root, &root.join("tests"), "suite", Context::Test, &mut files)?;
+    discover_tree(root, &root.join("examples"), "suite", Context::Example, &mut files)?;
+
+    // Parse everything, then run two passes: marker collection (the secret
+    // registry must be complete before any secrecy scan), then the rules.
+    let mut sources = Vec::new();
+    for d in files {
+        let text = fs::read_to_string(&d.abs)?;
+        sources.push(SourceFile::parse(
+            d.rel, d.crate_name, d.module, d.context, &text,
+        ));
+    }
+    Ok(lint_sources(root, sources))
+}
+
+/// Runs the rules over already-parsed sources (entry point for tests).
+pub fn lint_sources(root: &Path, sources: Vec<SourceFile>) -> Report {
+    let mut secrets = SecretRegistry::default();
+    for s in &sources {
+        secrets.collect(s);
+    }
+    let mut report = Report {
+        root: root.display().to_string(),
+        files_scanned: sources.len(),
+        findings: Vec::new(),
+    };
+    for s in &sources {
+        report.findings.extend(rules::lint_file(s, &secrets));
+        if is_crate_root(s) {
+            report.findings.extend(rules::crate_policy(s));
+        }
+    }
+    report.sort();
+    report
+}
+
+fn is_crate_root(s: &SourceFile) -> bool {
+    s.context == Context::Lib && s.module == s.crate_name && s.path.ends_with("lib.rs")
+}
+
+/// Discovers the standard target trees of one member crate.
+fn discover_crate(
+    root: &Path,
+    dir: &Path,
+    crate_name: &str,
+    out: &mut Vec<Discovered>,
+) -> io::Result<()> {
+    // The experiment harness crate is measurement code end to end; its
+    // whole tree is bench context (wall clock and ad-hoc seeds are its
+    // trade).
+    let lib_ctx = if crate_name == "bench" {
+        Context::Bench
+    } else {
+        Context::Lib
+    };
+    discover_tree(root, &dir.join("src"), crate_name, lib_ctx, out)?;
+    discover_tree(root, &dir.join("benches"), crate_name, Context::Bench, out)?;
+    discover_tree(root, &dir.join("tests"), crate_name, Context::Test, out)?;
+    discover_tree(root, &dir.join("examples"), crate_name, Context::Example, out)?;
+    Ok(())
+}
+
+/// Recursively collects `.rs` files under `tree`, assigning module paths
+/// from the tree-relative location.
+fn discover_tree(
+    root: &Path,
+    tree: &Path,
+    crate_name: &str,
+    base_ctx: Context,
+    out: &mut Vec<Discovered>,
+) -> io::Result<()> {
+    if !tree.is_dir() {
+        return Ok(());
+    }
+    let mut stack = vec![tree.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default();
+            if path.is_dir() {
+                // Never descend into fixture corpora or build output.
+                if name != "fixtures" && name != "target" {
+                    stack.push(path);
+                }
+                continue;
+            }
+            if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+                continue;
+            }
+            let rel_tree = path
+                .strip_prefix(tree)
+                .expect("walk stays under tree")
+                .with_extension("");
+            let comps: Vec<String> = rel_tree
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect();
+            let mut context = base_ctx;
+            // `src/bin/*` are binary targets; property-test modules are
+            // compiled only under cfg(test).
+            if comps.first().map(String::as_str) == Some("bin") {
+                context = Context::Bin;
+            }
+            if name == "proptests.rs" {
+                context = Context::Test;
+            }
+            let module = module_path(crate_name, &comps);
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .display()
+                .to_string();
+            out.push(Discovered {
+                abs: path,
+                rel,
+                crate_name: crate_name.to_string(),
+                module,
+                context,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// `["gemm"]` -> `tensor::gemm`; `["lib"]` -> `tensor`;
+/// `["bin", "psml"]` -> `core::bin::psml`; `["sub", "mod"]` -> `c::sub`.
+fn module_path(crate_name: &str, comps: &[String]) -> String {
+    let mut parts: Vec<&str> = vec![crate_name];
+    for (i, c) in comps.iter().enumerate() {
+        let last = i + 1 == comps.len();
+        if last && (c == "lib" || c == "main" || c == "mod") {
+            continue;
+        }
+        parts.push(c);
+    }
+    parts.join("::")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn module_paths() {
+        assert_eq!(module_path("tensor", &strs(&["lib"])), "tensor");
+        assert_eq!(module_path("tensor", &strs(&["gemm"])), "tensor::gemm");
+        assert_eq!(
+            module_path("core", &strs(&["bin", "psml"])),
+            "core::bin::psml"
+        );
+        assert_eq!(module_path("c", &strs(&["sub", "mod"])), "c::sub");
+    }
+
+    #[test]
+    fn live_workspace_scan_finds_files() {
+        // CARGO_MANIFEST_DIR = crates/lint; the workspace root is two up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap();
+        let report = lint_workspace(root).expect("scan succeeds");
+        assert!(
+            report.files_scanned > 50,
+            "expected a real workspace, scanned {}",
+            report.files_scanned
+        );
+    }
+}

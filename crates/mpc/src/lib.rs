@@ -1,3 +1,4 @@
+#![deny(unsafe_op_in_unsafe_fn)]
 //! Two-party computation substrate for ParSecureML-rs.
 //!
 //! Implements the protocol of the paper's Section 2.2 — additive secret

@@ -8,9 +8,21 @@ use psml_tensor::Matrix;
 /// Both additive shares of one matrix: `secret = share0 + share1` in the
 /// ring. Only the client ever holds a complete pair; servers receive one
 /// side each ([`SharePair::into_shares`]).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, PartialEq)]
 pub struct SharePair<R: SecureRing> {
     shares: [Matrix<R>; 2],
+}
+
+/// Redacting formatter: shape and ring only. Share limbs are
+/// secret-equivalent (either one is a uniform one-time pad of the other),
+/// so a derived `Debug` would leak them into logs and panic messages.
+impl<R: SecureRing> std::fmt::Debug for SharePair<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharePair")
+            .field("shape", &self.shares[0].shape())
+            .field("ring", &std::any::type_name::<R>())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<R: SecureRing> SharePair<R> {
@@ -97,6 +109,24 @@ mod tests {
         let mut rng = Mt19937::new(5);
         let pair = SharePair::<f32>::split(&plain(), &mut rng);
         assert!(pair.reconstruct().max_abs_diff(&plain()) < 1e-4);
+    }
+
+    #[test]
+    fn debug_output_redacts_share_limbs() {
+        let mut rng = Mt19937::new(40);
+        let pair = SharePair::<Fixed64>::split(&plain(), &mut rng);
+        let rendered = format!("{pair:?}");
+        assert!(rendered.contains("SharePair"));
+        assert!(rendered.contains("(4, 3)"), "shape is metadata: {rendered}");
+        // No limb may appear: every share element is a >= 32-bit ring value
+        // (uniform mask / masked secret), so any run of 5+ digits in the
+        // output would be a leaked limb.
+        assert!(
+            !rendered.chars().collect::<Vec<_>>().windows(5).any(|w| w
+                .iter()
+                .all(|c| c.is_ascii_digit())),
+            "possible limb leak in Debug output: {rendered}"
+        );
     }
 
     #[test]

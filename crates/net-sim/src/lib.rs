@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Inter-node communication substrate for ParSecureML-rs.
 //!
 //! The paper's deployment is a three-node cluster — one client and two

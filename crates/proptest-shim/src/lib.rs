@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Std-only, in-tree stand-in for the `proptest` crate.
 //!
 //! The build environment for this repository is fully offline (no registry

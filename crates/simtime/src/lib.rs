@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Discrete-event simulated-time substrate for ParSecureML-rs.
 //!
 //! The paper's evaluation platform (V100 GPUs behind PCIe, two servers on

@@ -232,28 +232,45 @@ impl<'a, T: Num> BandTerm<'a, T> {
 unsafe fn cast_slice<Src, Dst>(s: &[Src]) -> &[Dst] {
     debug_assert_eq!(std::mem::size_of::<Src>(), std::mem::size_of::<Dst>());
     debug_assert_eq!(std::mem::align_of::<Src>(), std::mem::align_of::<Dst>());
-    std::slice::from_raw_parts(s.as_ptr().cast::<Dst>(), s.len())
+    // SAFETY: caller guarantees Src and Dst agree in size, alignment, and
+    // validity (the fn-level contract), so the same element count over the
+    // same allocation stays in bounds and every bit pattern is valid.
+    unsafe { std::slice::from_raw_parts(s.as_ptr().cast::<Dst>(), s.len()) }
 }
 
-/// Mutable [`cast_slice`]; same safety contract.
+/// Mutable [`cast_slice`].
+///
+/// # Safety
+///
+/// Same contract as [`cast_slice`]; the `&mut` borrow it consumes keeps
+/// the reinterpreted slice unique.
 unsafe fn cast_slice_mut<Src, Dst>(s: &mut [Src]) -> &mut [Dst] {
     debug_assert_eq!(std::mem::size_of::<Src>(), std::mem::size_of::<Dst>());
     debug_assert_eq!(std::mem::align_of::<Src>(), std::mem::align_of::<Dst>());
-    std::slice::from_raw_parts_mut(s.as_mut_ptr().cast::<Dst>(), s.len())
+    // SAFETY: as in `cast_slice`, plus exclusivity from the incoming
+    // `&mut` borrow whose lifetime the output inherits.
+    unsafe { std::slice::from_raw_parts_mut(s.as_mut_ptr().cast::<Dst>(), s.len()) }
 }
 
 /// Rebuilds band terms in the `Dst` carrier, element slice by element
 /// slice — no struct-level transmute, so `repr(Rust)` layout freedom across
-/// monomorphizations cannot bite. Safety contract as in [`cast_slice`].
+/// monomorphizations cannot bite.
+///
+/// # Safety
+///
+/// Same element-compatibility contract as [`cast_slice`].
 unsafe fn cast_terms<'a, Src: Num, Dst: Num>(
     terms: &[BandTerm<'a, Src>],
 ) -> Vec<BandTerm<'a, Dst>> {
     terms
         .iter()
         .map(|t| BandTerm {
-            a_band: cast_slice::<Src, Dst>(t.a_band),
+            // SAFETY: forwards the fn-level contract; only the element
+            // slices are reinterpreted, field by field.
+            a_band: unsafe { cast_slice::<Src, Dst>(t.a_band) },
             k: t.k,
-            panels: cast_slice::<Src, Dst>(t.panels),
+            // SAFETY: as above.
+            panels: unsafe { cast_slice::<Src, Dst>(t.panels) },
         })
         .collect()
 }

@@ -1,3 +1,4 @@
+#![deny(unsafe_op_in_unsafe_fn)]
 //! Dense and sparse matrix substrate for ParSecureML-rs.
 //!
 //! Everything in the two-party protocol is a matrix operation, so this crate

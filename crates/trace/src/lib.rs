@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # psml-trace
 //!
 //! Zero-cost-when-disabled structured tracing for ParSecureML-rs.

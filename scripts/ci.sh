@@ -9,7 +9,18 @@ cd "$(dirname "$0")/.."
 # observability gate below runs).
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
-cargo clippy --all-targets --offline -- -D warnings
+# `-D warnings` now comes from [workspace.lints] in Cargo.toml, so plain
+# builds and clippy runs enforce the same bar as CI.
+cargo clippy --all-targets --offline
+
+# Static-analysis gate: the workspace must pass its own secrecy /
+# determinism / unsafe-hygiene analyzer, and the emitted document must
+# validate against the psml.lint.v1 schema.
+lint_json="$(mktemp)"
+profile_json="$(mktemp)"
+trap 'rm -f "$lint_json" "$profile_json"' EXIT
+./target/release/psml-lint --deny all --json "$lint_json"
+./target/release/psml validate "$lint_json"
 
 # Fault-injection seed matrix: every chaos scenario must hold for any
 # plan seed, not just the default.
@@ -20,8 +31,6 @@ done
 # Observability gate: a traced profile run must emit a JSON document that
 # validates against its self-declared psml.profile.v1 schema (and the
 # report/traffic/reliability sub-schemas it embeds).
-profile_json="$(mktemp)"
-trap 'rm -f "$profile_json"' EXIT
 ./target/release/psml profile --model mlp --dataset synthetic \
     --batch 8 --batches 1 --epochs 1 --json "$profile_json"
 ./target/release/psml validate "$profile_json"

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Workspace umbrella crate for ParSecureML-rs.
 //!
 //! This crate exists so the workspace root can host the cross-crate

@@ -1,0 +1,40 @@
+//! Tier-1 gate: the live workspace passes its own static analyzer.
+//!
+//! This is the in-test twin of the `psml-lint --deny all` step in
+//! `scripts/ci.sh` — a plain `cargo test` run refuses secrecy/
+//! determinism/unsafe-hygiene regressions even when nobody runs the CI
+//! script. It also pins the analyzer's JSON output to the `psml.lint.v1`
+//! schema the `psml validate` subcommand accepts.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // tests/ lives directly under the workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn live_workspace_has_no_findings() {
+    let report = psml_lint::lint_workspace(workspace_root()).unwrap();
+    assert!(
+        report.findings.is_empty(),
+        "psml-lint found violations in the live workspace:\n{}",
+        report.render_human()
+    );
+    // Sanity: the scan actually covered the workspace (the seed tree has
+    // ~114 production/test files; an empty walk would vacuously pass).
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn lint_document_validates_as_psml_lint_v1() {
+    let report = psml_lint::lint_workspace(workspace_root()).unwrap();
+    let json = report.to_json();
+    let schema = parsecureml::observe::validate_document(&json)
+        .expect("psml-lint JSON must satisfy its declared schema");
+    assert_eq!(schema, "psml.lint.v1");
+}
