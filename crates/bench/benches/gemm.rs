@@ -6,16 +6,24 @@
 //!    blocked, band-parallel, packed, packed-parallel, the `gemm_auto`
 //!    dispatcher, and the Tensor-Core (through-f16) variant — at small
 //!    and medium sizes.
-//! 2. A headline measurement at 256/512/1024 cubed f32 comparing the
-//!    seed production kernel (`gemm_blocked`) against the packed paths,
-//!    written to `BENCH_gemm.json` at the repository root so the
-//!    speedup is recorded per host.
+//! 2. A headline measurement at 256/512/1024 cubed, over both an f32
+//!    carrier and the u64 ring carrier secure training runs on,
+//!    comparing the seed production kernel (`gemm_blocked`) against the
+//!    packed paths and — where the host tile unit verifies — the
+//!    limb-split quantized ring kernel. Written to `BENCH_gemm.json`
+//!    (a `psml.bench.gemm.v1` document) at the repository root so the
+//!    speedups are recorded per host.
+//!
+//! `PSML_SMOKE=1` shrinks the headline to a seconds-scale CI check
+//! written to `BENCH_gemm.smoke.json`; both modes assert that the
+//! `gemm_auto` dispatcher is never the slowest kernel at any recorded
+//! size (the whole point of a dispatcher).
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use psml_gpu::{kernels, GemmMode};
 use psml_tensor::{
     gemm_auto, gemm_blocked, gemm_naive, gemm_packed, gemm_packed_parallel, gemm_parallel,
-    Matrix,
+    gemm_quant, quant_ring_available, Matrix, Num,
 };
 use std::hint::black_box;
 use std::time::Instant;
@@ -27,6 +35,14 @@ fn mat(n: usize, seed: u64) -> Matrix<f32> {
 fn rect(rows: usize, cols: usize, seed: u64) -> Matrix<f32> {
     Matrix::from_fn(rows, cols, |r, c| {
         (((r as u64 * 31 + c as u64 * 7) ^ seed) % 17) as f32 - 8.0
+    })
+}
+
+/// Full-range ring elements (every limb populated, as shares are).
+fn ring(n: usize, seed: u64) -> Matrix<u64> {
+    Matrix::from_fn(n, n, |r, c| {
+        ((r as u64 * 0x9E37_79B9_7F4A_7C15) ^ (c as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(seed.wrapping_mul(0x94D0_49BB_1331_11EB))
     })
 }
 
@@ -67,6 +83,19 @@ fn bench_gemm(c: &mut Criterion) {
             bench.iter(|| black_box(kernels::gemm(&a, &b, GemmMode::TensorCore)))
         });
     }
+    // Ring carrier at a size past the quant cutover, so the limb-split
+    // kernel appears in the criterion ladder next to the packed path.
+    if quant_ring_available() {
+        let n = 192;
+        let a = ring(n, 1);
+        let b = ring(n, 2);
+        group.bench_with_input(BenchmarkId::new("packed_u64", n), &n, |bench, _| {
+            bench.iter(|| black_box(gemm_packed(&a, &b)))
+        });
+        group.bench_with_input(BenchmarkId::new("quant_u64", n), &n, |bench, _| {
+            bench.iter(|| black_box(gemm_quant(&a, &b)))
+        });
+    }
     // Conv-derived shape: the blocked seed kernel vs the dispatcher the
     // im2col path now uses.
     let a = rect(CONV_M, CONV_K, 1);
@@ -83,10 +112,10 @@ fn bench_gemm(c: &mut Criterion) {
 criterion_group!(benches, bench_gemm);
 
 /// A named GEMM kernel closure under measurement.
-type NamedKernel<'a> = (&'a str, Box<dyn FnMut() -> Matrix<f32> + 'a>);
+type NamedKernel<'a, R> = (&'a str, Box<dyn FnMut() -> Matrix<R> + 'a>);
 
 /// One timed invocation in seconds.
-fn time_once(f: &mut dyn FnMut() -> Matrix<f32>) -> f64 {
+fn time_once<R>(f: &mut dyn FnMut() -> Matrix<R>) -> f64 {
     let t = Instant::now();
     black_box(f());
     t.elapsed().as_secs_f64()
@@ -96,94 +125,140 @@ fn gflops(n: usize, secs: f64) -> f64 {
     2.0 * (n as f64).powi(3) / secs / 1e9
 }
 
-/// Times the seed kernel against the packed hierarchy at square f32
-/// sizes and records the result as JSON at the repository root.
-fn headline() {
-    let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
+/// Best-of-`reps` seconds per kernel with the reps *interleaved* across
+/// kernels: the CI hosts are shared VMs whose throughput oscillates ~2x
+/// in phases lasting seconds, so back-to-back reps of one kernel can
+/// land entirely inside a slow phase. Round-robin sampling gives every
+/// kernel a shot at the quiet phases.
+fn best_of<R>(kernels: &mut [NamedKernel<R>], reps: usize, gap_ms: u64) -> Vec<f64> {
+    let mut best = vec![f64::INFINITY; kernels.len()];
+    for rep in 0..reps {
+        if rep > 0 {
+            // Let a thermally/AVX-license-throttled core recover between
+            // rounds so the gaps sample distinct host phases.
+            std::thread::sleep(std::time::Duration::from_millis(gap_ms));
+        }
+        for (slot, (_, f)) in kernels.iter_mut().enumerate() {
+            best[slot] = best[slot].min(time_once(f));
+        }
+    }
+    best
+}
+
+/// Measures one element type's kernel ladder at square sizes, returning
+/// a `psml.bench.gemm.v1` element entry. Panics if `gemm_auto` is the
+/// slowest kernel at any size — the dispatcher exists to pick a
+/// better-than-worst path, so "auto slowest" is always a cutover bug
+/// (the `packed_parallel` small-size regression was exactly that).
+fn element_entry<R: Num>(
+    element: &str,
+    sizes: &[usize],
+    reps: usize,
+    gap_ms: u64,
+    make: &dyn Fn(usize, u64) -> Matrix<R>,
+) -> String {
+    let quant = R::WRAPPING_U64 && quant_ring_available();
     let mut size_entries = Vec::new();
-    for &n in &[256usize, 512, 1024] {
-        let a = mat(n, 1);
-        let b = mat(n, 2);
-        // Best-of-8 with the reps *interleaved* across kernels: the CI
-        // hosts are shared VMs whose throughput oscillates ~2x in phases
-        // lasting seconds, so back-to-back reps of one kernel can land
-        // entirely inside a slow phase. Round-robin sampling gives every
-        // kernel a shot at the quiet phases.
-        const REPS: usize = 8;
-        let mut kernels: [NamedKernel; 4] = [
+    for &n in sizes {
+        let a = make(n, 1);
+        let b = make(n, 2);
+        let mut kernels: Vec<NamedKernel<R>> = vec![
             ("blocked", Box::new(|| gemm_blocked(&a, &b))),
             ("packed", Box::new(|| gemm_packed(&a, &b))),
             ("packed_parallel", Box::new(|| gemm_packed_parallel(&a, &b))),
             ("auto", Box::new(|| gemm_auto(&a, &b))),
         ];
-        let mut best = [f64::INFINITY; 4];
-        for rep in 0..REPS {
-            if rep > 0 {
-                // Let a thermally/AVX-license-throttled core recover between
-                // rounds so the gaps sample distinct host phases.
-                std::thread::sleep(std::time::Duration::from_millis(250));
-            }
-            for (slot, (_, f)) in kernels.iter_mut().enumerate() {
-                best[slot] = best[slot].min(time_once(f));
-            }
+        if quant {
+            kernels.push(("quant", Box::new(|| gemm_quant(&a, &b))));
         }
+        let best = best_of(&mut kernels, reps, gap_ms);
+        let secs_of = |name: &str| {
+            kernels
+                .iter()
+                .position(|(k, _)| *k == name)
+                .map(|i| best[i])
+        };
         let mut fields = Vec::new();
-        let mut blocked_secs = 0.0;
-        let mut packed_parallel_secs = 0.0;
-        for ((name, _), secs) in kernels.iter().zip(best) {
+        for ((name, _), secs) in kernels.iter().zip(&best) {
             println!(
-                "gemm headline n={n} {name}: {secs:.4}s ({:.2} GFLOP/s)",
-                gflops(n, secs)
+                "gemm headline {element} n={n} {name}: {secs:.4}s ({:.2} GFLOP/s)",
+                gflops(n, *secs)
             );
-            if *name == "blocked" {
-                blocked_secs = secs;
-            }
-            if *name == "packed_parallel" {
-                packed_parallel_secs = secs;
-            }
             fields.push(format!(
                 "\"{name}\": {{\"secs\": {secs:.6}, \"gflops\": {:.3}}}",
-                gflops(n, secs)
+                gflops(n, *secs)
             ));
         }
-        let speedup = blocked_secs / packed_parallel_secs;
-        println!("gemm headline n={n} packed_parallel vs blocked: {speedup:.2}x");
+        let auto_secs = secs_of("auto").expect("auto always measured");
+        let slowest = best.iter().cloned().fold(0.0, f64::max);
+        // 10% tolerance: at sub-millisecond sizes two kernels can tie
+        // within host noise even after best-of sampling.
+        assert!(
+            auto_secs <= slowest * 1.10,
+            "gemm_auto is the slowest kernel at {element} n={n} \
+             ({auto_secs:.6}s vs worst {slowest:.6}s): cutover regression"
+        );
+        let mut speedups = format!(
+            ", \"speedup_packed_parallel_vs_blocked\": {:.3}",
+            secs_of("blocked").unwrap() / secs_of("packed_parallel").unwrap()
+        );
+        if let Some(quant_secs) = secs_of("quant") {
+            let s = secs_of("packed").unwrap() / quant_secs;
+            println!("gemm headline {element} n={n} quant vs packed: {s:.2}x");
+            speedups.push_str(&format!(", \"speedup_quant_vs_packed\": {s:.3}"));
+        }
         size_entries.push(format!(
-            "    {{\"n\": {n}, \"kernels\": {{{}}}, \"speedup_packed_parallel_vs_blocked\": {speedup:.3}}}",
+            "      {{\"n\": {n}, \"kernels\": {{{}}}{speedups}}}",
             fields.join(", ")
         ));
     }
+    format!(
+        "    {{\"element\": \"{element}\", \"sizes\": [\n{}\n    ]}}",
+        size_entries.join(",\n")
+    )
+}
+
+/// Times the seed kernel against the packed hierarchy (and the
+/// limb-split quantized ring kernel, where available) and records the
+/// result as a versioned JSON document at the repository root.
+fn headline() {
+    let smoke = std::env::var_os("PSML_SMOKE").is_some();
+    let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let (sizes, reps, gap_ms): (&[usize], usize, u64) = if smoke {
+        (&[96, 192], 3, 50)
+    } else {
+        (&[256, 512, 1024], 8, 250)
+    };
+    let elements = [
+        element_entry("f32", sizes, reps, gap_ms, &mat),
+        element_entry("u64", sizes, reps, gap_ms, &ring),
+    ];
     // Conv-derived (im2col) shape: tall-skinny, where the packed paths'
     // register tiling pays off without any square-size sweet spot.
     let ca = rect(CONV_M, CONV_K, 3);
     let cb = rect(CONV_K, CONV_N, 4);
-    let mut conv_kernels: [NamedKernel; 2] = [
+    let mut conv_kernels: [NamedKernel<f32>; 2] = [
         ("blocked", Box::new(|| gemm_blocked(&ca, &cb))),
         ("auto", Box::new(|| gemm_auto(&ca, &cb))),
     ];
-    let mut conv_best = [f64::INFINITY; 2];
-    for rep in 0..8 {
-        if rep > 0 {
-            std::thread::sleep(std::time::Duration::from_millis(100));
-        }
-        for (slot, (_, f)) in conv_kernels.iter_mut().enumerate() {
-            conv_best[slot] = conv_best[slot].min(time_once(f));
-        }
-    }
+    let conv_best = best_of(&mut conv_kernels, if smoke { 3 } else { 8 }, 100);
     let conv_speedup = conv_best[0] / conv_best[1];
     println!(
         "gemm headline conv {CONV_M}x{CONV_K}x{CONV_N} auto vs blocked: {conv_speedup:.2}x \
          (blocked {:.4}s, auto {:.4}s)",
         conv_best[0], conv_best[1]
     );
-    let conv_entry = format!(
-        "  \"conv_im2col\": {{\"m\": {CONV_M}, \"k\": {CONV_K}, \"n\": {CONV_N}, \
-         \"blocked_secs\": {:.6}, \"auto_secs\": {:.6}, \"speedup_auto_vs_blocked\": {conv_speedup:.3}}},\n",
-        conv_best[0], conv_best[1]
-    );
     let json = format!(
-        "{{\n  \"bench\": \"gemm\",\n  \"element\": \"f32\",\n  \"host_workers\": {workers},\n  \"timing\": \"best of 8 interleaved reps per kernel\",\n{conv_entry}  \"sizes\": [\n{}\n  ]\n}}\n",
-        size_entries.join(",\n")
+        "{{\n  \"schema\": \"psml.bench.gemm.v1\",\n  \"bench\": \"gemm\",\n  \
+         \"host_workers\": {workers},\n  \"quant_ring_available\": {},\n  \
+         \"timing\": \"best of {reps} interleaved reps per kernel\",\n  \
+         \"conv_im2col\": {{\"m\": {CONV_M}, \"k\": {CONV_K}, \"n\": {CONV_N}, \
+         \"blocked_secs\": {:.6}, \"auto_secs\": {:.6}, \
+         \"speedup_auto_vs_blocked\": {conv_speedup:.3}}},\n  \"elements\": [\n{}\n  ]\n}}\n",
+        quant_ring_available(),
+        conv_best[0],
+        conv_best[1],
+        elements.join(",\n")
     );
     // crates/bench -> repo root.
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -191,8 +266,13 @@ fn headline() {
         .nth(2)
         .expect("bench crate lives two levels under the repo root")
         .to_path_buf();
-    let out = root.join("BENCH_gemm.json");
-    std::fs::write(&out, json).expect("write BENCH_gemm.json");
+    let name = if smoke {
+        "BENCH_gemm.smoke.json"
+    } else {
+        "BENCH_gemm.json"
+    };
+    let out = root.join(name);
+    std::fs::write(&out, json).expect("write gemm bench document");
     println!("wrote {}", out.display());
 }
 
@@ -200,9 +280,12 @@ fn main() {
     // Headline first: minutes of sustained criterion sampling heats the
     // (shared, AVX-512-throttled) host and would depress the recorded
     // peak numbers for every kernel. PSML_HEADLINE_ONLY=1 skips the
-    // criterion ladder for quick re-measurement.
+    // criterion ladder for quick re-measurement; PSML_SMOKE=1 also
+    // skips it and shrinks the headline itself.
     headline();
-    if std::env::var_os("PSML_HEADLINE_ONLY").is_none() {
+    if std::env::var_os("PSML_HEADLINE_ONLY").is_none()
+        && std::env::var_os("PSML_SMOKE").is_none()
+    {
         benches();
     }
 }

@@ -227,8 +227,7 @@ impl AdaptiveEngine {
         n: usize,
         bytes_moved: usize,
     ) -> SimDuration {
-        cfg.machine.gpu.gemm_time(m, k, n, cfg.tensor_cores)
-            + cfg.machine.gpu.pcie.transfer_time(bytes_moved)
+        cfg.gpu_gemm_time(m, k, n) + cfg.machine.gpu.pcie.transfer_time(bytes_moved)
     }
 
     /// Decides placement for an `(m x k) * (k x n)` product whose operands
@@ -370,6 +369,28 @@ mod tests {
             }
         }
         assert!(seen_gpu, "GPU never chosen up to 2048^3");
+    }
+
+    #[test]
+    fn quant_ring_modeling_shifts_placement_toward_cpu() {
+        // With the limb-split quantized ring path modeled, the GPU must
+        // charge all live limb-pair volumes for an exact Z_2^64 product
+        // (many times one f16 volume) — so a shape the default model
+        // narrowly offloads comes back to the host when exactness is
+        // required of the GPU too. 512^3 sits right at that boundary
+        // under the v100_node preset.
+        let cfg = cfg();
+        let quant = cfg.clone().with_model_quant_ring(true);
+        let (m, k, n) = (512, 512, 512);
+        let bytes = bytes_for(m, k, n);
+        assert!(
+            AdaptiveEngine::gpu_cost(&quant, m, k, n, bytes)
+                > AdaptiveEngine::gpu_cost(&cfg, m, k, n, bytes)
+        );
+        let mut auto_off = AdaptiveEngine::new(AdaptivePolicy::Auto);
+        let mut auto_on = AdaptiveEngine::new(AdaptivePolicy::Auto);
+        assert_eq!(auto_off.place(&cfg, m, k, n, bytes), Placement::Gpu);
+        assert_eq!(auto_on.place(&quant, m, k, n, bytes), Placement::Cpu);
     }
 
     #[test]

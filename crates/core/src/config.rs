@@ -1,7 +1,7 @@
 //! Engine configuration: which of the paper's techniques are enabled.
 
 use crate::error::ConfigError;
-use psml_gpu::MachineConfig;
+use psml_gpu::{GemmMode, MachineConfig};
 use psml_mpc::EvalStrategy;
 use psml_net::{FaultPlan, RetryPolicy};
 use psml_tensor::sparse::DEFAULT_SPARSITY_THRESHOLD;
@@ -50,6 +50,16 @@ pub struct EngineConfig {
     pub sparsity_threshold: f64,
     /// Use Tensor Cores for GPU GEMMs (Sec. 5.2).
     pub tensor_cores: bool,
+    /// Model the limb-split quantized ring GEMM (`psml_tensor::quant`,
+    /// `GemmMode::QuantizedRing`) in the *cost model*: GPU compute2 GEMMs
+    /// are charged as 36 int8 limb-product volumes instead of one f16
+    /// product (exact ring arithmetic has no f16 shortcut), and CPU
+    /// compute2 GEMMs may charge the host tile unit's measured rate where
+    /// it wins. Changes charged durations — and therefore placement and
+    /// `RunReport` timings — so it defaults to `false`; the *functional*
+    /// results are bit-identical either way (the quantized kernel is
+    /// exact).
+    pub model_quant_ring: bool,
     /// CPU threads used for server-side host work. 1 = serial.
     pub cpu_threads: usize,
     /// Worker threads for the *host* global GEMM pool (the real
@@ -127,6 +137,7 @@ impl EngineConfig {
             compression: true,
             sparsity_threshold: DEFAULT_SPARSITY_THRESHOLD,
             tensor_cores: true,
+            model_quant_ring: false,
             cpu_threads: MachineConfig::v100_node().cpu.cores,
             host_workers: None,
             client_cpu_threads: MachineConfig::v100_node().cpu.cores,
@@ -154,6 +165,7 @@ impl EngineConfig {
             compression: false,
             sparsity_threshold: DEFAULT_SPARSITY_THRESHOLD,
             tensor_cores: false,
+            model_quant_ring: false,
             cpu_threads: 1,
             host_workers: None,
             client_cpu_threads: 1,
@@ -197,6 +209,13 @@ impl EngineConfig {
     /// Returns this config with Tensor Cores toggled.
     pub fn with_tensor_cores(mut self, on: bool) -> Self {
         self.tensor_cores = on;
+        self
+    }
+
+    /// Returns this config with quantized-ring cost modeling toggled
+    /// (see [`EngineConfig::model_quant_ring`]).
+    pub fn with_model_quant_ring(mut self, on: bool) -> Self {
+        self.model_quant_ring = on;
         self
     }
 
@@ -267,12 +286,47 @@ impl EngineConfig {
         self
     }
 
+    /// `m * k * n` above which [`EngineConfig::model_quant_ring`] lets
+    /// the CPU cost model consider the host tile unit — mirrors the
+    /// `gemm_auto` quant cutover in `psml_tensor` (measured even at
+    /// 128³, ahead from 160³ up).
+    const QUANT_MODEL_MIN_FLOPS: usize = 4_000_000;
+
     /// Time for an `(m x k) * (k x n)` CPU GEMM under this config's
-    /// thread count and kernel tuning.
+    /// thread count and kernel tuning. With
+    /// [`EngineConfig::model_quant_ring`] on, large products may charge
+    /// the host tile unit's quantized-ring rate instead, where it wins
+    /// (the `gemm_auto` dispatcher takes that path on such hosts).
     pub fn cpu_gemm_time(&self, m: usize, k: usize, n: usize) -> psml_simtime::SimDuration {
-        self.machine
+        let standard = self
+            .machine
             .cpu
-            .gemm_time_with(m, k, n, self.cpu_threads, self.tuned_cpu_gemm)
+            .gemm_time_with(m, k, n, self.cpu_threads, self.tuned_cpu_gemm);
+        if self.model_quant_ring
+            && m.saturating_mul(k).saturating_mul(n) >= Self::QUANT_MODEL_MIN_FLOPS
+        {
+            standard.min(self.machine.cpu.quant_gemm_time(m, k, n))
+        } else {
+            standard
+        }
+    }
+
+    /// The GEMM unit GPU compute2 offloads run on under this config:
+    /// tensor cores when enabled — as the exact limb-split quantized
+    /// pipeline when [`EngineConfig::model_quant_ring`] is on — CUDA-core
+    /// FP32 otherwise.
+    pub fn gpu_gemm_mode(&self) -> GemmMode {
+        match (self.tensor_cores, self.model_quant_ring) {
+            (true, true) => GemmMode::QuantizedRing,
+            (true, false) => GemmMode::TensorCore,
+            (false, _) => GemmMode::Fp32,
+        }
+    }
+
+    /// Time for an `(m x k) * (k x n)` GEMM on the simulated GPU under
+    /// this config's unit selection ([`EngineConfig::gpu_gemm_mode`]).
+    pub fn gpu_gemm_time(&self, m: usize, k: usize, n: usize) -> psml_simtime::SimDuration {
+        self.machine.gpu.gemm_time_mode(m, k, n, self.gpu_gemm_mode())
     }
 
     /// Time for an element-wise CPU pass over `bytes` under this config's
@@ -403,6 +457,13 @@ impl EngineConfigBuilder {
     /// Tensor-Core GEMMs on/off.
     pub fn tensor_cores(mut self, on: bool) -> Self {
         self.cfg.tensor_cores = on;
+        self
+    }
+
+    /// Model the limb-split quantized ring GEMM in the cost model (see
+    /// [`EngineConfig::model_quant_ring`]).
+    pub fn model_quant_ring(mut self, on: bool) -> Self {
+        self.cfg.model_quant_ring = on;
         self
     }
 
@@ -542,6 +603,37 @@ mod tests {
         assert!(!cfg.pipeline && !cfg.compression && !cfg.tensor_cores);
         assert_eq!(cfg.cpu_threads, 1, "zero threads clamps to one");
         assert_eq!(cfg.policy, AdaptivePolicy::ForceGpu);
+    }
+
+    #[test]
+    fn quant_ring_modeling_defaults_off_and_selects_units() {
+        // Off by default so existing run reports stay bit-identical.
+        let p = EngineConfig::parsecureml();
+        assert!(!p.model_quant_ring && !EngineConfig::secureml().model_quant_ring);
+        assert_eq!(p.gpu_gemm_mode(), psml_gpu::GemmMode::TensorCore);
+
+        let q = EngineConfig::parsecureml().with_model_quant_ring(true);
+        assert_eq!(q.gpu_gemm_mode(), psml_gpu::GemmMode::QuantizedRing);
+        assert_eq!(
+            q.clone().with_tensor_cores(false).gpu_gemm_mode(),
+            psml_gpu::GemmMode::Fp32,
+            "the quantized path rides the tensor units"
+        );
+        let b = EngineConfig::builder().model_quant_ring(true).build().unwrap();
+        assert!(b.model_quant_ring);
+
+        // CPU cost: never raised by the knob. The single-core tile-unit
+        // path wins against a serial host from 512^3 up, loses to the
+        // full multi-core model, and is ignored below the dispatcher's
+        // cutover — exactly mirroring what `gemm_auto` runs.
+        let (m, k, n) = (512, 512, 512);
+        let p1 = p.clone().with_cpu_threads(1);
+        let q1 = p1.clone().with_model_quant_ring(true);
+        assert!(q1.cpu_gemm_time(m, k, n) < p1.cpu_gemm_time(m, k, n));
+        assert_eq!(q1.cpu_gemm_time(16, 16, 16), p1.cpu_gemm_time(16, 16, 16));
+        assert_eq!(q.cpu_gemm_time(m, k, n), p.cpu_gemm_time(m, k, n));
+        // GPU cost: exact ring GEMM charges all live limb-pair volumes.
+        assert!(q.gpu_gemm_time(m, k, n) > p.gpu_gemm_time(m, k, n));
     }
 
     #[test]

@@ -34,7 +34,7 @@ use crate::config::EngineConfig;
 use crate::error::{EngineError, Result};
 use crate::provider::TripleProvider;
 use crate::report::{PhaseBreakdown, RunReport};
-use psml_gpu::{GemmMode, GpuDevice, GpuElement};
+use psml_gpu::{GpuDevice, GpuElement};
 use psml_mpc::{
     gen_triple_streamed, BeaverTriple, EvalStrategy, Party, PlainMatrix, SecureRing,
     ServerMulSession, TripleShare, TripleSpec,
@@ -44,7 +44,7 @@ use psml_net::{
 };
 use psml_parallel::Mt19937;
 use psml_simtime::{Resource, SimDuration, SimTime};
-use psml_tensor::{gemm_auto, pack_b, ConvShape, Matrix, PackedB};
+use psml_tensor::{gemm_auto, pack_b_auto, AutoPackedB, ConvShape, Matrix};
 use psml_trace::{ns_of_secs, Phase, TraceEvent, TraceSink};
 use std::collections::HashMap;
 
@@ -828,9 +828,11 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         let c2_start = comm_end;
         // Both servers reconstruct the same public F, so on the fused CPU
         // path its column panels are packed once and shared between the
-        // two `[F ; B_i]` evaluations (Eq. (8)'s common top block).
+        // two `[F ; B_i]` evaluations (Eq. (8)'s common top block). The
+        // carrier (standard vs quantized limb planes) follows what
+        // `gemm_auto` would pick for the full `[L|E] x [F ; B_i]` product.
         let f_packed = match (placement, self.cfg.eval_strategy) {
-            (Placement::Cpu, EvalStrategy::Fused) => Some(pack_b(&publics[0].1)),
+            (Placement::Cpu, EvalStrategy::Fused) => Some(pack_b_auto(&publics[0].1, m)),
             _ => None,
         };
         let mut outs: Vec<Timed<Matrix<R>>> = Vec::with_capacity(2);
@@ -1033,7 +1035,7 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         triple: &DistTriple<R>,
         e_pub: &Matrix<R>,
         f_pub: &Matrix<R>,
-        f_packed: Option<&PackedB<R>>,
+        f_packed: Option<&AutoPackedB<R>>,
         ready: SimTime,
     ) -> Result<Timed<Matrix<R>>> {
         let (m, k, n) = triple.dims;
@@ -1044,7 +1046,7 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
             triple.shares[i].v.clone(),
         );
         let c = match (self.cfg.eval_strategy, f_packed) {
-            (EvalStrategy::Fused, Some(fp)) => session.finish_packed(e_pub, fp),
+            (EvalStrategy::Fused, Some(fp)) => session.finish_packed_auto(e_pub, fp),
             (strategy, _) => session.finish(e_pub, f_pub, strategy, gemm_auto),
         };
         let mut dur = self.cfg.cpu_gemm_time(m, 2 * k, n);
@@ -1073,11 +1075,7 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         ready: SimTime,
     ) -> Result<Timed<Matrix<R>>> {
         let fenced = !self.cfg.pipeline;
-        let mode = if self.cfg.tensor_cores {
-            GemmMode::TensorCore
-        } else {
-            GemmMode::Fp32
-        };
+        let mode = self.cfg.gpu_gemm_mode();
         let (m, n) = (triple.dims.0, triple.dims.2);
         let dev = &mut self.servers[i].device;
 

@@ -105,6 +105,10 @@ const SCHEMAS: &[(&str, &[&str])] = &[
         ],
     ),
     (
+        "psml.bench.gemm.v1",
+        &["bench", "host_workers", "quant_ring_available", "elements"],
+    ),
+    (
         "psml.lint.v1",
         &["tool", "files_scanned", "rules", "findings", "summary"],
     ),

@@ -234,12 +234,11 @@ impl<R: GpuElement> GpuDevice<R> {
         let (m, k, n) = (sa.data.rows(), sa.data.cols(), sb.data.cols());
         let ready = sa.ready.max(sb.ready).max(self.fence);
         let out = kernels::gemm(&sa.data, &sb.data, mode);
-        let dur = self
-            .config
-            .gemm_time(m, k, n, matches!(mode, GemmMode::TensorCore));
+        let dur = self.config.gemm_time_mode(m, k, n, mode);
         let label = match mode {
             GemmMode::Fp32 => "gemm",
             GemmMode::TensorCore => "gemm_tc",
+            GemmMode::QuantizedRing => "gemm_quant",
         };
         let done = self.timeline.schedule(self.compute, ready, dur, label);
         self.alloc(out, done)

@@ -17,12 +17,21 @@ pub enum GemmMode {
     /// Tensor-Core GEMM (`cublasSgemmEx` under `CUBLAS_TENSOR_OP_MATH`):
     /// inputs rounded through binary16, FP32 accumulation.
     TensorCore,
+    /// Limb-split quantized ring GEMM on the tensor units (the paper's
+    /// Sec. 5.2 pipeline as built in `psml_tensor::quant`): ring operands
+    /// recoded into signed 8-bit limb planes, the live limb-pair volumes
+    /// multiplied on the dense int8 pipeline, partials recombined with
+    /// wrapping shifts. **Exact** over ring carriers — unlike
+    /// [`GemmMode::TensorCore`] there is no f16 rounding anywhere — so
+    /// the functional kernel is plain `gemm_auto`; only the charged time
+    /// differs (see `GpuConfig::gemm_time_mode`).
+    QuantizedRing,
 }
 
 /// GEMM with the selected unit's numerics.
 pub fn gemm<R: GpuElement>(a: &Matrix<R>, b: &Matrix<R>, mode: GemmMode) -> Matrix<R> {
     match mode {
-        GemmMode::Fp32 => gemm_auto(a, b),
+        GemmMode::Fp32 | GemmMode::QuantizedRing => gemm_auto(a, b),
         GemmMode::TensorCore => {
             let aq = a.map(GpuElement::quantize_tc);
             let bq = b.map(GpuElement::quantize_tc);

@@ -11,12 +11,15 @@
 
 /// Modules permitted to contain the `unsafe` keyword at all. Each exists
 /// for one vetted reason: the GEMM carrier casts (`tensor::gemm`), the
-/// `WRAPPING_U64` trait contract (`tensor::num`), the scoped-job lifetime
-/// transmute (`parallel::pool`), and the `Fixed64` ring carrier's
+/// `WRAPPING_U64` trait contract (`tensor::num`), the AMX tile-unit
+/// configuration and inline-asm kernel of the limb-split quantized path
+/// (`tensor::quant`), the scoped-job lifetime transmute
+/// (`parallel::pool`), and the `Fixed64` ring carrier's
 /// `unsafe impl Num` (`mpc::fixed`).
 pub const UNSAFE_MODULES: &[&str] = &[
     "tensor::gemm",
     "tensor::num",
+    "tensor::quant",
     "parallel::pool",
     "mpc::fixed",
 ];
@@ -66,6 +69,7 @@ pub const SECRET_TYPES: &[&str] = &[
     "BeaverTriple",
     "DistTriple",
     "SharedMatrix",
+    "QuantPackedB",
 ];
 
 /// Doc-attribute marker that adds a type to the secret registry.
@@ -74,7 +78,8 @@ pub const SECRET_MARKER: &str = "psml-secret";
 /// Modules that may hand-implement `Debug` for a secret type — the
 /// redacting impls themselves (shape + ring, never limbs). `derive(Debug)`
 /// on a secret type is forbidden everywhere; a derive is never redacting.
-pub const REDACTION_MODULES: &[&str] = &["mpc::share", "mpc::triple", "core::engine"];
+pub const REDACTION_MODULES: &[&str] =
+    &["mpc::share", "mpc::triple", "core::engine", "tensor::quant"];
 
 /// Methods on secret values whose results are *metadata*, safe to format:
 /// shapes, dimensions, readiness times. `pair.shape()` in an assert is

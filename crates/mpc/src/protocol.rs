@@ -4,7 +4,10 @@ use crate::ring::{Party, PlainMatrix, SecureRing};
 use crate::share::SharePair;
 use crate::triple::{gen_triple, gen_triple_hadamard, TripleShare};
 use psml_parallel::Mt19937;
-use psml_tensor::{gemm_auto, gemm_packed_sum, pack_b, Matrix, PackedB};
+use psml_tensor::{
+    gemm_auto, gemm_packed_sum, gemm_packed_sum_auto, pack_b, pack_b_auto, AutoPackedB, Matrix,
+    PackedB,
+};
 
 /// How a server evaluates its output share `C_i`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -122,6 +125,24 @@ impl<R: SecureRing> ServerMulSession<R> {
         let c = c.add(&self.triple.z);
         R::truncate_matrix(&c, self.party)
     }
+
+    /// [`ServerMulSession::finish_packed`] against an [`AutoPackedB`]: the
+    /// shared `F` is packed once by the caller (via [`pack_b_auto`], which
+    /// chooses between element column panels and quantized byte planes for
+    /// the product size), this server's `B_i` is packed to match, and the
+    /// fused sum runs on whichever kernel the pack selected. Bit-identical
+    /// to [`ServerMulSession::finish_packed`] — over the ring every kernel
+    /// computes the same wrapping product.
+    pub fn finish_packed_auto(&self, e: &Matrix<R>, f_packed: &AutoPackedB<R>) -> Matrix<R> {
+        let left = match self.party {
+            Party::P0 => self.a.clone(),
+            Party::P1 => self.a.sub(e),
+        };
+        let b_packed = f_packed.pack_matching(&self.b);
+        let c = gemm_packed_sum_auto(&[(&left, f_packed), (e, &b_packed)]);
+        let c = c.add(&self.triple.z);
+        R::truncate_matrix(&c, self.party)
+    }
 }
 
 /// Combines the two servers' masked matrices into the public value
@@ -172,8 +193,11 @@ pub fn secure_matmul_with<R: SecureRing>(
     // The fused strategy packs the shared public F once for both servers.
     let (c0, c1) = match strategy {
         EvalStrategy::Fused => {
-            let f_packed = pack_b(&f);
-            (s0.finish_packed(&e, &f_packed), s1.finish_packed(&e, &f_packed))
+            let f_packed = pack_b_auto(&f, m);
+            (
+                s0.finish_packed_auto(&e, &f_packed),
+                s1.finish_packed_auto(&e, &f_packed),
+            )
         }
         EvalStrategy::Expanded => (
             s0.finish(&e, &f, strategy, gemm_auto),
@@ -291,6 +315,51 @@ mod tests {
                 s.finish(&e, &f, EvalStrategy::Fused, psml_tensor::gemm_naive)
             );
         }
+    }
+
+    #[test]
+    fn finish_packed_auto_matches_finish_packed() {
+        // The auto-packed fused path must be bit-identical to the fixed
+        // packed path regardless of which representation the pack picks.
+        let mut rng = Mt19937::new(61);
+        let (a, b) = (plain_a(), plain_b());
+        let a_pair = SharePair::<Fixed64>::split(&a, &mut rng);
+        let b_pair = SharePair::<Fixed64>::split(&b, &mut rng);
+        let triple = gen_triple::<Fixed64>(4, 5, 3, &mut rng, gemm_auto);
+        let (a0, a1) = a_pair.into_shares();
+        let (b0, b1) = b_pair.into_shares();
+        let (t0, t1) = triple.into_shares();
+        let s0 = ServerMulSession::new(Party::P0, a0, b0, t0);
+        let s1 = ServerMulSession::new(Party::P1, a1, b1, t1);
+        let (e0, f0) = s0.masked();
+        let (e1, f1) = s1.masked();
+        let e = reconstruct_public(&e0, &e1);
+        let f = reconstruct_public(&f0, &f1);
+        let f_packed = pack_b(&f);
+        let f_auto = pack_b_auto(&f, 4);
+        for s in [&s0, &s1] {
+            assert_eq!(
+                s.finish_packed_auto(&e, &f_auto),
+                s.finish_packed(&e, &f_packed)
+            );
+        }
+    }
+
+    #[test]
+    fn fused_and_expanded_agree_at_quant_dispatch_size() {
+        // Large enough that gemm_auto / pack_b_auto route ring products
+        // through the limb-split quantized kernel on verified-AMX hosts;
+        // on other hosts this still exercises the auto-packed fused path.
+        // Both strategies must reconstruct the same cleartext bits.
+        let dim = 160;
+        let a = PlainMatrix::from_fn(dim, dim, |r, c| ((r * 7 + c) % 23) as f64 * 0.25 - 2.0);
+        let b = PlainMatrix::from_fn(dim, dim, |r, c| ((r + 11 * c) % 19) as f64 * 0.5 - 4.0);
+        let mut rng1 = Mt19937::new(67);
+        let mut rng2 = Mt19937::new(67);
+        let fused = secure_matmul_with::<Fixed64>(&a, &b, &mut rng1, EvalStrategy::Fused);
+        let expanded = secure_matmul_with::<Fixed64>(&a, &b, &mut rng2, EvalStrategy::Expanded);
+        assert_eq!(fused, expanded);
+        assert!(fused.max_abs_diff(&a.matmul(&b)) < 0.5);
     }
 
     #[test]

@@ -254,10 +254,7 @@ mod tests {
         };
         let inp = Matrix::from_fn(1, 25, |_, c| (c as u64).wrapping_mul(0x1234_5678_9ABC_DEF1));
         let ker = Matrix::from_fn(9, 2, |r, c| ((r * 2 + c) as u64).wrapping_mul(7));
-        assert_eq!(
-            conv2d_direct(&inp, &ker, &s),
-            conv2d_im2col(&inp, &ker, &s)
-        );
+        assert_eq!(conv2d_direct(&inp, &ker, &s), conv2d_im2col(&inp, &ker, &s));
     }
 
     #[test]

@@ -13,8 +13,11 @@
 //!   on the persistent process-global thread pool;
 //! - [`gemm_auto`]: the production dispatcher — picks one of the above by
 //!   problem size, mirroring the paper's profiling-guided adaptive
-//!   placement. `Matrix::matmul`, triple generation, the fused Eq. 8
-//!   evaluation and the gpu-sim functional kernel all route through it.
+//!   placement; large ring products on verified-AMX hosts route to the
+//!   limb-split quantized kernel ([`crate::quant`]) instead, with
+//!   bit-identical results. `Matrix::matmul`, triple generation, the fused
+//!   Eq. 8 evaluation and the gpu-sim functional kernel all route through
+//!   it.
 //!
 //! [`gemm_packed_sum`] evaluates `sum_t A_t x B_t` against pre-packed
 //! right-hand sides without materializing concatenations; the fused Eq. 8
@@ -29,6 +32,9 @@
 
 use crate::matrix::Matrix;
 use crate::num::Num;
+use crate::quant::{
+    gemm_quant, gemm_quant_sum, gemm_quant_with, pack_b_quant, quant_ring_available, QuantPackedB,
+};
 use psml_parallel::{
     configured_workers, for_each_chunk_mut, for_each_chunk_mut_pooled, global_pool,
 };
@@ -54,9 +60,21 @@ pub const NR: usize = 16;
 const AUTO_PACK_FLOPS: usize = 32 * 32 * 32;
 
 /// `m * k * n` above which [`gemm_auto`] moves to the pool-backed
-/// [`gemm_packed_parallel`]. Below this the latch/wake-up round-trip of a
-/// parallel region is comparable to the kernel itself.
-const AUTO_PARALLEL_FLOPS: usize = 128 * 128 * 128;
+/// [`gemm_packed_parallel`]. Below this the band bookkeeping and
+/// latch/wake-up round-trip of a parallel region cost more than they
+/// recover: BENCH_gemm.json showed the parallel path 11% *slower* than
+/// serial packed at 256^3 (45.5 vs 51.1 GFLOPS), while 512^3 and up
+/// amortize it, so the cutover sits between those sizes (~363^3).
+const AUTO_PARALLEL_FLOPS: usize = 48_000_000;
+
+/// `m * k * n` above which [`gemm_auto`] routes ring carriers to the
+/// limb-split quantized kernel ([`crate::quant`]) when the AMX backend is
+/// available. Below this the digit recode + recombine overhead (9 bytes
+/// written per element, 8 shifted-add output passes) eats the tile unit's
+/// multiplier advantage: measured even (0.95x) at 128^3 and ahead (1.2x)
+/// from 160^3 = 4.1M up, so the cutover sits just under that. See
+/// DESIGN.md "Quantized ring GEMM".
+const AUTO_QUANT_FLOPS: usize = 4_000_000;
 
 fn assert_shapes<T: Num>(a: &Matrix<T>, b: &Matrix<T>) {
     assert_eq!(
@@ -87,13 +105,7 @@ pub fn gemm_naive<T: Num>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
 
 /// Computes one row band `rows_of_a x b` into `out_band` (row-major,
 /// `len = band_rows * n`). Shared by the blocked and band-parallel kernels.
-fn gemm_band<T: Num>(
-    a_band: &[T],
-    band_rows: usize,
-    k: usize,
-    b: &Matrix<T>,
-    out_band: &mut [T],
-) {
+fn gemm_band<T: Num>(a_band: &[T], band_rows: usize, k: usize, b: &Matrix<T>, out_band: &mut [T]) {
     let n = b.cols();
     debug_assert_eq!(a_band.len(), band_rows * k);
     debug_assert_eq!(out_band.len(), band_rows * n);
@@ -150,7 +162,13 @@ pub fn gemm_parallel<T: Num>(a: &Matrix<T>, b: &Matrix<T>, workers: usize) -> Ma
         debug_assert_eq!(band.len() % n, 0);
         let row0 = offset / n;
         let band_rows = band.len() / n;
-        gemm_band(&a_data[row0 * k..(row0 + band_rows) * k], band_rows, k, b, band);
+        gemm_band(
+            &a_data[row0 * k..(row0 + band_rows) * k],
+            band_rows,
+            k,
+            b,
+            band,
+        );
     });
     out
 }
@@ -229,7 +247,7 @@ impl<'a, T: Num> BandTerm<'a, T> {
 /// at both call sites: either the types are literally equal, checked by
 /// `TypeId`, or `Src` is `#[repr(transparent)]` over `Dst = u64` per the
 /// `unsafe` [`Num`] contract behind [`Num::WRAPPING_U64`]).
-unsafe fn cast_slice<Src, Dst>(s: &[Src]) -> &[Dst] {
+pub(crate) unsafe fn cast_slice<Src, Dst>(s: &[Src]) -> &[Dst] {
     debug_assert_eq!(std::mem::size_of::<Src>(), std::mem::size_of::<Dst>());
     debug_assert_eq!(std::mem::align_of::<Src>(), std::mem::align_of::<Dst>());
     // SAFETY: caller guarantees Src and Dst agree in size, alignment, and
@@ -244,7 +262,7 @@ unsafe fn cast_slice<Src, Dst>(s: &[Src]) -> &[Dst] {
 ///
 /// Same contract as [`cast_slice`]; the `&mut` borrow it consumes keeps
 /// the reinterpreted slice unique.
-unsafe fn cast_slice_mut<Src, Dst>(s: &mut [Src]) -> &mut [Dst] {
+pub(crate) unsafe fn cast_slice_mut<Src, Dst>(s: &mut [Src]) -> &mut [Dst] {
     debug_assert_eq!(std::mem::size_of::<Src>(), std::mem::size_of::<Dst>());
     debug_assert_eq!(std::mem::align_of::<Src>(), std::mem::align_of::<Dst>());
     // SAFETY: as in `cast_slice`, plus exclusivity from the incoming
@@ -420,12 +438,7 @@ fn packed_band_avx512<T: Num>(
 /// AVX2 + FMA instantiation of the band kernel (256-bit lanes).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
-fn packed_band_avx2<T: Num>(
-    terms: &[BandTerm<T>],
-    band_rows: usize,
-    n: usize,
-    out_band: &mut [T],
-) {
+fn packed_band_avx2<T: Num>(terms: &[BandTerm<T>], band_rows: usize, n: usize, out_band: &mut [T]) {
     packed_band_impl::<T, true>(terms, band_rows, n, out_band);
 }
 
@@ -449,8 +462,7 @@ fn packed_band_dispatch<T: Num>(
             // SAFETY: all enabled features were just detected on this CPU.
             return unsafe { packed_band_avx512(terms, band_rows, n, out_band) };
         }
-        if std::arch::is_x86_feature_detected!("avx2")
-            && std::arch::is_x86_feature_detected!("fma")
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
         {
             // SAFETY: avx2 and fma were just detected on this CPU.
             return unsafe { packed_band_avx2(terms, band_rows, n, out_band) };
@@ -466,40 +478,28 @@ fn packed_band_dispatch<T: Num>(
 /// carriers through concrete functions compiled *here* gives every
 /// binary the same vetted codegen.
 #[inline(never)]
-fn packed_band_f32(
-    terms: &[BandTerm<f32>],
-    band_rows: usize,
-    n: usize,
-    out_band: &mut [f32],
-) {
+fn packed_band_f32(terms: &[BandTerm<f32>], band_rows: usize, n: usize, out_band: &mut [f32]) {
     packed_band_dispatch(terms, band_rows, n, out_band);
 }
 
 /// Monomorphic pinned copy of the `Z_{2^64}` kernel; see
 /// [`packed_band_f32`].
 #[inline(never)]
-fn packed_band_u64(
-    terms: &[BandTerm<u64>],
-    band_rows: usize,
-    n: usize,
-    out_band: &mut [u64],
-) {
+fn packed_band_u64(terms: &[BandTerm<u64>], band_rows: usize, n: usize, out_band: &mut [u64]) {
     packed_band_dispatch(terms, band_rows, n, out_band);
 }
 
-fn packed_band<T: Num>(
-    terms: &[BandTerm<T>],
-    band_rows: usize,
-    n: usize,
-    out_band: &mut [T],
-) {
+fn packed_band<T: Num>(terms: &[BandTerm<T>], band_rows: usize, n: usize, out_band: &mut [T]) {
     use std::any::TypeId;
     let t = TypeId::of::<T>();
     if t == TypeId::of::<f32>() {
         // SAFETY: T is exactly f32 (checked above); only element slices of
         // that very type are rebranded, term by term.
         let (terms, out_band) = unsafe {
-            (cast_terms::<T, f32>(terms), cast_slice_mut::<T, f32>(out_band))
+            (
+                cast_terms::<T, f32>(terms),
+                cast_slice_mut::<T, f32>(out_band),
+            )
         };
         return packed_band_f32(&terms, band_rows, n, out_band);
     }
@@ -511,7 +511,10 @@ fn packed_band<T: Num>(
         // Only element slices are reinterpreted — the `BandTerm`s are
         // rebuilt field by field, never transmuted as structs.
         let (terms, out_band) = unsafe {
-            (cast_terms::<T, u64>(terms), cast_slice_mut::<T, u64>(out_band))
+            (
+                cast_terms::<T, u64>(terms),
+                cast_slice_mut::<T, u64>(out_band),
+            )
         };
         return packed_band_u64(&terms, band_rows, n, out_band);
     }
@@ -614,26 +617,135 @@ pub fn gemm_packed_sum<T: Num>(terms: &[(&Matrix<T>, &PackedB<T>)]) -> Matrix<T>
     out
 }
 
+/// A right-hand side packed for whichever kernel the auto dispatcher
+/// selected when it was created: element-typed column panels for the
+/// register-tiled kernel, or byte planes for the limb-split quantized
+/// ring kernel.
+///
+/// Produced by [`pack_b_auto`] and consumed by [`gemm_packed_sum_auto`];
+/// secondary operands of a fused sum must be packed with
+/// [`AutoPackedB::pack_matching`] so every term lands on the same kernel.
+#[derive(Clone, Debug)]
+pub enum AutoPackedB<T: Num> {
+    /// Column panels for the register-tiled micro-kernel.
+    Std(PackedB<T>),
+    /// Byte planes for the quantized ring kernel.
+    Quant(QuantPackedB),
+}
+
+impl<T: Num> AutoPackedB<T> {
+    /// Inner dimension (rows of the packed `B`).
+    pub fn k(&self) -> usize {
+        match self {
+            AutoPackedB::Std(p) => p.k(),
+            AutoPackedB::Quant(q) => q.k(),
+        }
+    }
+
+    /// Columns of the packed `B`.
+    pub fn n(&self) -> usize {
+        match self {
+            AutoPackedB::Std(p) => p.n(),
+            AutoPackedB::Quant(q) => q.n(),
+        }
+    }
+
+    /// Bytes held by the packed representation.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            AutoPackedB::Std(p) => p.byte_size(),
+            AutoPackedB::Quant(q) => q.byte_size(),
+        }
+    }
+
+    /// Packs another right-hand side in this pack's representation, so it
+    /// can join the same [`gemm_packed_sum_auto`] call (the fused Eq. 8
+    /// product packs the shared `F` first, then each server's `B_i` to
+    /// match).
+    pub fn pack_matching(&self, b: &Matrix<T>) -> AutoPackedB<T> {
+        match self {
+            AutoPackedB::Std(_) => AutoPackedB::Std(pack_b(b)),
+            AutoPackedB::Quant(_) => AutoPackedB::Quant(pack_b_quant(b)),
+        }
+    }
+}
+
+/// Packs `b` for the kernel [`gemm_auto`] would pick for an
+/// `m_hint x b.rows() x b.cols()` product: quantized byte planes when the
+/// limb-split path applies ([`quant_applies`]), element column panels
+/// otherwise. `m_hint` is the row count of the left-hand side(s) the pack
+/// will multiply.
+pub fn pack_b_auto<T: Num>(b: &Matrix<T>, m_hint: usize) -> AutoPackedB<T> {
+    if quant_applies::<T>(m_hint, b.rows(), b.cols()) {
+        AutoPackedB::Quant(pack_b_quant(b))
+    } else {
+        AutoPackedB::Std(pack_b(b))
+    }
+}
+
+/// [`gemm_packed_sum`] over auto-packed right-hand sides: dispatches the
+/// whole sum to the kernel the packs were built for. All terms must carry
+/// the same [`AutoPackedB`] variant (use [`AutoPackedB::pack_matching`]);
+/// results are bit-identical across variants for ring carriers.
+pub fn gemm_packed_sum_auto<T: Num>(terms: &[(&Matrix<T>, &AutoPackedB<T>)]) -> Matrix<T> {
+    let all_std = terms.iter().all(|(_, p)| matches!(p, AutoPackedB::Std(_)));
+    let all_quant = terms
+        .iter()
+        .all(|(_, p)| matches!(p, AutoPackedB::Quant(_)));
+    if all_std {
+        let std_terms: Vec<(&Matrix<T>, &PackedB<T>)> = terms
+            .iter()
+            .map(|&(a, p)| match p {
+                AutoPackedB::Std(pb) => (a, pb),
+                AutoPackedB::Quant(_) => unreachable!(),
+            })
+            .collect();
+        gemm_packed_sum(&std_terms)
+    } else if all_quant {
+        let quant_terms: Vec<(&Matrix<T>, &QuantPackedB)> = terms
+            .iter()
+            .map(|&(a, p)| match p {
+                AutoPackedB::Quant(qb) => (a, qb),
+                AutoPackedB::Std(_) => unreachable!(),
+            })
+            .collect();
+        gemm_quant_sum(&quant_terms)
+    } else {
+        panic!("gemm_packed_sum_auto terms mix packed representations; use pack_matching");
+    }
+}
+
+/// True when [`gemm_auto`] would route an `m x k x n` product in carrier
+/// `T` through the limb-split quantized kernel: ring carrier, product
+/// large enough to amortize recode/recombine, a single configured worker
+/// (with 2+ workers the pool path keeps every multiplier busy while the
+/// tile driver is serial), and the AMX backend verified on this host.
+pub(crate) fn quant_applies<T: Num>(m: usize, k: usize, n: usize) -> bool {
+    let flops = m.saturating_mul(k).saturating_mul(n);
+    T::WRAPPING_U64
+        && flops >= AUTO_QUANT_FLOPS
+        && configured_workers() < 2
+        && quant_ring_available()
+}
+
 /// The production GEMM: dispatches on problem size, mirroring the paper's
 /// profiling-guided adaptive placement.
 ///
 /// - tiny products (`m*k*n < `[`AUTO_PACK_FLOPS`]): [`gemm_blocked`] —
 ///   packing cannot be amortized and the zero-skip helps sparse operands;
+/// - large ring products on AMX hosts ([`quant_applies`]):
+///   [`gemm_quant`] — the limb-split quantized kernel on the tile unit,
+///   bit-identical to the packed ring kernel;
 /// - medium: [`gemm_packed`] — serial register-tiled kernel;
 /// - large (`m*k*n >= `[`AUTO_PARALLEL_FLOPS`] with more than one
 ///   configured worker): [`gemm_packed_parallel`] on the persistent pool.
 pub fn gemm_auto<T: Num>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
     assert_shapes(a, b);
-    let flops = a
-        .rows()
-        .saturating_mul(a.cols())
-        .saturating_mul(b.cols());
-    if flops < AUTO_PACK_FLOPS {
-        gemm_blocked(a, b)
-    } else if flops < AUTO_PARALLEL_FLOPS || configured_workers() < 2 {
-        gemm_packed(a, b)
-    } else {
-        gemm_packed_parallel(a, b)
+    match auto_tier::<T>(a.rows(), a.cols(), b.cols()) {
+        AutoTier::Blocked => gemm_blocked(a, b),
+        AutoTier::Quant => gemm_quant(a, b),
+        AutoTier::Packed => gemm_packed(a, b),
+        AutoTier::Parallel => gemm_packed_parallel(a, b),
     }
 }
 
@@ -641,14 +753,17 @@ pub fn gemm_auto<T: Num>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum AutoTier {
     Blocked,
+    Quant,
     Packed,
     Parallel,
 }
 
-fn auto_tier(m: usize, k: usize, n: usize) -> AutoTier {
+fn auto_tier<T: Num>(m: usize, k: usize, n: usize) -> AutoTier {
     let flops = m.saturating_mul(k).saturating_mul(n);
     if flops < AUTO_PACK_FLOPS {
         AutoTier::Blocked
+    } else if quant_applies::<T>(m, k, n) {
+        AutoTier::Quant
     } else if flops < AUTO_PARALLEL_FLOPS || configured_workers() < 2 {
         AutoTier::Packed
     } else {
@@ -678,15 +793,22 @@ pub fn gemm_batch<T: Num>(pairs: &[(&Matrix<T>, &Matrix<T>)]) -> Vec<Matrix<T>> 
     }
     let tiers: Vec<AutoTier> = pairs
         .iter()
-        .map(|&(a, b)| auto_tier(a.rows(), a.cols(), b.cols()))
+        .map(|&(a, b)| auto_tier::<T>(a.rows(), a.cols(), b.cols()))
         .collect();
+    let shares_rhs = |tier: AutoTier| {
+        pairs.len() > 1
+            && tiers.contains(&tier)
+            && pairs.iter().all(|&(_, b)| std::ptr::eq(b, pairs[0].1))
+    };
     // Pack a shared right-hand side once (only worth it when some item is
-    // in the packed tier and the B really is the same allocation).
-    let shared_packed: Option<PackedB<T>> = if pairs.len() > 1
-        && tiers.contains(&AutoTier::Packed)
-        && pairs.iter().all(|&(_, b)| std::ptr::eq(b, pairs[0].1))
-    {
+    // in the packed/quant tier and the B really is the same allocation).
+    let shared_packed: Option<PackedB<T>> = if shares_rhs(AutoTier::Packed) {
         Some(pack_b(pairs[0].1))
+    } else {
+        None
+    };
+    let shared_quant: Option<QuantPackedB> = if shares_rhs(AutoTier::Quant) {
+        Some(pack_b_quant(pairs[0].1))
     } else {
         None
     };
@@ -694,6 +816,10 @@ pub fn gemm_batch<T: Num>(pairs: &[(&Matrix<T>, &Matrix<T>)]) -> Vec<Matrix<T>> 
         let (a, b) = pairs[i];
         *slot = Some(match tiers[i] {
             AutoTier::Blocked => gemm_blocked(a, b),
+            AutoTier::Quant => match &shared_quant {
+                Some(q) => gemm_quant_with(a, q),
+                None => gemm_quant(a, b),
+            },
             AutoTier::Packed => match &shared_packed {
                 Some(p) => gemm_packed_with(a, p),
                 None => gemm_packed(a, b),
@@ -766,7 +892,13 @@ mod tests {
 
     #[test]
     fn blocked_matches_naive_f32() {
-        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (17, 33, 9), (64, 64, 64), (65, 70, 63)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 4, 5),
+            (17, 33, 9),
+            (64, 64, 64),
+            (65, 70, 63),
+        ] {
             let a = fmat(m, k, 7);
             let b = fmat(k, n, 11);
             let naive = gemm_naive(&a, &b);
@@ -836,7 +968,13 @@ mod tests {
 
     #[test]
     fn packed_matches_naive_f32() {
-        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (17, 33, 9), (64, 64, 64), (65, 70, 63)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 4, 5),
+            (17, 33, 9),
+            (64, 64, 64),
+            (65, 70, 63),
+        ] {
             let a = fmat(m, k, 7);
             let b = fmat(k, n, 11);
             let naive = gemm_naive(&a, &b);
@@ -936,14 +1074,19 @@ mod tests {
     #[test]
     fn batch_matches_auto_exactly_in_ring() {
         // Items spread over all three dispatch tiers.
-        let shapes = [(8, 8, 8), (48, 48, 48), (160, 160, 160), (3, 5, 2), (40, 33, 50)];
+        let shapes = [
+            (8, 8, 8),
+            (48, 48, 48),
+            (160, 160, 160),
+            (3, 5, 2),
+            (40, 33, 50),
+        ];
         let mats: Vec<(Matrix<u64>, Matrix<u64>)> = shapes
             .iter()
             .enumerate()
             .map(|(i, &(m, k, n))| (umat(m, k, i as u64 + 1), umat(k, n, i as u64 + 11)))
             .collect();
-        let pairs: Vec<(&Matrix<u64>, &Matrix<u64>)> =
-            mats.iter().map(|(a, b)| (a, b)).collect();
+        let pairs: Vec<(&Matrix<u64>, &Matrix<u64>)> = mats.iter().map(|(a, b)| (a, b)).collect();
         let batched = gemm_batch(&pairs);
         for ((a, b), got) in mats.iter().zip(&batched) {
             assert_eq!(got, &gemm_auto(a, b));
@@ -959,8 +1102,7 @@ mod tests {
             .enumerate()
             .map(|(i, &(m, k, n))| (fmat(m, k, i as u64 + 1), fmat(k, n, i as u64 + 7)))
             .collect();
-        let pairs: Vec<(&Matrix<f32>, &Matrix<f32>)> =
-            mats.iter().map(|(a, b)| (a, b)).collect();
+        let pairs: Vec<(&Matrix<f32>, &Matrix<f32>)> = mats.iter().map(|(a, b)| (a, b)).collect();
         for (got, (a, b)) in gemm_batch(&pairs).iter().zip(&mats) {
             assert_eq!(got.as_slice(), gemm_auto(a, b).as_slice());
         }
@@ -970,8 +1112,7 @@ mod tests {
     fn batch_shared_rhs_packs_once_and_matches() {
         let b = umat(48, 48, 3);
         let lhs: Vec<Matrix<u64>> = (0..4).map(|i| umat(48, 48, i + 21)).collect();
-        let pairs: Vec<(&Matrix<u64>, &Matrix<u64>)> =
-            lhs.iter().map(|a| (a, &b)).collect();
+        let pairs: Vec<(&Matrix<u64>, &Matrix<u64>)> = lhs.iter().map(|a| (a, &b)).collect();
         for (got, a) in gemm_batch(&pairs).iter().zip(&lhs) {
             assert_eq!(got, &gemm_auto(a, &b));
         }
@@ -983,6 +1124,52 @@ mod tests {
         let a = umat(5, 6, 1);
         let b = umat(6, 4, 2);
         assert_eq!(gemm_batch(&[(&a, &b)]), vec![gemm_auto(&a, &b)]);
+    }
+
+    #[test]
+    fn packed_sum_auto_matches_for_both_variants() {
+        // The fused Eq. 8 sum through explicit Std and Quant packs must
+        // agree bit-for-bit with each other and the oracle.
+        let l = umat(9, 40, 1);
+        let e = umat(9, 33, 2);
+        let f = umat(40, 11, 3);
+        let b = umat(33, 11, 4);
+        let expect = gemm_naive(&l, &f).add(&gemm_naive(&e, &b));
+        let f_std: AutoPackedB<u64> = AutoPackedB::Std(pack_b(&f));
+        let b_std = f_std.pack_matching(&b);
+        assert_eq!(gemm_packed_sum_auto(&[(&l, &f_std), (&e, &b_std)]), expect);
+        let f_q: AutoPackedB<u64> = AutoPackedB::Quant(pack_b_quant(&f));
+        let b_q = f_q.pack_matching(&b);
+        assert_eq!(gemm_packed_sum_auto(&[(&l, &f_q), (&e, &b_q)]), expect);
+        assert_eq!((f_q.k(), f_q.n()), (40, 11));
+        assert!(f_q.byte_size() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mix packed representations")]
+    fn packed_sum_auto_rejects_mixed_variants() {
+        let l = umat(4, 4, 1);
+        let f = umat(4, 4, 2);
+        let std: AutoPackedB<u64> = AutoPackedB::Std(pack_b(&f));
+        let quant: AutoPackedB<u64> = AutoPackedB::Quant(pack_b_quant(&f));
+        let _ = gemm_packed_sum_auto(&[(&l, &std), (&l, &quant)]);
+    }
+
+    #[test]
+    fn pack_b_auto_respects_carrier_and_size() {
+        // Small products and float carriers always take the Std pack; the
+        // Quant pack appears only for large ring products on verified-AMX
+        // single-worker hosts, which is exactly quant_applies.
+        let small = umat(8, 8, 1);
+        assert!(matches!(pack_b_auto(&small, 8), AutoPackedB::Std(_)));
+        let fb = fmat(64, 400, 1);
+        assert!(matches!(pack_b_auto(&fb, 4000), AutoPackedB::Std(_)));
+        let big = umat(400, 400, 1);
+        let expect_quant = quant_applies::<u64>(1000, 400, 400);
+        assert_eq!(
+            matches!(pack_b_auto(&big, 1000), AutoPackedB::Quant(_)),
+            expect_quant
+        );
     }
 
     #[test]

@@ -17,7 +17,11 @@ pub fn f32_to_f16_bits(x: f32) -> u16 {
 
     if exp == 0xFF {
         // Inf or NaN: preserve NaN-ness with a quiet-NaN payload bit.
-        return if man != 0 { sign | 0x7E00 } else { sign | 0x7C00 };
+        return if man != 0 {
+            sign | 0x7E00
+        } else {
+            sign | 0x7C00
+        };
     }
 
     // Unbiased exponent re-biased for f16 (bias 15 vs 127).
@@ -97,7 +101,17 @@ mod tests {
     #[test]
     fn exactly_representable_values_roundtrip() {
         for v in [
-            0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 1024.0, 65504.0, 6.103_515_6e-5, 1.5, 0.25,
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            2.0,
+            1024.0,
+            65504.0,
+            6.103_515_6e-5,
+            1.5,
+            0.25,
         ] {
             assert_eq!(quantize_f16(v), v, "value {v} should be exact in f16");
         }

@@ -13,23 +13,31 @@
 //! - [`sparse`]: the CSR format plus the 75 %-zeros density test used by the
 //!   compressed-transmission design (paper Sec. 4.4),
 //! - [`half`]: IEEE binary16 emulation for the Tensor-Core GEMM path
-//!   (paper Sec. 5.2).
+//!   (paper Sec. 5.2),
+//! - [`quant`]: the limb-split quantized ring GEMM — the paper's
+//!   tensor-core pipeline mapped onto the host's AMX INT8 tile unit, with
+//!   a bit-identical portable fallback.
 
 pub mod conv;
 pub mod gemm;
 pub mod half;
 pub mod matrix;
 pub mod num;
+pub mod quant;
 pub mod sparse;
 
 pub use conv::{conv2d_direct, conv2d_im2col, im2col, ConvShape};
 pub use gemm::{
     gemm_auto, gemm_batch, gemm_blocked, gemm_naive, gemm_packed, gemm_packed_parallel,
-    gemm_packed_sum, gemm_packed_with, gemm_parallel, pack_b, PackedB, MR, NR,
+    gemm_packed_sum, gemm_packed_sum_auto, gemm_packed_with, gemm_parallel, pack_b, pack_b_auto,
+    AutoPackedB, PackedB, MR, NR,
 };
 pub use half::{f16_bits_to_f32, f32_to_f16_bits, quantize_f16};
 pub use matrix::Matrix;
 pub use num::Num;
+pub use quant::{
+    gemm_quant, gemm_quant_sum, gemm_quant_with, pack_b_quant, quant_ring_available, QuantPackedB,
+};
 pub use sparse::{density_of_zeros, Csr};
 
 #[cfg(test)]

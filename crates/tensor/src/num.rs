@@ -46,9 +46,12 @@ pub unsafe trait Num: Copy + PartialEq + Send + Sync + std::fmt::Debug + 'static
     /// over `u64` and whose `add`/`sub`/`mul`/`neg`/`mul_add` are exactly
     /// the wrapping `u64` ring operations. The GEMM kernels use this
     /// promise to route such carriers through the pinned monomorphic
-    /// `u64` micro-kernel (reinterpreting slices in place); a false claim
-    /// is undefined behavior, which is why implementing `Num` at all
-    /// requires `unsafe impl` (see the trait-level safety contract).
+    /// `u64` micro-kernel, and the limb-split quantized kernel
+    /// (`crate::quant`) additionally relies on it to recode the raw bit
+    /// pattern into signed byte planes — both reinterpret slices in
+    /// place, so a false claim is undefined behavior, which is why
+    /// implementing `Num` at all requires `unsafe impl` (see the
+    /// trait-level safety contract).
     const WRAPPING_U64: bool = false;
     /// Number of bytes of the element's wire representation.
     const BYTES: usize;
@@ -202,7 +205,11 @@ mod tests {
 
     #[test]
     fn mul_add_matches_separate_ops_in_ring() {
-        for (x, a, b) in [(3u64, 5, 7), (u64::MAX, u64::MAX, u64::MAX), (1 << 40, 1 << 30, 9)] {
+        for (x, a, b) in [
+            (3u64, 5, 7),
+            (u64::MAX, u64::MAX, u64::MAX),
+            (1 << 40, 1 << 30, 9),
+        ] {
             assert_eq!(Num::mul_add(x, a, b), Num::add(Num::mul(x, a), b));
         }
         assert_eq!(Num::mul_add(2.0f32, 3.0, 4.0), 10.0);

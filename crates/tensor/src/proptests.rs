@@ -4,6 +4,7 @@ use crate::conv::{conv2d_direct, conv2d_im2col, ConvShape};
 use crate::gemm::{gemm_auto, gemm_blocked, gemm_naive, gemm_packed, gemm_parallel};
 use crate::half::quantize_f16;
 use crate::matrix::Matrix;
+use crate::quant;
 use crate::sparse::{density_of_zeros, Csr, MaybeCompressed};
 use proptest::prelude::*;
 
@@ -142,5 +143,41 @@ proptest! {
         let lhs = gemm_blocked(&a, &b).transpose();
         let rhs = gemm_blocked(&b.transpose(), &a.transpose());
         prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Balanced-digit recoding round-trips every u64 mod 2^64.
+    #[test]
+    fn quant_digits_roundtrip(v in any::<u64>()) {
+        prop_assert_eq!(quant::digits_roundtrip_for_tests(v), v);
+    }
+}
+
+proptest! {
+    // The quantized-GEMM identity cases run the scalar tile model, which
+    // is deliberately dumb (it mirrors the hardware per-lane); fewer,
+    // broader cases keep the debug-mode suite fast.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The limb-split quantized GEMM is bit-identical to the reference
+    /// u64 kernel on random shapes and seeds — including non-square
+    /// shapes and K larger than the drain budget (64-byte budget forces a
+    /// drain after every tile step), on both backends wherever AMX is
+    /// available.
+    #[test]
+    fn quant_gemm_matches_reference(
+        (m, k, n) in (1usize..17, 1usize..90, 1usize..17),
+        seed in any::<u64>(),
+    ) {
+        let a = Matrix::from_fn(m, k, |r, c| {
+            seed.wrapping_mul(r as u64 ^ 0x243F_6A88).wrapping_add((c as u64) << 17)
+        });
+        let b = Matrix::from_fn(k, n, |r, c| {
+            seed.rotate_left(29).wrapping_add(r as u64).wrapping_mul((c as u64) | 1)
+        });
+        let oracle = gemm_packed(&a, &b);
+        for result in quant::all_backends_for_tests(&a, &b, 64) {
+            prop_assert_eq!(&result, &oracle);
+        }
+        prop_assert_eq!(&quant::gemm_quant(&a, &b), &oracle);
     }
 }

@@ -141,7 +141,10 @@ impl<T: Num> Csr<T> {
             values.len(),
             "row_ptr does not terminate at nnz"
         );
-        assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]), "row_ptr not monotone");
+        assert!(
+            row_ptr.windows(2).all(|w| w[0] <= w[1]),
+            "row_ptr not monotone"
+        );
         assert!(
             col_idx.iter().all(|&c| (c as usize) < cols),
             "column index out of range"

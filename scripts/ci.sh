@@ -43,3 +43,13 @@ PSML_SMOKE=1 cargo bench --offline -p psml-bench --bench triple_pipeline
 ./target/release/psml validate BENCH_triple.smoke.json
 rm -f BENCH_triple.smoke.json
 ./target/release/psml validate BENCH_triple.json
+
+# GEMM-ladder gate: a smoke run of the gemm bench must complete over both
+# the f32 and u64 ring carriers (it asserts `gemm_auto` is never the
+# slowest kernel at any recorded size, catching dispatcher cutover
+# regressions) and emit a valid psml.bench.gemm.v1 document; the
+# committed full-size measurement must validate too.
+PSML_SMOKE=1 cargo bench --offline -p psml-bench --bench gemm
+./target/release/psml validate BENCH_gemm.smoke.json
+rm -f BENCH_gemm.smoke.json
+./target/release/psml validate BENCH_gemm.json
