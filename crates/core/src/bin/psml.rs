@@ -12,11 +12,22 @@
 //!                                  # measured-cost profile + recalibrations
 //! psml validate <file.json>        # check a psml.*.v1 JSON document
 //! psml models                      # list models/datasets
+//! psml server0 --listen HOST:PORT --state-dir DIR [--run-id N]
+//! psml server1 --listen HOST:PORT --state-dir DIR [--run-id N]
+//! psml client  --server0 HOST:PORT --server1 HOST:PORT --state-dir DIR
+//!              --model mlp --dataset synthetic [--batch N] [--batches N]
+//!              [--epochs N] [--seed N] [--run-id N]
+//!                                  # distributed session: one process per
+//!                                  # party over supervised TCP, with
+//!                                  # epoch checkpoints and crash recovery
 //! ```
 
 use parsecureml::observe::{profile_json, traced, validate_document};
 use parsecureml::prelude::*;
+use parsecureml::{run_client, run_server, SessionConfig, TrainPlan};
+use std::net::SocketAddr;
 use std::process::exit;
+use std::time::Duration;
 
 struct Args {
     cmd: String,
@@ -33,15 +44,28 @@ struct Args {
     out: Option<String>,
     json_out: Option<String>,
     files: Vec<String>,
+    // Distributed-session flags.
+    run_id: u64,
+    listen: Option<String>,
+    server0: Option<String>,
+    server1: Option<String>,
+    state_dir: Option<String>,
+    heartbeat_ms: Option<u64>,
+    liveness_ms: Option<u64>,
+    deadline_ms: Option<u64>,
+    max_reconnects: Option<u32>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: psml <train|infer|bench|trace|profile|validate|models> \
+        "usage: psml <train|infer|bench|trace|profile|validate|models|client|server0|server1> \
          --model <cnn|mlp|rnn|linear|logistic|svm> \
          --dataset <mnist|vggface2|nist|cifar10|synthetic> [--batch N] [--batches N] \
          [--epochs N] [--seed N] [--secureml] [--no-pipeline] [--no-compression] \
-         [--client-aided] [--out FILE] [--json FILE]"
+         [--client-aided] [--out FILE] [--json FILE] \
+         [--run-id N] [--listen ADDR] [--server0 ADDR] [--server1 ADDR] \
+         [--state-dir DIR] [--heartbeat-ms N] [--liveness-ms N] [--deadline-ms N] \
+         [--max-reconnects N]"
     );
     exit(2);
 }
@@ -87,6 +111,15 @@ fn parse_args() -> Args {
         out: None,
         json_out: None,
         files: Vec::new(),
+        run_id: 1,
+        listen: None,
+        server0: None,
+        server1: None,
+        state_dir: None,
+        heartbeat_ms: None,
+        liveness_ms: None,
+        deadline_ms: None,
+        max_reconnects: None,
     };
     let next_usize = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
         argv.next()
@@ -122,6 +155,23 @@ fn parse_args() -> Args {
             "--client-aided" => args.client_aided = true,
             "--out" => args.out = Some(argv.next().unwrap_or_else(|| usage())),
             "--json" => args.json_out = Some(argv.next().unwrap_or_else(|| usage())),
+            "--run-id" => args.run_id = next_usize(&mut argv, "--run-id") as u64,
+            "--listen" => args.listen = Some(argv.next().unwrap_or_else(|| usage())),
+            "--server0" => args.server0 = Some(argv.next().unwrap_or_else(|| usage())),
+            "--server1" => args.server1 = Some(argv.next().unwrap_or_else(|| usage())),
+            "--state-dir" => args.state_dir = Some(argv.next().unwrap_or_else(|| usage())),
+            "--heartbeat-ms" => {
+                args.heartbeat_ms = Some(next_usize(&mut argv, "--heartbeat-ms") as u64)
+            }
+            "--liveness-ms" => {
+                args.liveness_ms = Some(next_usize(&mut argv, "--liveness-ms") as u64)
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(next_usize(&mut argv, "--deadline-ms") as u64)
+            }
+            "--max-reconnects" => {
+                args.max_reconnects = Some(next_usize(&mut argv, "--max-reconnects") as u32)
+            }
             other if !other.starts_with('-') => args.files.push(other.to_string()),
             other => {
                 eprintln!("unknown flag '{other}'");
@@ -185,6 +235,72 @@ fn spec_of(args: &Args) -> ModelSpec {
     })
 }
 
+fn parse_addr(flag: &str, value: Option<&String>) -> SocketAddr {
+    let Some(v) = value else {
+        eprintln!("missing {flag} ADDR");
+        usage()
+    };
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("invalid address for {flag}: '{v}'");
+        usage()
+    })
+}
+
+/// Builds the supervision config for a session party, applying the
+/// optional timing overrides.
+fn session_config(args: &Args, party: NodeId) -> SessionConfig {
+    let Some(dir) = args.state_dir.as_deref() else {
+        eprintln!("missing --state-dir DIR");
+        usage()
+    };
+    let mut cfg = SessionConfig::for_party(args.run_id, party, dir);
+    if let Some(ms) = args.heartbeat_ms {
+        cfg.supervisor.heartbeat = Duration::from_millis(ms);
+    }
+    if let Some(ms) = args.liveness_ms {
+        cfg.supervisor.liveness = Duration::from_millis(ms);
+    }
+    if let Some(ms) = args.deadline_ms {
+        cfg.supervisor.deadline = Duration::from_millis(ms);
+    }
+    if let Some(n) = args.max_reconnects {
+        cfg.supervisor.max_reconnects = n;
+    }
+    cfg
+}
+
+fn run_session(args: &Args, party: NodeId) -> ! {
+    let mut cfg = session_config(args, party);
+    let outcome = if party == NodeId::Client {
+        cfg.supervisor.dial = vec![
+            (NodeId::Server0, parse_addr("--server0", args.server0.as_ref())),
+            (NodeId::Server1, parse_addr("--server1", args.server1.as_ref())),
+        ];
+        let plan = TrainPlan {
+            model: args.model,
+            dataset: args.dataset,
+            batch: args.batch,
+            batches: args.batches,
+            epochs: args.epochs,
+            seed: args.seed,
+        };
+        run_client(&cfg, &plan)
+    } else {
+        cfg.supervisor.listen = Some(parse_addr("--listen", args.listen.as_ref()));
+        run_server(&cfg)
+    };
+    match outcome {
+        Ok(o) => {
+            println!("{}", o.to_json());
+            exit(0);
+        }
+        Err(e) => {
+            eprintln!("session: {e}");
+            exit(1);
+        }
+    }
+}
+
 fn print_report(r: &RunReport) {
     println!("  offline time     : {}", r.offline_time);
     println!("  online time      : {}", r.online_time);
@@ -240,6 +356,10 @@ fn main() {
                 println!("  epoch {e}: mean loss {loss:.5}");
             }
             println!("  accuracy (train) : {:.1}%", result.accuracy * 100.0);
+            println!(
+                "  weights digest   : {:016x}",
+                parsecureml::weights_digest(&trainer.reveal_weights())
+            );
             print_report(&result.report);
         }
         "infer" => {
@@ -345,6 +465,9 @@ fn main() {
             println!("online speedup  : {:.1}x", fast.online_speedup_over(&slow));
             println!("offline speedup : {:.1}x", fast.offline_speedup_over(&slow));
         }
+        "client" => run_session(&args, NodeId::Client),
+        "server0" => run_session(&args, NodeId::Server0),
+        "server1" => run_session(&args, NodeId::Server1),
         _ => usage(),
     }
 }

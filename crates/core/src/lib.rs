@@ -43,6 +43,7 @@ pub mod models;
 pub mod observe;
 pub mod provider;
 pub mod report;
+pub mod session;
 pub mod trainer;
 
 pub use adaptive::{AdaptiveEngine, Placement, RecalEvent, Recalibrator};
@@ -53,6 +54,10 @@ pub use layers::{Activation, LayerSpec};
 pub use models::{ModelKind, ModelSpec};
 pub use provider::TripleProvider;
 pub use report::{PhaseBreakdown, RunReport};
+pub use session::{
+    fnv64, generation_seed, run_client, run_server, weights_digest, SessionConfig,
+    SessionOutcome, TrainPlan,
+};
 pub use trainer::{InferenceResult, SecureTrainer, TrainResult, TrainerCheckpoint};
 
 // Fault-injection / reliability vocabulary (configured via
@@ -61,6 +66,12 @@ pub use trainer::{InferenceResult, SecureTrainer, TrainResult, TrainerCheckpoint
 pub use psml_net::{
     Blackout, FaultCounters, FaultPlan, LinkFaults, NetError, NodeId, ReliabilityStats,
     RetryPolicy,
+};
+
+// Process-per-party transport vocabulary: connection supervision, the
+// TCP transport, and the chaos proxy the distributed-session tests drive.
+pub use psml_net::{
+    FaultProxy, ProxyConfig, SupervisionStats, Supervisor, SupervisorConfig, TcpTransport,
 };
 
 // Simulated-GPU vocabulary surfaced so applications need not depend on

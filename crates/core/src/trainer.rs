@@ -544,6 +544,33 @@ impl<R: SecureRing + GpuElement> SecureTrainer<R> {
         epochs: usize,
         seed: u32,
     ) -> Result<TrainResult> {
+        self.train_epochs_from(dataset, batch_size, batches, 0, epochs, seed, |_, _| Ok(()))
+    }
+
+    /// [`SecureTrainer::train_epochs`] with an explicit starting epoch and
+    /// a per-epoch observer — the hook the distributed session layer uses
+    /// to commit checkpoints across parties.
+    ///
+    /// Runs epochs `start_epoch..epochs` (resume by restoring a
+    /// checkpoint first, then passing its epoch here). The observer fires
+    /// at every epoch boundary, *after* `last_checkpoint` is updated,
+    /// with the fresh checkpoint and that epoch's mean loss; an `Err`
+    /// from it aborts training immediately and propagates (the session
+    /// layer uses this to signal a cross-party rollback). Inputs are
+    /// shared exactly once per *call* — callers must run a whole
+    /// resumed span in one call, not once per epoch, or the input-share
+    /// RNG draws diverge from an uninterrupted run.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_epochs_from(
+        &mut self,
+        dataset: DatasetKind,
+        batch_size: usize,
+        batches: usize,
+        start_epoch: usize,
+        epochs: usize,
+        seed: u32,
+        mut observer: impl FnMut(&TrainerCheckpoint, f64) -> Result<()>,
+    ) -> Result<TrainResult> {
         // Offline: share all inputs once.
         let mut shared = Vec::with_capacity(batches);
         for b in 0..batches {
@@ -557,14 +584,17 @@ impl<R: SecureRing + GpuElement> SecureTrainer<R> {
         // epoch boundary so a mid-epoch network failure (typed
         // `EngineError::Net`) loses at most one epoch of work — the
         // caller resumes from `last_checkpoint` on a fresh trainer.
-        let mut losses = Vec::with_capacity(epochs);
-        for e in 0..epochs {
+        let mut losses = Vec::with_capacity(epochs.saturating_sub(start_epoch));
+        for e in start_epoch..epochs {
             let mut epoch_loss = 0.0;
             for (xs, ys, y, _) in &shared {
                 epoch_loss += self.train_on_shared(&xs.clone(), &ys.clone(), y)?;
             }
-            losses.push(epoch_loss / batches.max(1) as f64);
+            let mean_loss = epoch_loss / batches.max(1) as f64;
+            losses.push(mean_loss);
             self.last_checkpoint = Some(self.checkpoint(e + 1));
+            let ckpt = self.last_checkpoint.as_ref().expect("just set");
+            observer(ckpt, mean_loss)?;
         }
         let (_, _, y_last, x_last) = shared.last().expect("at least one batch");
         let out = self.infer_batch(x_last)?;

@@ -136,6 +136,20 @@ pub const DETERMINISM_MODULES: &[&str] = &[
     "simtime::*",
 ];
 
+/// Carve-outs from [`DETERMINISM_MODULES`]: modules that govern *real*
+/// sockets between party processes, where the wall clock is the ground
+/// truth (heartbeat liveness deadlines, reconnect backoff, socket
+/// timeouts). Everything protocol-visible they carry — frame bytes,
+/// sequence numbers, fault verdicts — stays deterministic; only their
+/// timing lives outside the simulated-time domain. Scoped narrowly on
+/// purpose: a new net-sim module is covered by the rule until it earns
+/// a listing here.
+pub const DETERMINISM_EXEMPT_MODULES: &[&str] = &[
+    "net-sim::supervise",
+    "net-sim::tcp",
+    "net-sim::proxy",
+];
+
 /// Wall-clock types forbidden in [`DETERMINISM_MODULES`].
 pub const WALL_CLOCK_IDENTS: &[&str] = &["Instant", "SystemTime"];
 

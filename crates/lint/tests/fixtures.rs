@@ -103,7 +103,7 @@ fn every_fixture_matches_its_expectations_exactly() {
         .collect();
     entries.sort();
     assert!(
-        entries.len() >= RuleId::ALL.len() + 1,
+        entries.len() > RuleId::ALL.len(),
         "expected one fixture per rule plus clean.rs, found {}",
         entries.len()
     );

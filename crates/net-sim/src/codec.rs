@@ -295,6 +295,159 @@ pub fn decode<R: Num>(buf: impl AsRef<[u8]>) -> Result<Payload<R>, CodecError> {
     }
 }
 
+// ------------------------------------------------------ stream framing --
+//
+// Byte-stream transports (TCP) do not preserve frame boundaries: a read
+// may return half a frame, three frames, or a tail cut mid-header. The
+// stream layer wraps each in-memory frame in a length-delimited record
+// whose magic *leads*, so a receiver that lands mid-record can scan
+// forward to the next `PSML` marker and resynchronize instead of
+// declaring the whole stream corrupt:
+//
+// ```text
+// Stream record: magic "PSML" (4) | len:u32 (4) | seq:u64 | crc32 | payload
+//                                                `-------- len bytes -------'
+// ```
+//
+// The record body after `len` is byte-identical to the in-memory frame
+// minus its magic, so CRC coverage (seq || payload) is unchanged and
+// wire-byte accounting for the simulated substrate is untouched.
+
+/// Stream record header size: magic (4) + length (4).
+pub const STREAM_HEADER_BYTES: usize = 8;
+
+/// Upper bound on a stream record body. A corrupted length field must not
+/// make the decoder buffer unbounded garbage waiting for a frame that
+/// never completes; anything larger is treated as line noise and skipped.
+pub const MAX_STREAM_FRAME_BYTES: usize = 1 << 28;
+
+/// Minimum record body: seq (8) + crc (4) with an empty payload.
+const MIN_STREAM_BODY: usize = 12;
+
+/// Wraps encoded payload bytes in a length-delimited stream record.
+pub fn encode_stream_frame(seq: u64, payload: &[u8]) -> Vec<u8> {
+    let frame = encode_frame(seq, payload);
+    let body = &frame[FRAME_MAGIC.len()..];
+    let mut rec = Vec::with_capacity(STREAM_HEADER_BYTES + body.len());
+    rec.extend_from_slice(&FRAME_MAGIC);
+    rec.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    rec.extend_from_slice(body);
+    rec
+}
+
+/// Incremental decoder for a byte stream of [`encode_stream_frame`]
+/// records. Feed arbitrary chunks with [`StreamDecoder::push`] and drain
+/// complete frames with [`StreamDecoder::next_frame`].
+///
+/// Recovery semantics:
+/// - bytes that are not part of a well-formed record (torn tails after a
+///   reconnect, line noise, a record whose length field was damaged) are
+///   skipped by scanning forward to the next magic, counted in
+///   [`StreamDecoder::skipped_bytes`];
+/// - a well-delimited record whose CRC fails is consumed and surfaced as
+///   a recoverable [`CodecError::Checksum`] — the *next* record decodes
+///   normally, so one corrupt frame never poisons the stream.
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    buf: Vec<u8>,
+    /// Number of resynchronization events (forward scans that skipped data).
+    resyncs: u64,
+    /// Total bytes discarded while scanning for magic.
+    skipped_bytes: u64,
+}
+
+impl StreamDecoder {
+    /// Fresh decoder with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes read from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Times the decoder lost alignment and had to scan for magic.
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
+    }
+
+    /// Bytes discarded across all resynchronizations.
+    pub fn skipped_bytes(&self) -> u64 {
+        self.skipped_bytes
+    }
+
+    /// Bytes currently buffered awaiting a complete record.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Drops buffered bytes up to the next occurrence of [`FRAME_MAGIC`],
+    /// keeping any trailing partial-magic prefix. Returns true if the
+    /// buffer now starts with a full magic.
+    fn scan_to_magic(&mut self) -> bool {
+        let mut skipped = 0usize;
+        let aligned = loop {
+            let n = self.buf.len().saturating_sub(skipped);
+            if n >= FRAME_MAGIC.len() {
+                if self.buf[skipped..skipped + 4] == FRAME_MAGIC {
+                    break true;
+                }
+                skipped += 1;
+            } else {
+                // Keep a suffix that could be the start of a magic split
+                // across reads; drop everything that provably is not.
+                let tail = &self.buf[skipped..];
+                if FRAME_MAGIC.starts_with(tail) {
+                    break false;
+                }
+                skipped += 1;
+            }
+        };
+        if skipped > 0 {
+            self.buf.drain(..skipped);
+            self.resyncs += 1;
+            self.skipped_bytes += skipped as u64;
+        }
+        aligned
+    }
+
+    /// Returns the next complete frame: `Some(Ok((seq, payload)))` for a
+    /// verified frame, `Some(Err(_))` for a delimited-but-damaged frame
+    /// (consumed; keep calling), or `None` when more bytes are needed.
+    pub fn next_frame(&mut self) -> Option<Result<(u64, Vec<u8>), CodecError>> {
+        loop {
+            if !self.scan_to_magic() {
+                return None;
+            }
+            if self.buf.len() < STREAM_HEADER_BYTES {
+                return None;
+            }
+            let len = u32::from_le_bytes(self.buf[4..8].try_into().expect("4 bytes")) as usize;
+            if !(MIN_STREAM_BODY..=MAX_STREAM_FRAME_BYTES).contains(&len) {
+                // Implausible length: the header itself is damaged, so the
+                // record is not trustworthy as a delimiter. Skip one byte
+                // and rescan for the next magic.
+                self.buf.drain(..1);
+                self.resyncs += 1;
+                self.skipped_bytes += 1;
+                continue;
+            }
+            if self.buf.len() < STREAM_HEADER_BYTES + len {
+                return None;
+            }
+            let mut frame = Vec::with_capacity(FRAME_MAGIC.len() + len);
+            frame.extend_from_slice(&FRAME_MAGIC);
+            frame.extend_from_slice(&self.buf[STREAM_HEADER_BYTES..STREAM_HEADER_BYTES + len]);
+            self.buf.drain(..STREAM_HEADER_BYTES + len);
+            return match decode_frame(&frame) {
+                Ok((seq, payload)) => Some(Ok((seq, payload.to_vec()))),
+                Err(e) => Some(Err(e)),
+            };
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,5 +575,92 @@ mod tests {
         let (seq, body) = decode_frame(&frame).unwrap();
         assert_eq!(seq, u64::MAX);
         assert!(body.is_empty());
+    }
+
+    #[test]
+    fn stream_roundtrip_across_arbitrary_chunk_sizes() {
+        let payloads: Vec<Vec<u8>> = (0..5u64)
+            .map(|i| encode(&Payload::<f32>::Control(format!("msg:{i}"))))
+            .collect();
+        let mut wire = Vec::new();
+        for (i, p) in payloads.iter().enumerate() {
+            wire.extend_from_slice(&encode_stream_frame(i as u64, p));
+        }
+        for chunk in [1usize, 3, 7, wire.len()] {
+            let mut dec = StreamDecoder::new();
+            let mut got = Vec::new();
+            for piece in wire.chunks(chunk) {
+                dec.push(piece);
+                while let Some(f) = dec.next_frame() {
+                    got.push(f.unwrap());
+                }
+            }
+            assert_eq!(got.len(), payloads.len(), "chunk size {chunk}");
+            for (i, (seq, body)) in got.iter().enumerate() {
+                assert_eq!(*seq, i as u64);
+                assert_eq!(body, &payloads[i]);
+            }
+            assert_eq!(dec.resyncs(), 0);
+            assert_eq!(dec.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn stream_resynchronizes_after_torn_prefix() {
+        // A receiver that attaches mid-stream sees the tail of one record
+        // followed by complete ones; it must skip to the next magic.
+        let a = encode_stream_frame(1, b"first");
+        let b = encode_stream_frame(2, b"second");
+        let mut dec = StreamDecoder::new();
+        dec.push(&a[5..]); // torn: magic lost, tail is garbage
+        dec.push(&b);
+        let (seq, body) = dec.next_frame().unwrap().unwrap();
+        assert_eq!((seq, body.as_slice()), (2, &b"second"[..]));
+        assert!(dec.resyncs() >= 1);
+        assert_eq!(dec.skipped_bytes() as usize, a.len() - 5);
+        assert!(dec.next_frame().is_none());
+    }
+
+    #[test]
+    fn stream_corrupt_record_is_recoverable() {
+        let a = encode_stream_frame(1, b"alpha");
+        let b = encode_stream_frame(2, b"beta");
+        let mut wire = a.clone();
+        let last = wire.len() - 1;
+        wire[last] ^= 0x40; // damage alpha's payload, delimitation intact
+        wire.extend_from_slice(&b);
+        let mut dec = StreamDecoder::new();
+        dec.push(&wire);
+        assert_eq!(
+            dec.next_frame().unwrap().unwrap_err(),
+            CodecError::Checksum { seq: 1 }
+        );
+        let (seq, body) = dec.next_frame().unwrap().unwrap();
+        assert_eq!((seq, body.as_slice()), (2, &b"beta"[..]));
+    }
+
+    #[test]
+    fn stream_implausible_length_is_skipped() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&FRAME_MAGIC);
+        wire.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd length
+        wire.extend_from_slice(&encode_stream_frame(9, b"ok"));
+        let mut dec = StreamDecoder::new();
+        dec.push(&wire);
+        let (seq, body) = dec.next_frame().unwrap().unwrap();
+        assert_eq!((seq, body.as_slice()), (9, &b"ok"[..]));
+        assert!(dec.resyncs() >= 1);
+    }
+
+    #[test]
+    fn stream_partial_magic_tail_is_retained() {
+        let rec = encode_stream_frame(3, b"tail");
+        let mut dec = StreamDecoder::new();
+        dec.push(b"junk");
+        dec.push(&rec[..2]); // "PS"
+        assert!(dec.next_frame().is_none());
+        dec.push(&rec[2..]);
+        let (seq, body) = dec.next_frame().unwrap().unwrap();
+        assert_eq!((seq, body.as_slice()), (3, &b"tail"[..]));
     }
 }

@@ -4,8 +4,8 @@ use crate::codec::{self, CodecError};
 use crate::fault::{FaultCounters, FaultInjector, FaultPlan, FaultVerdict};
 use crate::message::{NodeId, Packet, Payload};
 use crate::stats::TrafficStats;
+use crate::transport::{channel_mesh, ChannelTransport, Transport, TransportFrame};
 use psml_simtime::{LinkModel, SimTime};
-use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use psml_tensor::Num;
 
 /// Communication failures.
@@ -31,6 +31,15 @@ pub enum NetError {
         /// (0 for a bare [`Endpoint::recv_deadline`] expiry).
         retries: u32,
     },
+    /// The supervision layer exhausted its reconnect budget: the peer
+    /// stayed unreachable past every heartbeat deadline and redial
+    /// attempt. Terminal — the session must fail over or abort.
+    PeerDead {
+        /// The unreachable peer.
+        peer: NodeId,
+        /// Reconnect attempts spent before giving up.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for NetError {
@@ -44,6 +53,9 @@ impl std::fmt::Display for NetError {
             }
             NetError::Timeout { after, retries } => {
                 write!(f, "no frame arrived by t={after} after {retries} retries")
+            }
+            NetError::PeerDead { peer, attempts } => {
+                write!(f, "peer {peer:?} unreachable after {attempts} reconnect attempts")
             }
         }
     }
@@ -62,27 +74,21 @@ impl From<CodecError> for NetError {
     }
 }
 
-/// The serialized form actually carried between endpoints: a checksummed
-/// frame ([`codec::encode_frame`]) plus simulation metadata.
-struct WireFrame {
-    from: NodeId,
-    bytes: Vec<u8>,
-    dense_equivalent: usize,
-    available_at: SimTime,
-}
-
 /// One node's network interface.
 ///
 /// Holds a serial NIC (sends to any peer queue behind each other, like a
 /// single MPI progress engine), a [`LinkModel`] for transfer timing, and
-/// per-link [`TrafficStats`]. Endpoints are `Send`, so the three parties
-/// can run on one thread (deterministic lock-step) or three.
-pub struct Endpoint<R: Num> {
+/// per-link [`TrafficStats`]. The actual byte movement is delegated to a
+/// [`Transport`]; the default [`ChannelTransport`] is the in-process
+/// lock-step mesh, [`crate::tcp::TcpTransport`] carries the same frames
+/// between party processes. Endpoints are `Send`, so the three parties
+/// can run on one thread (deterministic lock-step), three threads, or
+/// three processes.
+pub struct Endpoint<R: Num, T: Transport = ChannelTransport> {
     id: NodeId,
     link: LinkModel,
     nic_free_at: SimTime,
-    tx: [Option<Sender<WireFrame>>; 3],
-    rx: [Option<Receiver<WireFrame>>; 3],
+    transport: T,
     stats: TrafficStats,
     /// Send-side chaos engine; `None` keeps the zero-overhead fast path.
     faults: Option<FaultInjector>,
@@ -91,34 +97,45 @@ pub struct Endpoint<R: Num> {
     _marker: std::marker::PhantomData<fn() -> R>,
 }
 
-/// Builds the fully connected three-node network; returns
+/// Builds the fully connected three-node in-process network; returns
 /// `[client, server0, server1]`.
 pub fn build_network<R: Num>(link: LinkModel) -> [Endpoint<R>; 3] {
-    let mut endpoints: [Endpoint<R>; 3] = NodeId::ALL.map(|id| Endpoint {
-        id,
-        link,
-        nic_free_at: SimTime::ZERO,
-        tx: [None, None, None],
-        rx: [None, None, None],
-        stats: TrafficStats::new(),
-        faults: None,
-        next_seq: 0,
-        _marker: std::marker::PhantomData,
-    });
-    for from in 0..3 {
-        for to in 0..3 {
-            if from == to {
-                continue;
-            }
-            let (s, r) = channel();
-            endpoints[from].tx[to] = Some(s);
-            endpoints[to].rx[from] = Some(r);
-        }
-    }
-    endpoints
+    let mesh = channel_mesh();
+    let mut ids = NodeId::ALL.iter();
+    mesh.map(|transport| {
+        Endpoint::with_transport(*ids.next().expect("three ids"), link, transport)
+    })
 }
 
-impl<R: Num> Endpoint<R> {
+impl<R: Num, T: Transport> Endpoint<R, T> {
+    /// Wraps an arbitrary transport in a full endpoint (framing, sequence
+    /// numbers, stats, NIC timing). This is how party processes build
+    /// their TCP endpoints; the in-process mesh goes through
+    /// [`build_network`].
+    pub fn with_transport(id: NodeId, link: LinkModel, transport: T) -> Self {
+        Endpoint {
+            id,
+            link,
+            nic_free_at: SimTime::ZERO,
+            transport,
+            stats: TrafficStats::new(),
+            faults: None,
+            next_seq: 0,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Shared access to the underlying transport.
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Exclusive access to the underlying transport (e.g. to drive its
+    /// supervision state between protocol steps).
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
     /// This endpoint's node id.
     pub fn id(&self) -> NodeId {
         self.id
@@ -215,17 +232,12 @@ impl<R: Num> Endpoint<R> {
                 }
             }
         }
-        let frame = WireFrame {
-            from: self.id,
+        let frame = TransportFrame {
             bytes,
             dense_equivalent,
             available_at,
         };
-        self.tx[to.index()]
-            .as_ref()
-            .expect("route exists for distinct nodes")
-            .send(frame)
-            .map_err(|_| NetError::Disconnected(to))?;
+        self.transport.send(to, frame)?;
         Ok(done)
     }
 
@@ -275,13 +287,13 @@ impl<R: Num> Endpoint<R> {
     }
 
     /// Verifies and decodes one wire frame into a packet.
-    fn unpack(frame: WireFrame) -> Result<Packet<R>, NetError> {
+    fn unpack(from: NodeId, frame: TransportFrame) -> Result<Packet<R>, NetError> {
         let wire_bytes = frame.bytes.len();
         let (seq, body) = codec::decode_frame(&frame.bytes)?;
         let payload = codec::decode::<R>(body)?;
         let _ = frame.dense_equivalent;
         Ok(Packet {
-            from: frame.from,
+            from,
             payload,
             seq,
             available_at: frame.available_at,
@@ -293,25 +305,20 @@ impl<R: Num> Endpoint<R> {
     /// packet. The caller advances its clock to
     /// `max(now, packet.available_at)`.
     ///
-    /// This form can wait forever on a silent peer — never use it on a
-    /// fault-enabled link; use [`Endpoint::recv_deadline`] there.
+    /// On the in-process mesh this can wait forever on a silent peer —
+    /// never use it on a fault-enabled link; use
+    /// [`Endpoint::recv_deadline`] there. Supervised transports bound the
+    /// wait themselves and surface [`NetError::PeerDead`].
     pub fn recv(&mut self, from: NodeId) -> Result<Packet<R>, NetError> {
-        let rx = self.rx[from.index()]
-            .as_ref()
-            .ok_or(NetError::SelfSend)?;
-        let frame = rx.recv().map_err(|_| NetError::Disconnected(from))?;
-        Self::unpack(frame)
+        let frame = self.transport.recv(from)?;
+        Self::unpack(from, frame)
     }
 
     /// Non-blocking receive; `Ok(None)` when no message is waiting.
     pub fn try_recv(&mut self, from: NodeId) -> Result<Option<Packet<R>>, NetError> {
-        let rx = self.rx[from.index()]
-            .as_ref()
-            .ok_or(NetError::SelfSend)?;
-        match rx.try_recv() {
-            Ok(frame) => Self::unpack(frame).map(Some),
-            Err(TryRecvError::Empty) => Ok(None),
-            Err(TryRecvError::Disconnected) => Err(NetError::Disconnected(from)),
+        match self.transport.try_recv(from)? {
+            Some(frame) => Self::unpack(from, frame).map(Some),
+            None => Ok(None),
         }
     }
 
@@ -335,20 +342,16 @@ impl<R: Num> Endpoint<R> {
         from: NodeId,
         deadline: SimTime,
     ) -> Result<Packet<R>, NetError> {
-        let rx = self.rx[from.index()]
-            .as_ref()
-            .ok_or(NetError::SelfSend)?;
-        match rx.try_recv() {
-            Ok(frame) if frame.available_at <= deadline => Self::unpack(frame),
+        match self.transport.try_recv(from)? {
+            Some(frame) if frame.available_at <= deadline => Self::unpack(from, frame),
             // Late frame: sends on one link have monotone completion times
             // (serial NIC), so everything behind it is later still — drop
             // it and report the deadline expired; the retransmit carries
             // the same bytes.
-            Ok(_) | Err(TryRecvError::Empty) => Err(NetError::Timeout {
+            Some(_) | None => Err(NetError::Timeout {
                 after: deadline,
                 retries: 0,
             }),
-            Err(TryRecvError::Disconnected) => Err(NetError::Disconnected(from)),
         }
     }
 }

@@ -34,15 +34,23 @@ pub mod compress;
 pub mod endpoint;
 pub mod fault;
 pub mod message;
+pub mod proxy;
 pub mod reliable;
 pub mod stats;
+pub mod supervise;
+pub mod tcp;
+pub mod transport;
 
 pub use compress::{DeltaDecoder, DeltaEncoder, TransmitForm};
 pub use endpoint::{build_network, Endpoint, NetError};
 pub use fault::{Blackout, FaultCounters, FaultInjector, FaultPlan, FaultVerdict, LinkFaults};
 pub use message::{NodeId, Packet, Payload};
+pub use proxy::{FaultProxy, ProxyConfig};
 pub use reliable::{ReliabilityStats, ReliableChannel, RetryPolicy};
 pub use stats::TrafficStats;
+pub use supervise::{SupervisionStats, Supervisor, SupervisorConfig};
+pub use tcp::TcpTransport;
+pub use transport::{channel_mesh, ChannelTransport, Transport, TransportFrame};
 
 #[cfg(test)]
 mod proptests;

@@ -1,0 +1,467 @@
+//! Deterministic TCP-level fault proxy — the chaos harness.
+//!
+//! A [`FaultProxy`] sits between a dialing party and a listening party,
+//! forwarding bytes in both directions on a background thread. The
+//! client→upstream direction is *frame-aware*: it reassembles stream
+//! records with [`StreamDecoder`] and asks a seeded [`FaultInjector`]
+//! (the same engine behind the in-process chaos of [`crate::fault`])
+//! for a verdict per record:
+//!
+//! - `Deliver` — forward the record verbatim;
+//! - `Drop` — swallow the record (the supervision journal replays it);
+//! - `Corrupt` — flip a bit in the record body, exercising the CRC path
+//!   end to end over real sockets;
+//! - `Delay` — stall the forwarding thread, exercising heartbeat
+//!   liveness deadlines.
+//!
+//! Two connection-level faults compose on top: `sever_after` cuts both
+//! sockets after N forwarded records (once — the next dial through the
+//! proxy succeeds, so reconnect-and-replay is testable end to end), and
+//! `stall_after` stops forwarding without closing anything, which only
+//! the liveness prober can detect.
+//!
+//! Determinism: the verdict sequence is a pure function of the
+//! [`FaultPlan`] seed and the record index, exactly like the in-process
+//! injector — `PSML_FAULT_SEED=k` reproduces the same chaos schedule on
+//! every run. (Thread scheduling affects wall-clock timing, never the
+//! verdict sequence.) The module touches the wall clock only through
+//! socket timeouts and is exempted from psml-lint's determinism rule
+//! via `DETERMINISM_EXEMPT_MODULES`.
+
+use crate::codec::{encode_stream_frame, StreamDecoder, STREAM_HEADER_BYTES};
+use crate::fault::{FaultInjector, FaultPlan, FaultVerdict};
+use crate::message::NodeId;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What the proxy does to the traffic it carries.
+#[derive(Clone, Debug)]
+pub struct ProxyConfig {
+    /// Address the dialing party connects to (bind port 0 and read it
+    /// back with [`FaultProxy::local_addr`]).
+    pub listen: SocketAddr,
+    /// The real listener the proxy forwards to.
+    pub upstream: SocketAddr,
+    /// Seeded per-record fault schedule.
+    pub plan: FaultPlan,
+    /// Link identity the injector judges verdicts for.
+    pub from: NodeId,
+    /// Link identity the injector judges verdicts for.
+    pub to: NodeId,
+    /// Cut both sockets after this many forwarded records (once).
+    pub sever_after: Option<u64>,
+    /// Stop forwarding (without closing) after this many records.
+    pub stall_after: Option<u64>,
+}
+
+impl ProxyConfig {
+    /// A pass-through proxy between `listen` and `upstream`.
+    pub fn passthrough(listen: SocketAddr, upstream: SocketAddr) -> Self {
+        ProxyConfig {
+            listen,
+            upstream,
+            plan: FaultPlan::none(),
+            from: NodeId::Client,
+            to: NodeId::Server0,
+            sever_after: None,
+            stall_after: None,
+        }
+    }
+}
+
+/// Counters mirrored out of the proxy thread.
+#[derive(Debug, Default)]
+struct ProxyCounters {
+    records: AtomicU64,
+    dropped: AtomicU64,
+    corrupted: AtomicU64,
+    delayed: AtomicU64,
+    severed: AtomicU64,
+}
+
+/// A running fault proxy; dropping it stops the thread and closes the
+/// listener.
+pub struct FaultProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    counters: Arc<ProxyCounters>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Binds the proxy listener and spawns the forwarding thread.
+    pub fn spawn(cfg: ProxyConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(cfg.listen)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(ProxyCounters::default());
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let counters = Arc::clone(&counters);
+            Some(std::thread::spawn(move || {
+                run_proxy(listener, cfg, &stop, &counters);
+            }))
+        };
+        Ok(FaultProxy {
+            addr,
+            stop,
+            counters,
+            thread,
+        })
+    }
+
+    /// The address parties should dial (resolves port 0 binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Records forwarded or judged so far.
+    pub fn records(&self) -> u64 {
+        self.counters.records.load(Ordering::Relaxed)
+    }
+
+    /// Records swallowed by `Drop` verdicts.
+    pub fn dropped(&self) -> u64 {
+        self.counters.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Records damaged by `Corrupt` verdicts.
+    pub fn corrupted(&self) -> u64 {
+        self.counters.corrupted.load(Ordering::Relaxed)
+    }
+
+    /// Records held back by `Delay` verdicts.
+    pub fn delayed(&self) -> u64 {
+        self.counters.delayed.load(Ordering::Relaxed)
+    }
+
+    /// Link severs performed (0 or 1).
+    pub fn severed(&self) -> u64 {
+        self.counters.severed.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Accept loop: one proxied connection at a time (the supervision layer
+/// keeps exactly one live connection per link; a redial replaces it).
+fn run_proxy(
+    listener: TcpListener,
+    cfg: ProxyConfig,
+    stop: &AtomicBool,
+    counters: &ProxyCounters,
+) {
+    let mut injector = FaultInjector::new(cfg.plan.clone(), 0);
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((downstream, _)) => {
+                let upstream = match TcpStream::connect_timeout(
+                    &cfg.upstream,
+                    Duration::from_millis(500),
+                ) {
+                    Ok(s) => s,
+                    Err(_) => continue,
+                };
+                forward_connection(
+                    downstream, upstream, &cfg, &mut injector, stop, counters,
+                );
+            }
+            Err(ref e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Forwards one downstream↔upstream pair until either side closes, a
+/// sever fires, or the proxy is stopped. The reverse (upstream→
+/// downstream) direction runs verbatim on a helper thread; the forward
+/// direction is frame-judged here.
+fn forward_connection(
+    mut downstream: TcpStream,
+    mut upstream: TcpStream,
+    cfg: &ProxyConfig,
+    injector: &mut FaultInjector,
+    stop: &AtomicBool,
+    counters: &ProxyCounters,
+) {
+    downstream.set_nodelay(true).ok();
+    upstream.set_nodelay(true).ok();
+    if downstream
+        .set_read_timeout(Some(Duration::from_millis(5)))
+        .is_err()
+    {
+        return;
+    }
+
+    // Reverse direction: verbatim byte pump on its own thread.
+    let rev = {
+        let mut up = match upstream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let mut down = match downstream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        up.set_read_timeout(Some(Duration::from_millis(5))).ok();
+        let stop_rev = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop_rev);
+        let handle = std::thread::spawn(move || {
+            let mut buf = [0u8; 4096];
+            while !stop_flag.load(Ordering::Relaxed) {
+                match up.read(&mut buf) {
+                    Ok(0) => return,
+                    Ok(n) => {
+                        if down.write_all(&buf[..n]).is_err() {
+                            return;
+                        }
+                    }
+                    Err(ref e)
+                        if e.kind() == ErrorKind::WouldBlock
+                            || e.kind() == ErrorKind::TimedOut => {}
+                    Err(_) => return,
+                }
+            }
+        });
+        (stop_rev, handle)
+    };
+
+    let mut decoder = StreamDecoder::new();
+    let mut buf = [0u8; 4096];
+    let mut stalled = false;
+    'conn: while !stop.load(Ordering::Relaxed) {
+        match downstream.read(&mut buf) {
+            Ok(0) => break 'conn,
+            Ok(n) => {
+                if stalled {
+                    continue;
+                }
+                decoder.push(&buf[..n]);
+                while let Some(frame) = decoder.next_frame() {
+                    let n_before = counters.records.fetch_add(1, Ordering::Relaxed);
+                    if let Some(limit) = cfg.stall_after {
+                        if n_before >= limit {
+                            // Black hole: keep both sockets open, forward
+                            // nothing. Only liveness can catch this.
+                            stalled = true;
+                            continue;
+                        }
+                    }
+                    if let Some(limit) = cfg.sever_after {
+                        if n_before >= limit
+                            && counters
+                                .severed
+                                .compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed)
+                                .is_ok()
+                        {
+                            downstream.shutdown(Shutdown::Both).ok();
+                            upstream.shutdown(Shutdown::Both).ok();
+                            break 'conn;
+                        }
+                    }
+                    let record = match frame {
+                        Ok((seq, payload)) => encode_stream_frame(seq, &payload),
+                        // A record the decoder flagged (already damaged
+                        // upstream of us): forward nothing; the real
+                        // endpoint never saw it either.
+                        Err(_) => continue,
+                    };
+                    match injector.judge(cfg.from, cfg.to, psml_simtime::SimTime::ZERO) {
+                        FaultVerdict::Deliver => {
+                            if upstream.write_all(&record).is_err() {
+                                break 'conn;
+                            }
+                        }
+                        FaultVerdict::Drop { .. } => {
+                            counters.dropped.fetch_add(1, Ordering::Relaxed);
+                        }
+                        FaultVerdict::Corrupt { bit_entropy } => {
+                            counters.corrupted.fetch_add(1, Ordering::Relaxed);
+                            let mut bad = record;
+                            let body = bad.len() - STREAM_HEADER_BYTES;
+                            let bit = (bit_entropy % (body as u64 * 8)) as usize;
+                            bad[STREAM_HEADER_BYTES + bit / 8] ^= 1 << (bit % 8);
+                            if upstream.write_all(&bad).is_err() {
+                                break 'conn;
+                            }
+                        }
+                        FaultVerdict::Delay(d) => {
+                            counters.delayed.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(Duration::from_secs_f64(
+                                d.as_secs().min(0.2),
+                            ));
+                            if upstream.write_all(&record).is_err() {
+                                break 'conn;
+                            }
+                        }
+                    }
+                }
+            }
+            Err(ref e)
+                if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(_) => break 'conn,
+        }
+    }
+    rev.0.store(true, Ordering::Relaxed);
+    let _ = rev.1.join();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supervise::{Supervisor, SupervisorConfig};
+    use std::time::{Duration, Instant};
+
+    fn loopback() -> SocketAddr {
+        "127.0.0.1:0".parse().unwrap()
+    }
+
+    fn fast_cfg(run_id: u64, party: NodeId) -> SupervisorConfig {
+        let mut cfg = SupervisorConfig::for_party(run_id, party);
+        cfg.heartbeat = Duration::from_millis(5);
+        cfg.liveness = Duration::from_millis(200);
+        cfg.reconnect_base = Duration::from_millis(5);
+        cfg.reconnect_cap = Duration::from_millis(50);
+        cfg.deadline = Duration::from_secs(10);
+        cfg
+    }
+
+    /// Supervised traffic through a pass-through proxy is unchanged.
+    #[test]
+    fn passthrough_preserves_traffic() {
+        let mut lcfg = fast_cfg(5, NodeId::Server0);
+        lcfg.listen = Some(loopback());
+        let mut listener = Supervisor::new(lcfg).unwrap();
+        let upstream = listener.local_addr().unwrap();
+        let proxy = FaultProxy::spawn(ProxyConfig::passthrough(loopback(), upstream)).unwrap();
+
+        let mut dcfg = fast_cfg(5, NodeId::Client);
+        dcfg.dial = vec![(NodeId::Server0, proxy.local_addr())];
+        let mut dialer = Supervisor::new(dcfg).unwrap();
+
+        let l = std::thread::spawn(move || {
+            listener.connect(&[NodeId::Client]).unwrap();
+            (0..3)
+                .map(|_| listener.recv(NodeId::Client).unwrap())
+                .collect::<Vec<_>>()
+        });
+        dialer.connect(&[NodeId::Server0]).unwrap();
+        for i in 0..3u64 {
+            dialer.send(NodeId::Server0, format!("m{i}").as_bytes()).unwrap();
+        }
+        let got = l.join().unwrap();
+        assert_eq!(
+            got,
+            vec![
+                (0, b"m0".to_vec()),
+                (1, b"m1".to_vec()),
+                (2, b"m2".to_vec())
+            ]
+        );
+        assert!(proxy.records() >= 3, "proxy saw the session records");
+    }
+
+    /// A severed link recovers by redial-through-proxy + journal replay:
+    /// every frame still arrives exactly once, in order.
+    #[test]
+    fn sever_recovers_via_replay() {
+        let mut lcfg = fast_cfg(6, NodeId::Server0);
+        lcfg.listen = Some(loopback());
+        let mut listener = Supervisor::new(lcfg).unwrap();
+        let upstream = listener.local_addr().unwrap();
+        let mut pcfg = ProxyConfig::passthrough(loopback(), upstream);
+        pcfg.sever_after = Some(4); // a few heartbeats + early frames
+        let proxy = FaultProxy::spawn(pcfg).unwrap();
+
+        let mut dcfg = fast_cfg(6, NodeId::Client);
+        dcfg.dial = vec![(NodeId::Server0, proxy.local_addr())];
+        let mut dialer = Supervisor::new(dcfg).unwrap();
+
+        let l = std::thread::spawn(move || {
+            listener.connect(&[NodeId::Client]).unwrap();
+            let mut got = Vec::new();
+            while got.len() < 8 {
+                got.push(listener.recv(NodeId::Client).unwrap());
+            }
+            (got, listener.stats())
+        });
+        dialer.connect(&[NodeId::Server0]).unwrap();
+        for i in 0..8u64 {
+            dialer.send(NodeId::Server0, format!("m{i}").as_bytes()).unwrap();
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Keep the dialer's supervision pumping until the listener is done.
+        let deadline = Instant::now() + Duration::from_secs(8);
+        let (got, _lstats) = loop {
+            if l.is_finished() || Instant::now() > deadline {
+                break l.join().unwrap();
+            }
+            let _ = dialer.try_recv(NodeId::Server0);
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        assert_eq!(proxy.severed(), 1, "the sever fired exactly once");
+        let expected: Vec<(u64, Vec<u8>)> = (0..8u64)
+            .map(|i| (i, format!("m{i}").into_bytes()))
+            .collect();
+        assert_eq!(got, expected, "exactly-once in-order delivery after sever");
+        assert!(
+            dialer.stats().handshakes >= 2,
+            "recovery went through a re-handshake"
+        );
+    }
+
+    /// Dropped records are recovered: liveness kills the quiet link and
+    /// the reconnect handshake replays the journal.
+    #[test]
+    fn dropped_records_are_replayed() {
+        let mut lcfg = fast_cfg(8, NodeId::Server0);
+        lcfg.listen = Some(loopback());
+        let mut listener = Supervisor::new(lcfg).unwrap();
+        let upstream = listener.local_addr().unwrap();
+        let mut pcfg = ProxyConfig::passthrough(loopback(), upstream);
+        pcfg.plan = FaultPlan::seeded(3).with_drop(0.3);
+        let proxy = FaultProxy::spawn(pcfg).unwrap();
+
+        let mut dcfg = fast_cfg(8, NodeId::Client);
+        dcfg.dial = vec![(NodeId::Server0, proxy.local_addr())];
+        let mut dialer = Supervisor::new(dcfg).unwrap();
+
+        let l = std::thread::spawn(move || {
+            listener.connect(&[NodeId::Client]).unwrap();
+            let mut got = Vec::new();
+            while got.len() < 6 {
+                got.push(listener.recv(NodeId::Client).unwrap());
+            }
+            got
+        });
+        dialer.connect(&[NodeId::Server0]).unwrap();
+        for i in 0..6u64 {
+            dialer.send(NodeId::Server0, format!("d{i}").as_bytes()).unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(8);
+        let got = loop {
+            if l.is_finished() || Instant::now() > deadline {
+                break l.join().unwrap();
+            }
+            let _ = dialer.try_recv(NodeId::Server0);
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        let expected: Vec<(u64, Vec<u8>)> = (0..6u64)
+            .map(|i| (i, format!("d{i}").into_bytes()))
+            .collect();
+        assert_eq!(got, expected, "drops healed by journal replay");
+    }
+}

@@ -38,6 +38,18 @@ fn trace_retransmit(from: NodeId, to: NodeId, at: SimTime) {
     }
 }
 
+/// Deterministic 64-bit finalizer used for backoff-jitter draws. The
+/// constants are the splitmix finalizer's; this is deliberately a bare
+/// mixing function rather than a named RNG type — jitter shapes *delays*,
+/// it is outside both the protocol's Mt19937 domain and the fault plan's
+/// verdict stream.
+fn jitter_mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// Retransmission parameters for one logical transfer leg.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RetryPolicy {
@@ -51,8 +63,20 @@ pub struct RetryPolicy {
     /// latency spikes and blackout windows of *a priori* unknown length.
     pub backoff: f64,
     /// Retransmissions allowed per leg before giving up with
-    /// [`NetError::Timeout`].
+    /// [`NetError::Timeout`]. The total send budget per leg is therefore
+    /// [`RetryPolicy::attempts`]` = max_retries + 1`.
     pub max_retries: u32,
+    /// Jitter fraction in `[0, 1]`. Each attempt's window is stretched by
+    /// a decorrelated factor in `[1, 1 + jitter)` drawn from
+    /// `jitter_seed`, so parties retrying into the same congested link do
+    /// not synchronize their retransmissions. Jitter only *extends*
+    /// windows — the final attempt always keeps at least its
+    /// deterministic deadline. `0.0` (the default) disables jitter and
+    /// reproduces the legacy schedule bit-exactly.
+    pub jitter: f64,
+    /// Seed for the jitter draws. Same seed ⇒ same delays (deterministic
+    /// replay under test); per-deployment seeds decorrelate real parties.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -61,6 +85,8 @@ impl Default for RetryPolicy {
             base_timeout: SimDuration::from_micros(200.0),
             backoff: 2.0,
             max_retries: 10,
+            jitter: 0.0,
+            jitter_seed: 0,
         }
     }
 }
@@ -74,13 +100,42 @@ impl RetryPolicy {
         if !self.backoff.is_finite() || self.backoff < 1.0 {
             return Err(format!("retry backoff {} must be >= 1", self.backoff));
         }
+        if !self.jitter.is_finite() || !(0.0..=1.0).contains(&self.jitter) {
+            return Err(format!("retry jitter {} must be in [0, 1]", self.jitter));
+        }
         Ok(())
+    }
+
+    /// Total sends a leg may make: the initial attempt plus
+    /// `max_retries` retransmissions. Budget accounting goes through this
+    /// so the boundary is explicit — the final retransmission is spent,
+    /// never silently skipped.
+    pub fn attempts(&self) -> u32 {
+        self.max_retries.saturating_add(1)
     }
 
     /// Timeout for the `attempt`-th try (0-based): `base * backoff^attempt`.
     pub fn timeout_for(&self, attempt: u32) -> SimDuration {
         // Exponent capped so a generous budget cannot overflow to inf.
         self.base_timeout * self.backoff.powi(attempt.min(60) as i32)
+    }
+
+    /// [`RetryPolicy::timeout_for`] stretched by the decorrelated jitter
+    /// draw for `(attempt, nonce)`. `nonce` identifies the transfer leg
+    /// (e.g. a transfer counter) so concurrent legs draw independently.
+    pub fn timeout_for_nonce(&self, attempt: u32, nonce: u64) -> SimDuration {
+        let base = self.timeout_for(attempt);
+        if self.jitter == 0.0 {
+            return base;
+        }
+        let h = jitter_mix(
+            self.jitter_seed
+                .wrapping_add(nonce.wrapping_mul(0x2545_F491_4F6C_DD1D))
+                .wrapping_add(attempt as u64),
+        );
+        // Top 53 bits → uniform in [0, 1).
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        base * (1.0 + self.jitter * unit)
     }
 }
 
@@ -203,12 +258,21 @@ impl ReliableChannel {
             return Ok(pkt);
         }
 
-        // Data leg: retransmit until the frame lands intact.
+        // Jitter nonces: the data and ack legs of transfer N draw from
+        // disjoint lanes so their schedules stay decorrelated.
+        let data_nonce = self.stats.transfers.wrapping_mul(2);
+        let ack_nonce = data_nonce.wrapping_add(1);
+
+        // Data leg: retransmit until the frame lands intact. The budget
+        // is `policy.attempts()` sends; checking *after* the increment
+        // guarantees the final retransmission actually hits the wire
+        // before the leg gives up.
         let mut attempt = 0u32;
         let packet = loop {
             let done = sender.send(to, payload, *sender_now)?;
             *sender_now = done;
-            let deadline = done.max(*receiver_now) + self.policy.timeout_for(attempt);
+            let deadline =
+                done.max(*receiver_now) + self.policy.timeout_for_nonce(attempt, data_nonce);
             match receiver.recv_deadline(from, deadline) {
                 Ok(pkt) => {
                     *receiver_now = (*receiver_now).max(pkt.available_at);
@@ -222,13 +286,13 @@ impl ReliableChannel {
                     self.stats.recovery_time += deadline.saturating_since(done);
                     *receiver_now = (*receiver_now).max(deadline);
                     *sender_now = (*sender_now).max(deadline);
-                    if attempt >= self.policy.max_retries {
+                    attempt += 1;
+                    if attempt >= self.policy.attempts() {
                         return Err(NetError::Timeout {
                             after: deadline,
-                            retries: attempt,
+                            retries: attempt - 1,
                         });
                     }
-                    attempt += 1;
                     self.stats.retransmits += 1;
                     trace_retransmit(from, to, deadline);
                 }
@@ -242,7 +306,8 @@ impl ReliableChannel {
         loop {
             let done = receiver.send(from, &ack, *receiver_now)?;
             *receiver_now = done;
-            let deadline = done.max(*sender_now) + self.policy.timeout_for(attempt);
+            let deadline =
+                done.max(*sender_now) + self.policy.timeout_for_nonce(attempt, ack_nonce);
             match sender.recv_deadline(to, deadline) {
                 Ok(ack_pkt) => {
                     debug_assert!(
@@ -258,13 +323,13 @@ impl ReliableChannel {
                     self.stats.recovery_time += deadline.saturating_since(done);
                     *sender_now = (*sender_now).max(deadline);
                     *receiver_now = (*receiver_now).max(deadline);
-                    if attempt >= self.policy.max_retries {
+                    attempt += 1;
+                    if attempt >= self.policy.attempts() {
                         return Err(NetError::Timeout {
                             after: deadline,
-                            retries: attempt,
+                            retries: attempt - 1,
                         });
                     }
-                    attempt += 1;
                     self.stats.retransmits += 1;
                     trace_retransmit(to, from, deadline);
                 }
@@ -398,6 +463,7 @@ mod tests {
             base_timeout: SimDuration::from_micros(50.0),
             backoff: 2.0,
             max_retries: 12,
+            ..RetryPolicy::default()
         };
         let (res, stats, _, _) = transfer_once(&plan, policy);
         assert_eq!(res.unwrap().payload, payload());
@@ -464,6 +530,7 @@ mod tests {
             base_timeout: SimDuration::from_micros(40.0),
             backoff: 2.0,
             max_retries: 12,
+            ..RetryPolicy::default()
         };
         let first = Payload::Dense(Matrix::from_fn(4, 4, |r, c| (r + c) as f32));
         let second = Payload::Dense(Matrix::from_fn(4, 4, |r, c| (r * c) as f32 - 7.0));
@@ -557,6 +624,114 @@ mod tests {
         }
         .validate()
         .is_err());
+        assert!(RetryPolicy {
+            jitter: -0.1,
+            ..RetryPolicy::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RetryPolicy {
+            jitter: 1.5,
+            ..RetryPolicy::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RetryPolicy {
+            jitter: f64::NAN,
+            ..RetryPolicy::default()
+        }
+        .validate()
+        .is_err());
+        RetryPolicy {
+            jitter: 0.3,
+            jitter_seed: 9,
+            ..RetryPolicy::default()
+        }
+        .validate()
+        .unwrap();
+    }
+
+    #[test]
+    fn budget_boundary_spends_every_attempt() {
+        // drop = 1.0: every data-leg frame is lost in flight, so the leg
+        // must exhaust its budget. The budget buys exactly `attempts()`
+        // = max_retries + 1 wire sends — an accounting bug that skipped
+        // the final retransmission would leave only 3 on the link.
+        let plan = FaultPlan::seeded(1).with_drop(1.0);
+        let policy = RetryPolicy {
+            max_retries: 3,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(policy.attempts(), 4);
+        let [_, mut s0, mut s1] = build_network::<f32>(LinkModel::infiniband_100g());
+        s0.install_faults(&plan);
+        s1.install_faults(&plan);
+        let mut chan = ReliableChannel::new(policy);
+        let (mut t0, mut t1) = (SimTime::ZERO, SimTime::ZERO);
+        let err = chan
+            .transfer(&mut s0, &mut t0, &mut s1, &mut t1, &payload())
+            .unwrap_err();
+        assert!(matches!(err, NetError::Timeout { retries: 3, .. }));
+        let link = s0.stats().link(NodeId::Server0, NodeId::Server1);
+        assert_eq!(
+            link.messages, 4,
+            "initial send plus all three budgeted retransmissions hit the wire"
+        );
+        assert_eq!(chan.stats().retransmits, 3);
+    }
+
+    #[test]
+    fn zero_jitter_reproduces_legacy_schedule_bit_exactly() {
+        let p = RetryPolicy::default();
+        for attempt in 0..8 {
+            for nonce in [0u64, 7, 1 << 40] {
+                assert_eq!(p.timeout_for_nonce(attempt, nonce), p.timeout_for(attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_extends_within_bounds_and_is_seed_deterministic() {
+        let p = RetryPolicy {
+            jitter: 0.5,
+            jitter_seed: 123,
+            ..RetryPolicy::default()
+        };
+        let q = RetryPolicy {
+            jitter_seed: 124,
+            ..p
+        };
+        let mut decorrelated = false;
+        for attempt in 0..10 {
+            for nonce in 0..10u64 {
+                let base = p.timeout_for(attempt);
+                let j = p.timeout_for_nonce(attempt, nonce);
+                assert!(j >= base, "jitter must never shrink a window");
+                assert!(j < base * 1.5 + SimDuration::from_micros(1e-3));
+                assert_eq!(j, p.timeout_for_nonce(attempt, nonce), "same draw replays");
+                if q.timeout_for_nonce(attempt, nonce) != j {
+                    decorrelated = true;
+                }
+            }
+        }
+        assert!(decorrelated, "different seeds must decorrelate the draws");
+    }
+
+    #[test]
+    fn jittered_faulty_runs_replay_bit_identically() {
+        let plan = FaultPlan::seeded(31)
+            .with_drop(0.3)
+            .with_delay(0.2, SimDuration::from_micros(300.0));
+        let policy = RetryPolicy {
+            jitter: 0.25,
+            jitter_seed: 7,
+            ..RetryPolicy::default()
+        };
+        let (r1, s1, a1, b1) = transfer_once(&plan, policy);
+        let (r2, s2, a2, b2) = transfer_once(&plan, policy);
+        assert_eq!(r1.unwrap().payload, r2.unwrap().payload);
+        assert_eq!(s1, s2);
+        assert_eq!((a1, b1), (a2, b2));
     }
 
     #[test]
@@ -565,6 +740,7 @@ mod tests {
             base_timeout: SimDuration::from_micros(100.0),
             backoff: 2.0,
             max_retries: 8,
+            ..RetryPolicy::default()
         };
         assert_eq!(p.timeout_for(0), SimDuration::from_micros(100.0));
         assert_eq!(p.timeout_for(3), SimDuration::from_micros(800.0));

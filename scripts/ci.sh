@@ -23,10 +23,42 @@ trap 'rm -f "$lint_json" "$profile_json"' EXIT
 ./target/release/psml validate "$lint_json"
 
 # Fault-injection seed matrix: every chaos scenario must hold for any
-# plan seed, not just the default.
+# plan seed, not just the default. The sweep covers both the in-process
+# chaos suite and the process-per-party TCP suite (whose chaos proxy
+# derives its drop/sever schedule from the same seed).
 for seed in 1 2 3; do
     PSML_FAULT_SEED="$seed" cargo test -q --offline --test failure_injection
+    PSML_FAULT_SEED="$seed" cargo test -q --offline -p parsecureml \
+        --test distributed_session proxy_sever_recovers_without_rollback
 done
+
+# Distributed-session smoke: a three-process localhost TCP session must
+# finish (all replicas exit 0) and produce the same model digest as the
+# single-process `psml train` run of the identical plan.
+dist_state="$(mktemp -d)"
+s0_log="$dist_state/s0.log"; s1_log="$dist_state/s1.log"; c_log="$dist_state/c.log"
+./target/release/psml server0 --listen 127.0.0.1:7741 --state-dir "$dist_state/s0" \
+    --run-id 9 >"$s0_log" 2>&1 &
+s0_pid=$!
+./target/release/psml server1 --listen 127.0.0.1:7742 --state-dir "$dist_state/s1" \
+    --run-id 9 >"$s1_log" 2>&1 &
+s1_pid=$!
+./target/release/psml client --server0 127.0.0.1:7741 --server1 127.0.0.1:7742 \
+    --state-dir "$dist_state/c" --run-id 9 --model mlp --dataset synthetic \
+    --batch 8 --batches 1 --epochs 2 --seed 42 >"$c_log" 2>&1
+wait "$s0_pid" "$s1_pid"
+session_digest="$(grep -o '"digest":"[0-9a-f]*"' "$c_log" | head -n1 | cut -d'"' -f4)"
+train_digest="$(./target/release/psml train --model mlp --dataset synthetic \
+    --batch 8 --batches 1 --epochs 2 --seed 42 | awk '/weights digest/ {print $4}')"
+for log in "$s0_log" "$s1_log"; do
+    grep -q "\"digest\":\"$session_digest\"" "$log" || {
+        echo "ci: replica digest mismatch (see $log)" >&2; exit 1; }
+done
+[ -n "$session_digest" ] && [ "$session_digest" = "$train_digest" ] || {
+    echo "ci: TCP session digest $session_digest != in-process $train_digest" >&2
+    exit 1
+}
+rm -rf "$dist_state"
 
 # Observability gate: a traced profile run must emit a JSON document that
 # validates against its self-declared psml.profile.v1 schema (and the

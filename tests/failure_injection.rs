@@ -140,6 +140,7 @@ fn patient_retry() -> RetryPolicy {
         base_timeout: SimDuration::from_micros(100.0),
         backoff: 2.0,
         max_retries: 16,
+        ..RetryPolicy::default()
     }
 }
 
@@ -243,6 +244,7 @@ fn retry_budget_exhaustion_is_a_typed_timeout_with_partial_report() {
         base_timeout: SimDuration::from_micros(50.0),
         backoff: 2.0,
         max_retries: 3,
+        ..RetryPolicy::default()
     };
     let cfg = EngineConfig::parsecureml()
         .with_fault_plan(plan)
@@ -299,6 +301,7 @@ fn blackout_mid_training_checkpoints_then_resumes_on_fresh_trainer() {
             base_timeout: SimDuration::from_micros(100.0),
             backoff: 2.0,
             max_retries: 6,
+            ..RetryPolicy::default()
         });
     let mut victim = SecureTrainer::<Fixed64>::new(cfg, spec.clone(), 3).unwrap();
     let err = victim

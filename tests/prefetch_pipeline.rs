@@ -65,6 +65,64 @@ fn prefetch_is_invisible_in_results_and_reports_across_models() {
     }
 }
 
+/// Checkpoint resume composes with the prefetch pipeline. A checkpoint
+/// taken at the epoch-2 boundary of a prefetching run (`prefetch_depth`
+/// defaults to 4 > 1, so triples are buffered ahead of consumption) is
+/// resumed by two fresh replicas — one prefetching, one provisioning
+/// synchronously. Both re-derive their counter-RNG triple streams from
+/// the same seed and must finish the remaining span with bit-identical
+/// weights and losses: buffered-ahead triples never leak across the
+/// resume boundary.
+#[test]
+fn checkpoint_resume_is_bit_identical_under_prefetch() {
+    use parsecureml::weights_digest;
+
+    const EPOCHS: usize = 4;
+    let fresh = |prefetch: bool| {
+        let cfg = if prefetch {
+            EngineConfig::parsecureml().with_prefetch(true)
+        } else {
+            EngineConfig::parsecureml().with_insecure_reuse_triples(false)
+        };
+        let dspec = DatasetKind::Synthetic.spec();
+        let spec = ModelSpec::build(
+            ModelKind::Mlp,
+            dspec.features(),
+            Some((dspec.channels, dspec.height, dspec.width)),
+            dspec.classes,
+        )
+        .unwrap();
+        SecureTrainer::<Fixed64>::new(cfg, spec, SEED).unwrap()
+    };
+
+    // Full prefetching run, capturing the epoch-2 checkpoint en route.
+    let mut ckpt2 = None;
+    let mut full = fresh(true);
+    full.train_epochs_from(DatasetKind::Synthetic, 8, 1, 0, EPOCHS, SEED, |c, _| {
+        if c.epoch == 2 {
+            ckpt2 = Some(c.clone());
+        }
+        Ok(())
+    })
+    .unwrap();
+    let ckpt = ckpt2.expect("observer saw the epoch-2 checkpoint");
+
+    // Two fresh replicas resume the 2..4 span from that checkpoint.
+    let mut finishes = Vec::new();
+    for prefetch in [true, false] {
+        let mut t = fresh(prefetch);
+        assert_eq!(t.resume_from_checkpoint(&ckpt).unwrap(), 2);
+        let r = t
+            .train_epochs_from(DatasetKind::Synthetic, 8, 1, 2, EPOCHS, SEED, |_, _| Ok(()))
+            .unwrap();
+        finishes.push((weights_digest(&t.reveal_weights()), r.losses));
+    }
+    assert_eq!(
+        finishes[0], finishes[1],
+        "prefetch must be invisible across a checkpoint resume"
+    );
+}
+
 #[test]
 fn prefetch_replay_is_deterministic() {
     let first = train_and_infer(ModelKind::Mlp, true);
