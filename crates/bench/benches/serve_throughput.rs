@@ -1,0 +1,149 @@
+//! Multi-tenant serving throughput: wall-clock requests/second and
+//! simulated p99 latency of the `ModelHost` micro-batcher under growing
+//! simulated client fleets.
+//!
+//! Each fleet size runs the same logistic model (SYNTHETIC geometry)
+//! behind the cross-request fold; the host executes every forward pass
+//! through the full secure protocol, so wall-clock req/s measures the
+//! real cost of folded secure GEMMs while p99 comes from the simulated
+//! serve clock. At the smallest fleet the batched run is compared
+//! digest-for-digest against a sequential (`max_batch = 1`) run — the
+//! bit-identity contract of `core::serve` — before any number is
+//! reported. Results go to `BENCH_serve.json` (`psml.bench.serve.v1`).
+//!
+//! `PSML_SMOKE=1` shrinks the fleet list to a seconds-scale CI check and
+//! writes `BENCH_serve.smoke.json` instead, so CI never clobbers the
+//! committed full-workload measurement.
+
+use parsecureml::prelude::*;
+use parsecureml::serve::fleet_arrivals;
+use parsecureml::{outputs_digest, InferResponse, ServeReport};
+use std::time::Instant;
+
+const SEED: u32 = 4242;
+const WINDOW_US: f64 = 200.0;
+const MAX_BATCH: usize = 16;
+
+fn smoke() -> bool {
+    std::env::var_os("PSML_SMOKE").is_some()
+}
+
+fn fleets() -> Vec<usize> {
+    if smoke() {
+        vec![8]
+    } else {
+        vec![64, 512, 4096]
+    }
+}
+
+fn requests_for(fleet: usize) -> usize {
+    if smoke() {
+        2 * fleet
+    } else {
+        // Two requests per client, capped so the largest fleet stays a
+        // minutes-scale run (each request is a real secure forward pass).
+        (2 * fleet).min(4096)
+    }
+}
+
+fn spec() -> ModelSpec {
+    let s = DatasetKind::Synthetic.spec();
+    ModelSpec::build(
+        ModelKind::Logistic,
+        s.features(),
+        Some((s.channels, s.height, s.width)),
+        s.classes,
+    )
+    .expect("model spec")
+}
+
+/// One serve run: returns wall-clock seconds, tag-sorted responses, and
+/// the host report.
+fn run(fleet: usize, requests: usize, max_batch: usize) -> (f64, Vec<InferResponse>, ServeReport) {
+    let cfg = ServeConfig::builder()
+        .batch_window_micros(WINDOW_US)
+        .max_batch(max_batch)
+        .max_queue_depth(requests.max(1))
+        .build()
+        .expect("serve config");
+    let mut host = ModelHost::<Fixed64>::new(cfg).expect("host");
+    let id = host.load("logistic", spec(), SEED).expect("load model");
+    // Identical arrival schedule regardless of max_batch: think time is
+    // derived from the *nominal* fold width so the sequential identity
+    // run sees the same admitted set.
+    let think = SimDuration::from_micros(WINDOW_US) * (fleet as f64 / MAX_BATCH as f64);
+    let arrivals = fleet_arrivals(&[id], DatasetKind::Synthetic, fleet, requests, think, SEED);
+    let t = Instant::now();
+    let outcome = host.run(arrivals).expect("serve run");
+    let wall = t.elapsed().as_secs_f64();
+    assert!(
+        outcome.rejections.is_empty(),
+        "bench queue is sized to admit everything"
+    );
+    let mut responses = outcome.responses;
+    responses.sort_by_key(|r| r.tag);
+    (wall, responses, host.report())
+}
+
+fn main() {
+    let fleets = fleets();
+    println!(
+        "serve throughput bench: logistic on SYNTHETIC, window {WINDOW_US}us, fold {MAX_BATCH}, fleets {fleets:?}{}",
+        if smoke() { " (smoke)" } else { "" }
+    );
+
+    // Bit-identity gate at the smallest fleet: batched vs sequential.
+    let smallest = fleets[0];
+    let gate_requests = requests_for(smallest);
+    let (_, batched, _) = run(smallest, gate_requests, MAX_BATCH);
+    let (_, sequential, _) = run(smallest, gate_requests, 1);
+    assert_eq!(
+        outputs_digest(&batched),
+        outputs_digest(&sequential),
+        "micro-batching changed revealed outputs — identity broken"
+    );
+    println!(
+        "identity gate: fleet {smallest}, {gate_requests} requests, digest {:016x} (batched == sequential)",
+        outputs_digest(&batched)
+    );
+
+    let mut rows = Vec::new();
+    for &fleet in &fleets {
+        let requests = requests_for(fleet);
+        let (wall, _, report) = run(fleet, requests, MAX_BATCH);
+        let wall_rps = report.completed as f64 / wall.max(1e-9);
+        println!(
+            "fleet {fleet:>5}: {requests} requests in {wall:.2}s wall -> {wall_rps:.1} req/s, \
+             sim {:.1} req/s, p99 {}, mean fold {:.2}",
+            report.throughput_rps, report.p99, report.mean_window
+        );
+        rows.push(format!(
+            "    {{\n      \"fleet\": {fleet},\n      \"requests\": {requests},\n      \"completed\": {},\n      \"windows\": {},\n      \"mean_window\": {:.3},\n      \"wall_s\": {wall:.3},\n      \"wall_req_per_s\": {wall_rps:.3},\n      \"sim_req_per_s\": {:.3},\n      \"p50_us\": {:.3},\n      \"p99_us\": {:.3}\n    }}",
+            report.completed,
+            report.windows,
+            report.mean_window,
+            report.throughput_rps,
+            report.p50.as_secs() * 1e6,
+            report.p99.as_secs() * 1e6,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"psml.bench.serve.v1\",\n  \"bench\": \"serve_throughput\",\n  \"model\": \"logistic on SYNTHETIC\",\n  \"window_us\": {WINDOW_US},\n  \"max_batch\": {MAX_BATCH},\n  \"smoke\": {},\n  \"identical_results\": true,\n  \"fleets\": [\n{}\n  ]\n}}\n",
+        smoke(),
+        rows.join(",\n"),
+    );
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels under the repo root")
+        .to_path_buf();
+    let name = if smoke() {
+        "BENCH_serve.smoke.json"
+    } else {
+        "BENCH_serve.json"
+    };
+    let out = root.join(name);
+    std::fs::write(&out, json).expect("write serve bench JSON");
+    println!("wrote {}", out.display());
+}

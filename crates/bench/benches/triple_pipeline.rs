@@ -70,7 +70,10 @@ fn run(w: &Workload, prefetch: bool) -> (f64, PlainMatrix) {
     for _ in 0..w.steps {
         black_box(trainer.train_batch(&x, &y).expect("train step"));
     }
-    let out = trainer.infer_batch(&x).expect("infer");
+    let out = trainer
+        .infer_request(&InferRequest::new(x.clone()))
+        .expect("infer")
+        .output;
     (t.elapsed().as_secs_f64(), out)
 }
 

@@ -151,7 +151,9 @@ pub fn run_secure_inference(
         SecureTrainer::<Fixed64>::new(cfg, spec, PROTO_SEED).expect("trainer");
     for b in 0..batches {
         let (x, _) = harness_batch(dataset, batch_size, b);
-        trainer.infer_batch(&x).expect("secure inference");
+        trainer
+            .infer_request(&InferRequest::new(x).with_tag(b as u64))
+            .expect("secure inference");
     }
     trainer.report()
 }

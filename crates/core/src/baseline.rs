@@ -501,7 +501,10 @@ mod tests {
         let mut rng = Mt19937::new(2);
         let x = PlainMatrix::from_fn(4, 16, |_, _| rng.next_f64() - 0.5);
         let plain_out = plain.infer_batch(&x);
-        let secure_out = secure.infer_batch(&x).unwrap();
+        let secure_out = secure
+            .infer_request(&crate::serve::InferRequest::new(x.clone()))
+            .unwrap()
+            .output;
         assert!(
             plain_out.max_abs_diff(&secure_out) < 5e-3,
             "diff {}",

@@ -5,6 +5,12 @@
 //!             [--epochs 2] [--secureml] [--no-pipeline] [--no-compression]
 //!             [--client-aided] [--seed 42]
 //! psml infer  --model cnn --dataset cifar10 [--batch 16] [--batches 2]
+//! psml serve  --models mlp,logistic --dataset synthetic [--fleet 512]
+//!             [--requests 1024] [--window-us 200] [--max-batch 16]
+//!             [--queue 1024] [--sequential] [--json serve.json]
+//!                                  # multi-tenant serving: a simulated
+//!                                  # client fleet against hosted models,
+//!                                  # cross-request micro-batching, p50/95/99
 //! psml bench  --model linear --dataset synthetic    # ParSecureML vs SecureML
 //! psml trace  --model mlp --dataset mnist [--out trace.json]
 //!                                  # chrome://tracing timeline of one run
@@ -44,6 +50,14 @@ struct Args {
     out: Option<String>,
     json_out: Option<String>,
     files: Vec<String>,
+    // Serving flags.
+    models: Vec<ModelKind>,
+    fleet: usize,
+    requests: usize,
+    window_us: f64,
+    max_batch: usize,
+    queue: usize,
+    sequential: bool,
     // Distributed-session flags.
     run_id: u64,
     listen: Option<String>,
@@ -58,11 +72,13 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: psml <train|infer|bench|trace|profile|validate|models|client|server0|server1> \
+        "usage: psml <train|infer|serve|bench|trace|profile|validate|models|client|server0|server1> \
          --model <cnn|mlp|rnn|linear|logistic|svm> \
          --dataset <mnist|vggface2|nist|cifar10|synthetic> [--batch N] [--batches N] \
          [--epochs N] [--seed N] [--secureml] [--no-pipeline] [--no-compression] \
          [--client-aided] [--out FILE] [--json FILE] \
+         [--models a,b,..] [--fleet N] [--requests N] [--window-us N] \
+         [--max-batch N] [--queue N] [--sequential] \
          [--run-id N] [--listen ADDR] [--server0 ADDR] [--server1 ADDR] \
          [--state-dir DIR] [--heartbeat-ms N] [--liveness-ms N] [--deadline-ms N] \
          [--max-reconnects N]"
@@ -111,6 +127,13 @@ fn parse_args() -> Args {
         out: None,
         json_out: None,
         files: Vec::new(),
+        models: Vec::new(),
+        fleet: 64,
+        requests: 256,
+        window_us: 200.0,
+        max_batch: 16,
+        queue: 1024,
+        sequential: false,
         run_id: 1,
         listen: None,
         server0: None,
@@ -153,6 +176,24 @@ fn parse_args() -> Args {
             "--no-pipeline" => args.pipeline = false,
             "--no-compression" => args.compression = false,
             "--client-aided" => args.client_aided = true,
+            "--models" => {
+                let v = argv.next().unwrap_or_else(|| usage());
+                args.models = v
+                    .split(',')
+                    .map(|m| {
+                        parse_model(m.trim()).unwrap_or_else(|| {
+                            eprintln!("unknown model '{m}' in --models");
+                            usage()
+                        })
+                    })
+                    .collect();
+            }
+            "--fleet" => args.fleet = next_usize(&mut argv, "--fleet"),
+            "--requests" => args.requests = next_usize(&mut argv, "--requests"),
+            "--window-us" => args.window_us = next_usize(&mut argv, "--window-us") as f64,
+            "--max-batch" => args.max_batch = next_usize(&mut argv, "--max-batch"),
+            "--queue" => args.queue = next_usize(&mut argv, "--queue"),
+            "--sequential" => args.sequential = true,
             "--out" => args.out = Some(argv.next().unwrap_or_else(|| usage())),
             "--json" => args.json_out = Some(argv.next().unwrap_or_else(|| usage())),
             "--run-id" => args.run_id = next_usize(&mut argv, "--run-id") as u64,
@@ -222,15 +263,19 @@ fn config_of(args: &Args) -> EngineConfig {
 }
 
 fn spec_of(args: &Args) -> ModelSpec {
-    let spec = args.dataset.spec();
+    spec_for(args.model, args.dataset)
+}
+
+fn spec_for(model: ModelKind, dataset: DatasetKind) -> ModelSpec {
+    let spec = dataset.spec();
     ModelSpec::build(
-        args.model,
+        model,
         spec.features(),
         Some((spec.channels, spec.height, spec.width)),
         spec.classes,
     )
     .unwrap_or_else(|e| {
-        eprintln!("cannot build {} on {}: {e}", args.model.name(), spec.name);
+        eprintln!("cannot build {} on {}: {e}", model.name(), spec.name);
         exit(1);
     })
 }
@@ -298,6 +343,89 @@ fn run_session(args: &Args, party: NodeId) -> ! {
             eprintln!("session: {e}");
             exit(1);
         }
+    }
+}
+
+/// `psml serve`: hosts the requested models and drives a simulated client
+/// fleet through the micro-batching serving layer.
+fn run_serve(args: &Args) {
+    let kinds: Vec<ModelKind> = if args.models.is_empty() {
+        vec![args.model]
+    } else {
+        args.models.clone()
+    };
+    let max_batch = if args.sequential { 1 } else { args.max_batch };
+    let cfg = ServeConfig::builder()
+        .engine(config_of(args))
+        .batch_window_micros(args.window_us)
+        .max_batch(max_batch)
+        .max_queue_depth(args.queue)
+        .run_id(args.run_id)
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("serve config: {e}");
+            exit(1);
+        });
+    // Aggregate arrival rate targets full windows: fleet clients thinking
+    // `window * fleet / max_batch` apiece yield ~max_batch arrivals per
+    // window. `--sequential` keeps the *batched* run's think time so the
+    // two runs see identical arrival schedules (the bit-identity
+    // precondition: same admitted set).
+    let think =
+        SimDuration::from_micros(args.window_us) * (args.fleet as f64 / args.max_batch as f64);
+    let mut host = ModelHost::<Fixed64>::new(cfg).unwrap_or_else(|e| {
+        eprintln!("serve: {e}");
+        exit(1);
+    });
+    let mut ids = Vec::with_capacity(kinds.len());
+    for kind in &kinds {
+        let id = host
+            .load(kind.name(), spec_for(*kind, args.dataset), args.seed)
+            .unwrap_or_else(|e| {
+                eprintln!("load {}: {e}", kind.name());
+                exit(1);
+            });
+        ids.push(id);
+    }
+    let arrivals =
+        parsecureml::serve::fleet_arrivals(&ids, args.dataset, args.fleet, args.requests, think, args.seed);
+    let outcome = host.run(arrivals).unwrap_or_else(|e| {
+        eprintln!("serve run: {e}");
+        exit(1);
+    });
+    let report = host.report();
+    let mut responses = outcome.responses;
+    responses.sort_by_key(|r| r.tag);
+    println!(
+        "served {} requests from {} clients over {} model(s) [{}]",
+        report.completed,
+        args.fleet,
+        kinds.len(),
+        if args.sequential { "sequential" } else { "micro-batched" },
+    );
+    println!(
+        "  rejected         : {} overload, {} deadline",
+        report.rejected_overload, report.rejected_deadline
+    );
+    println!(
+        "  windows          : {} (mean fold {:.2}, max queue {})",
+        report.windows, report.mean_window, report.max_queue_depth
+    );
+    println!(
+        "  latency          : p50 {} / p95 {} / p99 {}",
+        report.p50, report.p95, report.p99
+    );
+    println!(
+        "  throughput       : {:.1} req/s over {}",
+        report.throughput_rps, report.sim_elapsed
+    );
+    println!(
+        "  serve digest     : {:016x}",
+        parsecureml::outputs_digest(&responses)
+    );
+    if let Some(path) = args.json_out.as_deref() {
+        emit(Some(path), &report.to_json().to_json());
+        eprintln!("serve report written to {path}");
     }
 }
 
@@ -370,7 +498,7 @@ fn main() {
                         exit(1);
                     });
             let result = trainer
-                .infer(args.dataset, args.batch, args.batches, args.seed)
+                .evaluate(args.dataset, args.batch, args.batches, args.seed)
                 .unwrap_or_else(|e| {
                     eprintln!("inference: {e}");
                     exit(1);
@@ -465,6 +593,7 @@ fn main() {
             println!("online speedup  : {:.1}x", fast.online_speedup_over(&slow));
             println!("offline speedup : {:.1}x", fast.offline_speedup_over(&slow));
         }
+        "serve" => run_serve(&args),
         "client" => run_session(&args, NodeId::Client),
         "server0" => run_session(&args, NodeId::Server0),
         "server1" => run_session(&args, NodeId::Server1),

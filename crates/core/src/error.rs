@@ -27,6 +27,10 @@ pub enum ConfigError {
     /// A model specification was inconsistent (bad layer chain, empty
     /// model, shape mismatch).
     Model(String),
+    /// The serving micro-batch window was inconsistent (zero or negative).
+    BatchWindow(String),
+    /// A serving queue/batch bound was inconsistent (zero depth or batch).
+    Queue(String),
     /// A weight file had the wrong magic, version, or implausible
     /// dimensions.
     WeightFormat(String),
@@ -47,6 +51,8 @@ impl std::fmt::Display for ConfigError {
             ConfigError::Retry(s) => write!(f, "retry policy: {s}"),
             ConfigError::Prefetch(s) => write!(f, "prefetch: {s}"),
             ConfigError::Model(s) => write!(f, "model: {s}"),
+            ConfigError::BatchWindow(s) => write!(f, "batch window: {s}"),
+            ConfigError::Queue(s) => write!(f, "serve queue: {s}"),
             ConfigError::WeightFormat(s) => write!(f, "weight format: {s}"),
         }
     }

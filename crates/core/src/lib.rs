@@ -43,6 +43,7 @@ pub mod models;
 pub mod observe;
 pub mod provider;
 pub mod report;
+pub mod serve;
 pub mod session;
 pub mod trainer;
 
@@ -54,6 +55,11 @@ pub use layers::{Activation, LayerSpec};
 pub use models::{ModelKind, ModelSpec};
 pub use provider::TripleProvider;
 pub use report::{PhaseBreakdown, RunReport};
+pub use serve::{
+    outputs_digest, InferRequest, InferResponse, ModelHost, ModelId, ModelServeStats,
+    RequestReport, ServeConfig, ServeConfigBuilder, ServeError, ServeOutcome,
+    ServeReport,
+};
 pub use session::{
     fnv64, generation_seed, run_client, run_server, weights_digest, SessionConfig,
     SessionOutcome, TrainPlan,
@@ -95,10 +101,11 @@ pub mod prelude {
     pub use crate::baseline::{PlainBackend, PlainModel};
     pub use crate::{
         Activation, AdaptivePolicy, ConfigError, EngineConfig, EngineConfigBuilder,
-        EngineError, FaultPlan, LayerSpec, LinkFaults, MachineConfig, ModelKind,
-        ModelSpec, NetError, NodeId, Phase, RecalEvent, RetryPolicy, RunReport,
-        SecureContext, SecureTrainer, Summary, TraceEvent, TraceSink,
-        TrainerCheckpoint,
+        EngineError, FaultPlan, InferRequest, InferResponse, LayerSpec, LinkFaults,
+        MachineConfig, ModelHost, ModelId, ModelKind, ModelSpec, NetError, NodeId,
+        Phase, RecalEvent, RequestReport, RetryPolicy, RunReport, SecureContext,
+        SecureTrainer, ServeConfig, ServeError, ServeReport, Summary, TraceEvent,
+        TraceSink, TrainerCheckpoint,
     };
     pub use psml_data::{batch, Batch, DatasetKind};
     pub use psml_mpc::{Fixed64, Party, PlainMatrix, SecureRing, TripleSpec};

@@ -112,7 +112,59 @@ const SCHEMAS: &[(&str, &[&str])] = &[
         "psml.lint.v1",
         &["tool", "files_scanned", "rules", "findings", "summary"],
     ),
+    // Session-scoped documents: run_id/generation live in the shared
+    // document header (checked by `check_document_header`), so they are
+    // not repeated in the per-schema key lists.
+    (
+        "psml.session.v1",
+        &["party", "rollbacks", "losses", "digest", "accuracy"],
+    ),
+    (
+        "psml.serve.v1",
+        &[
+            "models",
+            "submitted",
+            "completed",
+            "rejected_overload",
+            "rejected_deadline",
+            "windows",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+            "throughput_rps",
+            "per_model",
+        ],
+    ),
+    (
+        "psml.bench.serve.v1",
+        &["bench", "fleets", "identical_results"],
+    ),
 ];
+
+/// Schemas describing one run of a multi-party / serving session. They
+/// share a document header — run id and rollback generation — validated
+/// once by [`check_document_header`] instead of per-schema key lists.
+const SESSION_SCOPED: &[&str] = &["psml.session.v1", "psml.serve.v1"];
+
+/// The shared header check for session-scoped documents: the schema name
+/// must carry a `.v<digits>` version suffix, and `run_id` / `generation`
+/// must both be present as unsigned numbers.
+fn check_document_header(doc: &JsonValue, schema: &str) -> Result<(), String> {
+    let version_ok = schema
+        .rsplit_once(".v")
+        .is_some_and(|(_, v)| !v.is_empty() && v.bytes().all(|b| b.is_ascii_digit()));
+    if !version_ok {
+        return Err(format!("schema '{schema}' has no .v<digits> version suffix"));
+    }
+    for key in ["run_id", "generation"] {
+        if doc.get(key).and_then(|v| v.as_u64()).is_none() {
+            return Err(format!(
+                "schema '{schema}' header is missing unsigned '{key}'"
+            ));
+        }
+    }
+    Ok(())
+}
 
 /// Parses `text` and checks it against its self-declared versioned
 /// schema. Returns the schema name on success; a description of the
@@ -132,6 +184,9 @@ pub fn validate_document(text: &str) -> Result<String, String> {
         .find(|(name, _)| *name == schema)
         .map(|(_, keys)| *keys)
         .ok_or_else(|| format!("unknown schema '{schema}'"))?;
+    if SESSION_SCOPED.contains(&schema.as_str()) {
+        check_document_header(&doc, &schema)?;
+    }
     for key in required {
         if doc.get(key).is_none() {
             return Err(format!("schema '{schema}' is missing key '{key}'"));
@@ -186,5 +241,44 @@ mod tests {
         assert!(validate_document("{\"schema\":\"psml.trace.v1\"}").is_err());
         assert!(validate_document("not json").is_err());
         assert!(validate_document("[1,2]").is_err());
+    }
+
+    #[test]
+    fn session_scoped_schemas_share_the_header_check() {
+        // A session document missing its header fails on the header, not
+        // on a per-schema key list.
+        let e = validate_document(
+            "{\"schema\":\"psml.session.v1\",\"party\":\"client\",\
+             \"rollbacks\":0,\"losses\":[],\"digest\":\"0\",\"accuracy\":0}",
+        )
+        .unwrap_err();
+        assert!(e.contains("header"), "{e}");
+        // Same failure mode for the serving report.
+        let e = validate_document(
+            "{\"schema\":\"psml.serve.v1\",\"models\":1,\"submitted\":0,\
+             \"completed\":0,\"rejected_overload\":0,\"rejected_deadline\":0,\
+             \"windows\":0,\"p50_us\":0,\"p95_us\":0,\"p99_us\":0,\
+             \"throughput_rps\":0,\"per_model\":[]}",
+        )
+        .unwrap_err();
+        assert!(e.contains("header"), "{e}");
+        // With the header present, the session document validates.
+        let ok = validate_document(
+            "{\"schema\":\"psml.session.v1\",\"run_id\":9,\"generation\":0,\
+             \"party\":\"client\",\"rollbacks\":0,\"losses\":[],\
+             \"digest\":\"0\",\"accuracy\":0}",
+        )
+        .unwrap();
+        assert_eq!(ok, "psml.session.v1");
+    }
+
+    #[test]
+    fn header_check_requires_versioned_schema_and_numeric_fields() {
+        let doc = parse("{\"run_id\":1,\"generation\":0}").unwrap();
+        assert!(check_document_header(&doc, "psml.session.v1").is_ok());
+        assert!(check_document_header(&doc, "psml.session").is_err());
+        assert!(check_document_header(&doc, "psml.session.vX").is_err());
+        let bad = parse("{\"run_id\":\"one\",\"generation\":0}").unwrap();
+        assert!(check_document_header(&bad, "psml.session.v1").is_err());
     }
 }

@@ -13,6 +13,7 @@ use crate::error::{EngineError, Result};
 use crate::layers::{Activation, LayerSpec};
 use crate::models::{Loss, ModelSpec};
 use crate::report::RunReport;
+use crate::serve::{InferRequest, InferResponse, RequestReport};
 use psml_data::DatasetKind;
 use psml_gpu::GpuElement;
 use psml_mpc::{PlainMatrix, SecureRing};
@@ -597,7 +598,7 @@ impl<R: SecureRing + GpuElement> SecureTrainer<R> {
             observer(ckpt, mean_loss)?;
         }
         let (_, _, y_last, x_last) = shared.last().expect("at least one batch");
-        let out = self.infer_batch(x_last)?;
+        let out = self.infer_plain(x_last)?;
         let accuracy = self.accuracy(&out, y_last);
         Ok(TrainResult {
             losses,
@@ -606,15 +607,66 @@ impl<R: SecureRing + GpuElement> SecureTrainer<R> {
         })
     }
 
-    /// Secure inference on one plaintext batch; reveals the outputs.
-    pub fn infer_batch(&mut self, x: &PlainMatrix) -> Result<PlainMatrix> {
+    /// Typed secure inference: schedules this request's triples, runs the
+    /// online pass, reveals the outputs. The same execution path the
+    /// serving layer's micro-batcher takes per request (which is why
+    /// batched serving is bit-identical to a loop over this call — see
+    /// `core::serve`); `latency` here is pure execution time, since a
+    /// direct call has no queue.
+    pub fn infer_request(&mut self, req: &InferRequest) -> Result<InferResponse> {
         self.ctx
-            .schedule_triples(&self.spec.forward_schedule(x.rows()));
+            .schedule_triples(&self.spec.forward_schedule(req.input.rows()));
+        let start = self.ctx.online_end();
+        let muls_before = self.ctx.report().secure_muls;
+        let output = self.infer_prescheduled(&req.input)?;
+        let exec = self.ctx.online_end().saturating_since(start);
+        Ok(InferResponse {
+            tag: req.tag,
+            model: req.model,
+            output,
+            latency: exec,
+            report: RequestReport {
+                queue_wait: psml_simtime::SimDuration::ZERO,
+                exec,
+                window: 1,
+                secure_muls: self.ctx.report().secure_muls - muls_before,
+            },
+        })
+    }
+
+    /// Declares upcoming triple shapes to the provisioning pipeline on
+    /// behalf of the serving layer's window fold.
+    pub(crate) fn schedule_triples(&mut self, specs: &[psml_mpc::TripleSpec]) {
+        self.ctx.schedule_triples(specs);
+    }
+
+    /// The online pass of one forward inference, *without* scheduling its
+    /// triples — the caller (either [`SecureTrainer::infer_request`] or
+    /// the serve micro-batcher's folded window declaration) already did.
+    pub(crate) fn infer_prescheduled(&mut self, x: &PlainMatrix) -> Result<PlainMatrix> {
         let xs = self.ctx.share_input(x)?;
         let (pred, _) = self.forward(&xs)?;
         let out = self.ctx.reveal(&pred)?.v;
         self.ctx.barrier();
         Ok(out)
+    }
+
+    /// Internal single-batch inference (schedule + online pass), shared by
+    /// the training paths and the deprecated shim.
+    fn infer_plain(&mut self, x: &PlainMatrix) -> Result<PlainMatrix> {
+        self.ctx
+            .schedule_triples(&self.spec.forward_schedule(x.rows()));
+        self.infer_prescheduled(x)
+    }
+
+    /// Secure inference on one plaintext batch; reveals the outputs.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use `infer_request(&InferRequest::new(x.clone()))` — the typed \
+                request/response API shared with `core::serve`"
+    )]
+    pub fn infer_batch(&mut self, x: &PlainMatrix) -> Result<PlainMatrix> {
+        self.infer_plain(x)
     }
 
     /// Trains `batches` mini-batches of `batch_size` drawn from `dataset`.
@@ -633,7 +685,7 @@ impl<R: SecureRing + GpuElement> SecureTrainer<R> {
             let loss = self.train_batch(&data.x, &y)?;
             losses.push(loss);
             if b + 1 == batches {
-                let out = self.infer_batch(&data.x)?;
+                let out = self.infer_plain(&data.x)?;
                 last_acc = self.accuracy(&out, &y);
             }
         }
@@ -644,8 +696,10 @@ impl<R: SecureRing + GpuElement> SecureTrainer<R> {
         })
     }
 
-    /// Secure inference over `batches` mini-batches; reports accuracy.
-    pub fn infer(
+    /// Secure inference over `batches` mini-batches drawn from `dataset`;
+    /// reports accuracy against the dataset labels. Each batch goes
+    /// through the typed [`SecureTrainer::infer_request`] path.
+    pub fn evaluate(
         &mut self,
         dataset: DatasetKind,
         batch_size: usize,
@@ -658,16 +712,33 @@ impl<R: SecureRing + GpuElement> SecureTrainer<R> {
         for b in 0..batches {
             let data = psml_data::batch(dataset, batch_size, b, seed);
             let y = self.targets_for(&data);
-            let out = self.infer_batch(&data.x)?;
-            correct += self.accuracy(&out, &y) * batch_size as f64;
+            let resp = self
+                .infer_request(&InferRequest::new(data.x).with_tag(b as u64))?;
+            correct += self.accuracy(&resp.output, &y) * batch_size as f64;
             total += batch_size as f64;
-            last = out;
+            last = resp.output;
         }
         Ok(InferenceResult {
             outputs: last,
             report: self.ctx.report(),
             accuracy: if total > 0.0 { correct / total } else { 0.0 },
         })
+    }
+
+    /// Secure inference over `batches` mini-batches; reports accuracy.
+    #[deprecated(
+        since = "0.8.0",
+        note = "renamed to `evaluate` (the typed request/response API \
+                reserves `infer` for per-request serving)"
+    )]
+    pub fn infer(
+        &mut self,
+        dataset: DatasetKind,
+        batch_size: usize,
+        batches: usize,
+        seed: u32,
+    ) -> Result<InferenceResult> {
+        self.evaluate(dataset, batch_size, batches, seed)
     }
 
     /// Maps a dataset batch to this model's target representation.
@@ -903,7 +974,15 @@ mod tests {
             SecureTrainer::<Fixed64>::new(small_cfg(), spec, 13).unwrap();
         let mut rng = Mt19937::new(9);
         let x = PlainMatrix::from_fn(4, 16, |_, _| rng.next_f64() - 0.5);
-        let out = trainer.infer_batch(&x).unwrap();
+        let resp = trainer
+            .infer_request(&InferRequest::new(x.clone()).with_tag(3))
+            .unwrap();
+        assert_eq!(resp.tag, 3);
+        assert_eq!(resp.model, crate::serve::ModelId::DIRECT);
+        assert!(resp.latency.as_secs() > 0.0);
+        assert_eq!(resp.report.window, 1);
+        assert!(resp.report.secure_muls > 0);
+        let out = resp.output;
         let w = &trainer.reveal_weights()[0][0];
         let expect = x.matmul(w);
         assert!(
@@ -933,15 +1012,37 @@ mod tests {
     }
 
     #[test]
-    fn infer_reports_aggregate_accuracy() {
+    fn evaluate_reports_aggregate_accuracy() {
         let spec = ModelSpec::build(ModelKind::Logistic, 2048, None, 10).unwrap();
         let mut trainer = SecureTrainer::<Fixed64>::new(small_cfg(), spec, 23).unwrap();
         let res = trainer
-            .infer(psml_data::DatasetKind::Synthetic, 4, 2, 7)
+            .evaluate(psml_data::DatasetKind::Synthetic, 4, 2, 7)
             .unwrap();
         assert!((0.0..=1.0).contains(&res.accuracy));
         assert_eq!(res.outputs.shape(), (4, 1));
         assert!(res.report.online_time.as_secs() > 0.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_typed_api() {
+        // The `infer_batch`/`infer` shims must be thin delegates: same
+        // seed, same inputs => bit-identical outputs via either surface.
+        let spec = ModelSpec::build(ModelKind::Linear, 16, None, 10).unwrap();
+        let mut rng = Mt19937::new(9);
+        let x = PlainMatrix::from_fn(4, 16, |_, _| rng.next_f64() - 0.5);
+        let mut a = SecureTrainer::<Fixed64>::new(small_cfg(), spec.clone(), 13).unwrap();
+        let mut b = SecureTrainer::<Fixed64>::new(small_cfg(), spec.clone(), 13).unwrap();
+        let via_shim = a.infer_batch(&x).unwrap();
+        let via_typed = b.infer_request(&InferRequest::new(x.clone())).unwrap().output;
+        assert_eq!(via_shim, via_typed);
+        let spec = ModelSpec::build(ModelKind::Logistic, 2048, None, 10).unwrap();
+        let mut a = SecureTrainer::<Fixed64>::new(small_cfg(), spec.clone(), 23).unwrap();
+        let mut b = SecureTrainer::<Fixed64>::new(small_cfg(), spec, 23).unwrap();
+        let via_shim = a.infer(psml_data::DatasetKind::Synthetic, 4, 2, 7).unwrap();
+        let via_typed = b.evaluate(psml_data::DatasetKind::Synthetic, 4, 2, 7).unwrap();
+        assert_eq!(via_shim.outputs, via_typed.outputs);
+        assert_eq!(via_shim.accuracy, via_typed.accuracy);
     }
 
     #[test]
@@ -1057,7 +1158,10 @@ mod tests {
             PlainModel::new(small_cfg(), spec, PlainBackend::Cpu, 41).unwrap();
         let mut rng = Mt19937::new(13);
         let x = PlainMatrix::from_fn(3, 64, |_, _| rng.next_f64());
-        let s_out = secure.infer_batch(&x).unwrap();
+        let s_out = secure
+            .infer_request(&InferRequest::new(x.clone()))
+            .unwrap()
+            .output;
         let p_out = plain.infer_batch(&x);
         assert!(
             s_out.max_abs_diff(&p_out) < 2e-2,

@@ -127,6 +127,7 @@ pub const DETERMINISM_MODULES: &[&str] = &[
     "core::engine",
     "core::provider",
     "core::trainer",
+    "core::serve",
     "core::adaptive",
     "core::layers",
     "core::models",

@@ -28,14 +28,14 @@ fn main() {
     let mut fast = SecureTrainer::<Fixed64>::new(EngineConfig::parsecureml(), spec_of(), 5)
         .expect("trainer");
     let fast_res = fast
-        .infer(dataset, batch_size, batches, 17)
+        .evaluate(dataset, batch_size, batches, 17)
         .expect("inference");
 
     // Secure inference, SecureML CPU baseline.
     let mut slow = SecureTrainer::<Fixed64>::new(EngineConfig::secureml(), spec_of(), 5)
         .expect("trainer");
     let slow_res = slow
-        .infer(dataset, batch_size, batches, 17)
+        .evaluate(dataset, batch_size, batches, 17)
         .expect("inference");
 
     // Non-secure plain model on the GPU.

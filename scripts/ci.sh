@@ -85,3 +85,28 @@ PSML_SMOKE=1 cargo bench --offline -p psml-bench --bench gemm
 ./target/release/psml validate BENCH_gemm.smoke.json
 rm -f BENCH_gemm.smoke.json
 ./target/release/psml validate BENCH_gemm.json
+
+# Serving gate: the multi-tenant micro-batcher must reveal exactly the
+# bytes a sequential run reveals (digest equality over tag-sorted
+# outputs), its JSON report must validate against psml.serve.v1, and a
+# smoke run of the throughput bench (which re-asserts the identity
+# internally) must emit a valid psml.bench.serve.v1 document alongside
+# the committed full-fleet measurement.
+serve_json="$(mktemp)"
+serve_args=(--models mlp,logistic --dataset synthetic --fleet 16 --requests 32 \
+    --window-us 400 --max-batch 8 --queue 4096 --seed 42)
+batched_digest="$(./target/release/psml serve "${serve_args[@]}" \
+    | awk '/serve digest/ {print $4}')"
+sequential_digest="$(./target/release/psml serve "${serve_args[@]}" --sequential \
+    | awk '/serve digest/ {print $4}')"
+[ -n "$batched_digest" ] && [ "$batched_digest" = "$sequential_digest" ] || {
+    echo "ci: serve digest $batched_digest != sequential $sequential_digest" >&2
+    exit 1
+}
+./target/release/psml serve "${serve_args[@]}" --json "$serve_json"
+./target/release/psml validate "$serve_json"
+rm -f "$serve_json"
+PSML_SMOKE=1 cargo bench --offline -p psml-bench --bench serve_throughput
+./target/release/psml validate BENCH_serve.smoke.json
+rm -f BENCH_serve.smoke.json
+./target/release/psml validate BENCH_serve.json

@@ -48,7 +48,10 @@ fn secure_logistic_regression_separates_classes() {
     for _ in 0..25 {
         trainer.train_batch(&x, &y).unwrap();
     }
-    let pred = trainer.infer_batch(&x).unwrap();
+    let pred = trainer
+        .infer_request(&InferRequest::new(x.clone()))
+        .unwrap()
+        .output;
     let acc = trainer.accuracy(&pred, &y);
     assert!(acc >= 0.75, "logistic accuracy {acc} too low");
 }
@@ -63,7 +66,10 @@ fn secure_svm_separates_classes() {
     for _ in 0..25 {
         trainer.train_batch(&x, &y).unwrap();
     }
-    let pred = trainer.infer_batch(&x).unwrap();
+    let pred = trainer
+        .infer_request(&InferRequest::new(x.clone()))
+        .unwrap()
+        .output;
     let acc = trainer.accuracy(&pred, &y);
     assert!(acc >= 0.75, "SVM accuracy {acc} too low");
 }

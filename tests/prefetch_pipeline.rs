@@ -40,7 +40,10 @@ fn train_and_infer(
     for _ in 0..2 {
         losses.push(trainer.train_batch(&x, &y).unwrap());
     }
-    let out = trainer.infer_batch(&x).unwrap();
+    let out = trainer
+        .infer_request(&InferRequest::new(x.clone()))
+        .unwrap()
+        .output;
     (losses, out, trainer.report())
 }
 

@@ -172,7 +172,7 @@ fn client_aided_activation_matches_server_exchange() {
     let run = |client_aided: bool| {
         let cfg = EngineConfig::parsecureml().with_client_aided_activation(client_aided);
         let mut t = SecureTrainer::<Fixed64>::new(cfg, spec.clone(), SEED).unwrap();
-        t.infer_batch(&x).unwrap()
+        t.infer_request(&InferRequest::new(x.clone())).unwrap().output
     };
     let server_mode = run(false);
     let client_mode = run(true);
@@ -192,7 +192,7 @@ fn client_aided_activation_moves_traffic_off_the_server_link() {
     let run = |client_aided: bool| {
         let cfg = EngineConfig::parsecureml().with_client_aided_activation(client_aided);
         let mut t = SecureTrainer::<Fixed64>::new(cfg, spec.clone(), SEED).unwrap();
-        t.infer_batch(&x).unwrap();
+        t.infer_request(&InferRequest::new(x.clone())).unwrap();
         t.report()
     };
     let server_mode = run(false);

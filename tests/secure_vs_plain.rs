@@ -36,7 +36,10 @@ fn initial_inference_matches_plain_for_every_model() {
                 .unwrap();
         let x = batch_for(&spec, 6);
         let plain_out = plain.infer_batch(&x);
-        let secure_out = secure.infer_batch(&x).unwrap();
+        let secure_out = secure
+            .infer_request(&InferRequest::new(x.clone()))
+            .unwrap()
+            .output;
         let diff = plain_out.max_abs_diff(&secure_out);
         assert!(
             diff < 2e-2,
@@ -78,7 +81,10 @@ fn training_trajectories_stay_close_for_linear_models() {
         }
         // Final weights agree too.
         let pw = plain.infer_batch(&x);
-        let sw = secure.infer_batch(&x).unwrap();
+        let sw = secure
+            .infer_request(&InferRequest::new(x.clone()))
+            .unwrap()
+            .output;
         assert!(
             pw.max_abs_diff(&sw) < 5e-2,
             "{kind:?}: post-training inference diverged by {}",
@@ -129,8 +135,14 @@ fn exported_weights_transfer_between_trainers() {
     )
     .unwrap();
     student.import_weights(&weights).unwrap();
-    let a = teacher.infer_batch(&x).unwrap();
-    let b = student.infer_batch(&x).unwrap();
+    let a = teacher
+        .infer_request(&InferRequest::new(x.clone()))
+        .unwrap()
+        .output;
+    let b = student
+        .infer_request(&InferRequest::new(x.clone()))
+        .unwrap()
+        .output;
     assert!(
         a.max_abs_diff(&b) < 2e-3,
         "teacher/student inference diverged by {}",
@@ -158,12 +170,12 @@ fn float_carrier_agrees_with_fixed_carrier() {
             let mut t =
                 SecureTrainer::<Fixed64>::new(EngineConfig::parsecureml(), spec.clone(), SEED)
                     .unwrap();
-            *out = t.infer_batch(&x).unwrap();
+            *out = t.infer_request(&InferRequest::new(x.clone())).unwrap().output;
         } else {
             let mut t =
                 SecureTrainer::<f32>::new(EngineConfig::parsecureml(), spec.clone(), SEED)
                     .unwrap();
-            *out = t.infer_batch(&x).unwrap();
+            *out = t.infer_request(&InferRequest::new(x.clone())).unwrap().output;
         }
     };
     let mut fixed_out = PlainMatrix::zeros(0, 0);
