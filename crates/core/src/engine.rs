@@ -34,7 +34,7 @@ use crate::config::EngineConfig;
 use crate::error::{EngineError, Result};
 use crate::provider::TripleProvider;
 use crate::report::{PhaseBreakdown, RunReport};
-use psml_gpu::{GpuDevice, GpuElement};
+use psml_gpu::{backend_for, GemmMode, GpuDevice, GpuElement};
 use psml_mpc::{
     gen_triple_streamed, BeaverTriple, EvalStrategy, Party, PlainMatrix, SecureRing,
     ServerMulSession, TripleShare, TripleSpec,
@@ -256,9 +256,13 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
         for ep in [&mut c_ep, &mut s0_ep, &mut s1_ep] {
             ep.install_faults(&cfg.fault_plan);
         }
+        // One backend selection for every device in the context: config
+        // field, overridden by PSML_BACKEND, degraded per carrier (OpenCL
+        // falls back to host for rings / missing devices).
+        let backend = cfg.effective_backend();
         let mk_server = |ep: Endpoint<R>| ServerState {
             cpu: Resource::new("cpu"),
-            device: GpuDevice::new(cfg.machine.gpu.clone()),
+            device: GpuDevice::with_backend(cfg.machine.gpu.clone(), backend_for::<R>(backend)),
             endpoint: ep,
             encoders: HashMap::new(),
             decoders: HashMap::new(),
@@ -269,7 +273,7 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
             rng: psml_parallel::protocol_rng(seed),
             client: ClientState {
                 cpu: Resource::new("client-cpu"),
-                device: GpuDevice::new(cfg.machine.gpu.clone()),
+                device: GpuDevice::with_backend(cfg.machine.gpu.clone(), backend_for::<R>(backend)),
                 endpoint: c_ep,
                 now: SimTime::ZERO,
             },
@@ -373,18 +377,22 @@ impl<R: SecureRing + GpuElement> SecureContext<R> {
     /// Clock-only mirror of [`SecureContext::client_product`].
     fn charge_client_product(&mut self, m: usize, k: usize, n: usize) {
         let bytes = (m * k + k * n + m * n) * R::BYTES;
+        // The client's triple product always runs on the plain or
+        // Tensor-Core unit (never the quantized-ring charge model, which
+        // only applies to server compute2 — see `gpu_gemm_mode`).
+        let mode = if self.cfg.tensor_cores {
+            GemmMode::TensorCore
+        } else {
+            GemmMode::Fp32
+        };
         let cpu_cost = self.cfg.client_gemm_time(m, k, n);
-        let gpu_cost = self
-            .cfg
-            .machine
-            .gpu
-            .gemm_time(m, k, n, self.cfg.tensor_cores)
+        let gpu_cost = self.cfg.machine.gpu.gemm_time_mode(m, k, n, mode)
             + self.cfg.machine.gpu.pcie.transfer_time(bytes);
         if self.cfg.gpu_offline && gpu_cost < cpu_cost {
             let done = self
                 .client
                 .device
-                .charge_gemm_roundtrip(m, k, n, self.cfg.tensor_cores, self.client.now)
+                .charge_gemm_roundtrip(m, k, n, mode, self.client.now)
                 .expect("client device gemm");
             self.client.now = self.client.now.max(done);
             self.breakdown.share_generation += gpu_cost;

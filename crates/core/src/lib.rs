@@ -84,7 +84,8 @@ pub use psml_net::{
 // `psml_gpu` directly: device handles for custom protocols, the machine
 // model for configuration, and the nvprof-style profile in reports.
 pub use psml_gpu::{
-    CpuConfig, GemmMode, GpuConfig, GpuDevice, GpuError, MachineConfig, ProfileReport,
+    backend_for, Backend, BackendKind, CpuConfig, GemmMode, GpuConfig, GpuDevice, GpuError,
+    MachineConfig, ProfileReport,
 };
 pub use psml_simtime::LinkModel;
 
@@ -100,10 +101,10 @@ pub use psml_trace::{
 pub mod prelude {
     pub use crate::baseline::{PlainBackend, PlainModel};
     pub use crate::{
-        Activation, AdaptivePolicy, ConfigError, EngineConfig, EngineConfigBuilder,
-        EngineError, FaultPlan, InferRequest, InferResponse, LayerSpec, LinkFaults,
-        MachineConfig, ModelHost, ModelId, ModelKind, ModelSpec, NetError, NodeId,
-        Phase, RecalEvent, RequestReport, RetryPolicy, RunReport, SecureContext,
+        Activation, AdaptivePolicy, BackendKind, ConfigError, EngineConfig,
+        EngineConfigBuilder, EngineError, FaultPlan, InferRequest, InferResponse, LayerSpec,
+        LinkFaults, MachineConfig, ModelHost, ModelId, ModelKind, ModelSpec, NetError,
+        NodeId, Phase, RecalEvent, RequestReport, RetryPolicy, RunReport, SecureContext,
         SecureTrainer, ServeConfig, ServeError, ServeReport, Summary, TraceEvent,
         TraceSink, TrainerCheckpoint,
     };

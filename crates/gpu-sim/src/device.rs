@@ -1,8 +1,9 @@
 //! The simulated GPU device: memory, engines, and operations.
 
+use crate::backend::{Backend, BackendKind, SimBackend};
 use crate::config::GpuConfig;
 use crate::element::GpuElement;
-use crate::kernels::{self, GemmMode};
+use crate::kernels::GemmMode;
 use crate::profiler::ProfileReport;
 use psml_simtime::{ResourceId, SimTime, Timeline};
 use psml_tensor::Matrix;
@@ -71,8 +72,15 @@ struct Slot<R: GpuElement> {
 /// Every buffer carries the simulated instant its contents become valid;
 /// an operation starts at the max of its operands' ready times and its
 /// engine's availability.
+///
+/// Kernel *execution* is delegated to a pluggable [`Backend`]; the device
+/// keeps the arena, the timeline, and the profiler, and prices every
+/// kernel through the backend's shared rate table. [`GpuDevice::new`]
+/// installs the simulator backend, so default behavior — every charged
+/// duration and profile string — is unchanged.
 pub struct GpuDevice<R: GpuElement> {
     config: GpuConfig,
+    backend: Box<dyn Backend<R>>,
     timeline: Timeline,
     h2d: ResourceId,
     d2h: ResourceId,
@@ -84,14 +92,23 @@ pub struct GpuDevice<R: GpuElement> {
 }
 
 impl<R: GpuElement> GpuDevice<R> {
-    /// Creates an idle device.
+    /// Creates an idle device on the default simulator backend.
     pub fn new(config: GpuConfig) -> Self {
+        Self::with_backend(config, Box::new(SimBackend))
+    }
+
+    /// Creates an idle device executing kernels on the given backend.
+    /// The clock model is the backend-independent rate table, so two
+    /// devices over the same config charge identical simulated time
+    /// whatever their backends.
+    pub fn with_backend(config: GpuConfig, backend: Box<dyn Backend<R>>) -> Self {
         let mut timeline = Timeline::new();
         let h2d = timeline.add_resource("pcie:h2d");
         let compute = timeline.add_resource("gpu:compute");
         let d2h = timeline.add_resource("pcie:d2h");
         GpuDevice {
             config,
+            backend,
             timeline,
             h2d,
             d2h,
@@ -106,6 +123,11 @@ impl<R: GpuElement> GpuDevice<R> {
     /// The device configuration.
     pub fn config(&self) -> &GpuConfig {
         &self.config
+    }
+
+    /// Which compute backend executes this device's kernels.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
     }
 
     /// Bytes currently allocated on the device.
@@ -233,13 +255,8 @@ impl<R: GpuElement> GpuDevice<R> {
         }
         let (m, k, n) = (sa.data.rows(), sa.data.cols(), sb.data.cols());
         let ready = sa.ready.max(sb.ready).max(self.fence);
-        let out = kernels::gemm(&sa.data, &sb.data, mode);
-        let dur = self.config.gemm_time_mode(m, k, n, mode);
-        let label = match mode {
-            GemmMode::Fp32 => "gemm",
-            GemmMode::TensorCore => "gemm_tc",
-            GemmMode::QuantizedRing => "gemm_quant",
-        };
+        let out = self.backend.gemm(&sa.data, &sb.data, mode);
+        let (label, dur) = self.backend.gemm_charge(&self.config, m, k, n, mode);
         let done = self.timeline.schedule(self.compute, ready, dur, label);
         self.alloc(out, done)
     }
@@ -328,11 +345,11 @@ impl<R: GpuElement> GpuDevice<R> {
         seed: u64,
         after: SimTime,
     ) -> Result<BufferId, GpuError> {
-        let out = kernels::device_random::<R>(rows, cols, seed);
-        let dur = self.config.rng_time(rows * cols);
+        let out = self.backend.random(rows, cols, seed);
+        let (label, dur) = self.backend.rng_charge(&self.config, rows * cols);
         let done = self
             .timeline
-            .schedule(self.compute, after.max(self.fence), dur, "curand");
+            .schedule(self.compute, after.max(self.fence), dur, label);
         self.alloc(out, done)
     }
 
@@ -368,10 +385,10 @@ impl<R: GpuElement> GpuDevice<R> {
         after: SimTime,
     ) -> Result<SimTime, GpuError> {
         let bytes = rows * cols * R::BYTES;
-        let dur = self.config.rng_time(rows * cols);
+        let (label, dur) = self.backend.rng_charge(&self.config, rows * cols);
         let ready = self
             .timeline
-            .schedule(self.compute, after.max(self.fence), dur, "curand");
+            .schedule(self.compute, after.max(self.fence), dur, label);
         self.charge_alloc(bytes)?;
         let dl = self.config.pcie.transfer_time(bytes);
         let done = self
@@ -393,7 +410,7 @@ impl<R: GpuElement> GpuDevice<R> {
         m: usize,
         k: usize,
         n: usize,
-        tensor_core: bool,
+        mode: GemmMode,
         after: SimTime,
     ) -> Result<SimTime, GpuError> {
         let a_bytes = m * k * R::BYTES;
@@ -417,8 +434,7 @@ impl<R: GpuElement> GpuDevice<R> {
         );
         self.charge_alloc(b_bytes)?;
         let ready = a_ready.max(b_ready).max(self.fence);
-        let dur = self.config.gemm_time(m, k, n, tensor_core);
-        let label = if tensor_core { "gemm_tc" } else { "gemm" };
+        let (label, dur) = self.backend.gemm_charge(&self.config, m, k, n, mode);
         let c_ready = self.timeline.schedule(self.compute, ready, dur, label);
         self.charge_alloc(c_bytes)?;
         let dl = self.config.pcie.transfer_time(c_bytes);
@@ -688,7 +704,7 @@ mod tests {
             real.free(hc).unwrap();
 
             let mut charged = device();
-            let done = charged.charge_gemm_roundtrip(m, k, n, tc, after).unwrap();
+            let done = charged.charge_gemm_roundtrip(m, k, n, mode, after).unwrap();
 
             assert_eq!(done, real_done, "tc={tc}");
             assert_eq!(charged.now(), real.now(), "tc={tc}");
@@ -713,7 +729,7 @@ mod tests {
         let err = dev.charge_random_roundtrip(40, 40, SimTime::ZERO).unwrap_err();
         assert!(matches!(err, GpuError::OutOfMemory { requested: 6400, .. }));
         dev.free(resident).unwrap();
-        dev.charge_gemm_roundtrip(20, 20, 20, false, SimTime::ZERO).unwrap();
+        dev.charge_gemm_roundtrip(20, 20, 20, GemmMode::Fp32, SimTime::ZERO).unwrap();
         assert_eq!(dev.allocated_bytes(), 0);
     }
 

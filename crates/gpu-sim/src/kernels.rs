@@ -28,6 +28,19 @@ pub enum GemmMode {
     QuantizedRing,
 }
 
+impl GemmMode {
+    /// The nvprof-style kernel label this mode's GEMM is charged under.
+    /// Single source of truth for every backend and every charge-only
+    /// mirror — the profile strings pinned by tests all come from here.
+    pub fn kernel_label(self) -> &'static str {
+        match self {
+            GemmMode::Fp32 => "gemm",
+            GemmMode::TensorCore => "gemm_tc",
+            GemmMode::QuantizedRing => "gemm_quant",
+        }
+    }
+}
+
 /// GEMM with the selected unit's numerics.
 pub fn gemm<R: GpuElement>(a: &Matrix<R>, b: &Matrix<R>, mode: GemmMode) -> Matrix<R> {
     match mode {

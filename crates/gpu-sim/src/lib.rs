@@ -1,5 +1,6 @@
-#![forbid(unsafe_code)]
-//! Functional + timed GPU device simulator for ParSecureML-rs.
+#![deny(unsafe_op_in_unsafe_fn)]
+//! Functional + timed GPU device simulator for ParSecureML-rs, plus the
+//! pluggable real-execution backends behind the same device API.
 //!
 //! # Why a simulator
 //!
@@ -38,12 +39,16 @@
 //! assert!(done.as_secs() > 0.0); // simulated time advanced
 //! ```
 
+pub mod backend;
 pub mod config;
 pub mod device;
 pub mod element;
 pub mod kernels;
+#[cfg(feature = "gpu")]
+pub mod opencl;
 pub mod profiler;
 
+pub use backend::{backend_for, env_backend_override, Backend, BackendKind, HostBackend, SimBackend};
 pub use config::{CpuConfig, GpuConfig, MachineConfig};
 pub use device::{BufferId, GpuDevice, GpuError};
 pub use element::GpuElement;

@@ -1,0 +1,561 @@
+//! Optional OpenCL int8 GEMM device backend (`--features gpu`).
+//!
+//! A real device backend in the `GpuExec` shape: one struct owns the
+//! platform → device → context → queue → program chain, the kernel is
+//! built once with `-D TM/TN/TK` tile-size options (overridable via
+//! `PSML_CL_TM`/`PSML_CL_TN`/`PSML_CL_TK`), and every GEMM is buffer
+//! upload → NDRange launch → blocking read.
+//!
+//! Two deliberate departures from the usual OpenCL crate stack:
+//!
+//! - **No build-time dependency.** The ICD loader (`libOpenCL.so.1`) is
+//!   opened at runtime with `dlopen` and every entry point resolved with
+//!   `dlsym`, so the feature compiles everywhere and [`OpenClBackend::probe`]
+//!   simply returns `None` on hosts without a loader or device — the
+//!   selection layer ([`crate::backend::backend_for`]) then falls back to
+//!   the host backend. No linker flags, no vendored bindings.
+//! - **Quantized modes only.** The device kernel is a scaled int8 GEMM:
+//!   operands are calibrated symmetrically (`q = round(v·127/max|v|)`),
+//!   multiplied in i8×i8→i32 on device, and dequantized on the host. The
+//!   [`GemmMode::Fp32`] contract demands exact f32 results, so that mode
+//!   stays on the host path; ring carriers never reach this backend at
+//!   all (see [`crate::element::GpuElement::opencl_backend`]). Any
+//!   runtime failure (lost device, build regression) falls back to the
+//!   host backend's result for the same mode, so a flaky device can slow
+//!   a run down but never change whether it completes.
+//!
+//! The device buffers hold share-derived operand bytes, so nothing in
+//! this module's `Debug` output ever includes buffer contents
+//! (psml-secret).
+
+use crate::backend::{Backend, BackendKind, HostBackend};
+use crate::kernels::GemmMode;
+use psml_tensor::Matrix;
+use std::ffi::{c_char, c_void, CString};
+use std::fmt;
+use std::sync::Mutex;
+
+/// Scaled int8 GEMM kernel. Each work item produces a `TM × TN` output
+/// tile, stepping the inner dimension in `TK` chunks; the tile sizes are
+/// compile-time `-D` options so they can be tuned per device without
+/// touching the source.
+const GEMM_INT8_SRC: &str = r#"
+#ifndef TM
+#define TM 4
+#endif
+#ifndef TN
+#define TN 4
+#endif
+#ifndef TK
+#define TK 16
+#endif
+__kernel void gemm_int8(__global const char* a,
+                        __global const char* b,
+                        __global int* y,
+                        const int m, const int n, const int k) {
+    const int i0 = get_global_id(0) * TM;
+    const int j0 = get_global_id(1) * TN;
+    if (i0 >= m || j0 >= n) return;
+    int acc[TM][TN];
+    for (int i = 0; i < TM; ++i)
+        for (int j = 0; j < TN; ++j)
+            acc[i][j] = 0;
+    for (int t0 = 0; t0 < k; t0 += TK) {
+        const int tend = min(t0 + TK, k);
+        for (int i = 0; i < TM && i0 + i < m; ++i)
+            for (int t = t0; t < tend; ++t) {
+                const int av = (int)a[(i0 + i) * k + t];
+                for (int j = 0; j < TN && j0 + j < n; ++j)
+                    acc[i][j] += av * (int)b[t * n + j0 + j];
+            }
+    }
+    for (int i = 0; i < TM && i0 + i < m; ++i)
+        for (int j = 0; j < TN && j0 + j < n; ++j)
+            y[(i0 + i) * n + j0 + j] = acc[i][j];
+}
+"#;
+
+// --- minimal OpenCL ABI (only what the backend calls) ---
+
+type ClPlatform = *mut c_void;
+type ClDeviceId = *mut c_void;
+type ClContext = *mut c_void;
+type ClQueue = *mut c_void;
+type ClProgram = *mut c_void;
+type ClKernel = *mut c_void;
+type ClMem = *mut c_void;
+
+const CL_SUCCESS: i32 = 0;
+const CL_DEVICE_TYPE_GPU: u64 = 1 << 2;
+const CL_DEVICE_TYPE_ALL: u64 = 0xFFFF_FFFF;
+const CL_MEM_READ_ONLY: u64 = 1 << 2;
+const CL_MEM_WRITE_ONLY: u64 = 1 << 1;
+const CL_MEM_COPY_HOST_PTR: u64 = 1 << 5;
+const CL_TRUE: u32 = 1;
+
+#[cfg(unix)]
+extern "C" {
+    fn dlopen(file: *const c_char, mode: i32) -> *mut c_void;
+    fn dlsym(handle: *mut c_void, name: *const c_char) -> *mut c_void;
+}
+#[cfg(unix)]
+const RTLD_NOW: i32 = 2;
+
+/// The resolved OpenCL entry points. Populated once by
+/// [`OpenClBackend::probe`]; all pointers come from the ICD loader's
+/// `dlsym` and stay valid for the process lifetime (the loader is never
+/// `dlclose`d).
+#[allow(clippy::type_complexity)]
+struct ClApi {
+    // SAFETY: clGetPlatformIDs — call sites pass counted out-arrays.
+    get_platform_ids: unsafe extern "C" fn(u32, *mut ClPlatform, *mut u32) -> i32,
+    // SAFETY: clGetDeviceIDs — call sites pass counted out-arrays.
+    get_device_ids: unsafe extern "C" fn(ClPlatform, u64, u32, *mut ClDeviceId, *mut u32) -> i32,
+    // SAFETY: clCreateContext — called with a live device id and null
+    // properties/callback, per the OpenCL 1.2 contract.
+    create_context: unsafe extern "C" fn(
+        *const isize,
+        u32,
+        *const ClDeviceId,
+        *const c_void,
+        *mut c_void,
+        *mut i32,
+    ) -> ClContext,
+    // SAFETY: clCreateCommandQueue — called with the context's own device.
+    create_queue: unsafe extern "C" fn(ClContext, ClDeviceId, u64, *mut i32) -> ClQueue,
+    // SAFETY: clCreateProgramWithSource — one NUL-terminated source string.
+    create_program: unsafe extern "C" fn(
+        ClContext,
+        u32,
+        *const *const c_char,
+        *const usize,
+        *mut i32,
+    ) -> ClProgram,
+    // SAFETY: clBuildProgram — NUL-terminated `-D` options, null callback.
+    build_program: unsafe extern "C" fn(
+        ClProgram,
+        u32,
+        *const ClDeviceId,
+        *const c_char,
+        *const c_void,
+        *mut c_void,
+    ) -> i32,
+    // SAFETY: clCreateKernel — NUL-terminated kernel name.
+    create_kernel: unsafe extern "C" fn(ClProgram, *const c_char, *mut i32) -> ClKernel,
+    // SAFETY: clCreateBuffer — COPY_HOST_PTR sources exactly `size` bytes.
+    create_buffer: unsafe extern "C" fn(ClContext, u64, usize, *mut c_void, *mut i32) -> ClMem,
+    // SAFETY: clSetKernelArg — arg size always matches the kernel signature.
+    set_kernel_arg: unsafe extern "C" fn(ClKernel, u32, usize, *const c_void) -> i32,
+    // SAFETY: clEnqueueNDRangeKernel — 2-D global size, null local/events.
+    enqueue_ndrange: unsafe extern "C" fn(
+        ClQueue,
+        ClKernel,
+        u32,
+        *const usize,
+        *const usize,
+        *const usize,
+        u32,
+        *const c_void,
+        *mut c_void,
+    ) -> i32,
+    // SAFETY: clEnqueueReadBuffer — blocking read into a live host slice of
+    // at least the requested byte length.
+    enqueue_read: unsafe extern "C" fn(
+        ClQueue,
+        ClMem,
+        u32,
+        usize,
+        usize,
+        *mut c_void,
+        u32,
+        *const c_void,
+        *mut c_void,
+    ) -> i32,
+    // SAFETY: clFinish — drains a live queue.
+    finish: unsafe extern "C" fn(ClQueue) -> i32,
+    // SAFETY: clReleaseMemObject — each buffer released exactly once.
+    release_mem: unsafe extern "C" fn(ClMem) -> i32,
+}
+
+/// The live device session: API table plus the handles built by `probe`.
+/// Raw OpenCL handles; every use goes through the owning backend's mutex.
+struct ClExec {
+    api: ClApi,
+    context: ClContext,
+    queue: ClQueue,
+    kernel: ClKernel,
+}
+
+/// OpenCL int8 GEMM device backend for f32 carriers. Construct via
+/// [`OpenClBackend::probe`]; selection and fallback are handled by
+/// [`crate::backend::backend_for`]. Device buffers hold share-derived
+/// operand bytes, so the type is registered secret and its `Debug`
+/// redacts everything but the type name.
+#[doc = "psml-secret"]
+pub struct OpenClBackend {
+    exec: Mutex<ClExec>,
+}
+
+// SAFETY: all raw handles live behind the `Mutex`, and every OpenCL call
+// this backend makes happens with the lock held, so cross-thread use is
+// fully serialized. (OpenCL contexts and queues are thread-safe per spec
+// except `clSetKernelArg` on a shared kernel object — exactly the race
+// the mutex removes.)
+unsafe impl Send for OpenClBackend {}
+// SAFETY: see Send — no method touches the handles outside the lock.
+unsafe impl Sync for OpenClBackend {}
+
+impl fmt::Debug for OpenClBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Handles only; device buffers are share-derived (psml-secret).
+        f.debug_struct("OpenClBackend").finish_non_exhaustive()
+    }
+}
+
+fn tile_options() -> CString {
+    let mut opts = String::new();
+    for (var, def) in [("PSML_CL_TM", "TM"), ("PSML_CL_TN", "TN"), ("PSML_CL_TK", "TK")] {
+        if let Ok(v) = std::env::var(var) {
+            if v.parse::<u32>().map(|x| x >= 1).unwrap_or(false) {
+                opts.push_str(&format!(" -D {def}={v}"));
+            }
+        }
+    }
+    CString::new(opts).expect("no interior NUL in numeric options")
+}
+
+impl OpenClBackend {
+    /// Opens the ICD loader and enumerates a device; `None` when the host
+    /// has no loader, no platform, no device, or the program fails to
+    /// build — callers fall back to the host backend.
+    pub fn probe() -> Option<OpenClBackend> {
+        #[cfg(not(unix))]
+        {
+            return None;
+        }
+        #[cfg(unix)]
+        {
+            // SAFETY: dlopen with a NUL-terminated literal; a null result
+            // is checked before use.
+            let lib = unsafe { dlopen(c"libOpenCL.so.1".as_ptr(), RTLD_NOW) };
+            if lib.is_null() {
+                return None;
+            }
+            macro_rules! sym {
+                ($name:literal, $ty:ty) => {{
+                    // SAFETY: lib is a live dlopen handle and the name is
+                    // NUL-terminated; null results abort the probe before
+                    // the pointer is ever called.
+                    let p = unsafe { dlsym(lib, $name.as_ptr()) };
+                    if p.is_null() {
+                        return None;
+                    }
+                    // SAFETY: the ICD loader exports this symbol with
+                    // exactly this C ABI (pinned by the OpenCL 1.2 spec).
+                    unsafe { std::mem::transmute::<*mut c_void, $ty>(p) }
+                }};
+            }
+            let api = ClApi {
+                get_platform_ids: sym!(c"clGetPlatformIDs", _),
+                get_device_ids: sym!(c"clGetDeviceIDs", _),
+                create_context: sym!(c"clCreateContext", _),
+                create_queue: sym!(c"clCreateCommandQueue", _),
+                create_program: sym!(c"clCreateProgramWithSource", _),
+                build_program: sym!(c"clBuildProgram", _),
+                create_kernel: sym!(c"clCreateKernel", _),
+                create_buffer: sym!(c"clCreateBuffer", _),
+                set_kernel_arg: sym!(c"clSetKernelArg", _),
+                enqueue_ndrange: sym!(c"clEnqueueNDRangeKernel", _),
+                enqueue_read: sym!(c"clEnqueueReadBuffer", _),
+                finish: sym!(c"clFinish", _),
+                release_mem: sym!(c"clReleaseMemObject", _),
+            };
+
+            let mut platform: ClPlatform = std::ptr::null_mut();
+            let mut count = 0u32;
+            // SAFETY: out-pointers reference the locals above; the ABI is
+            // the loader's own.
+            if unsafe { (api.get_platform_ids)(1, &mut platform, &mut count) } != CL_SUCCESS
+                || count == 0
+            {
+                return None;
+            }
+            let mut device: ClDeviceId = std::ptr::null_mut();
+            let mut dcount = 0u32;
+            // SAFETY: as above; GPU first, any device type as fallback.
+            let gpu_ok = unsafe {
+                (api.get_device_ids)(platform, CL_DEVICE_TYPE_GPU, 1, &mut device, &mut dcount)
+            } == CL_SUCCESS
+                && dcount > 0;
+            if !gpu_ok {
+                // SAFETY: same out-pointer pattern.
+                let any_ok = unsafe {
+                    (api.get_device_ids)(platform, CL_DEVICE_TYPE_ALL, 1, &mut device, &mut dcount)
+                } == CL_SUCCESS
+                    && dcount > 0;
+                if !any_ok {
+                    return None;
+                }
+            }
+
+            let mut err = 0i32;
+            // SAFETY: device is a live id from the loader; no properties,
+            // no callback.
+            let context = unsafe {
+                (api.create_context)(
+                    std::ptr::null(),
+                    1,
+                    &device,
+                    std::ptr::null(),
+                    std::ptr::null_mut(),
+                    &mut err,
+                )
+            };
+            if context.is_null() || err != CL_SUCCESS {
+                return None;
+            }
+            // SAFETY: context and device are live; default queue properties.
+            let queue = unsafe { (api.create_queue)(context, device, 0, &mut err) };
+            if queue.is_null() || err != CL_SUCCESS {
+                return None;
+            }
+
+            let src = CString::new(GEMM_INT8_SRC).expect("kernel source has no NUL");
+            let src_ptr = src.as_ptr();
+            // SAFETY: one NUL-terminated source string (lengths = null).
+            let program = unsafe {
+                (api.create_program)(context, 1, &src_ptr, std::ptr::null(), &mut err)
+            };
+            if program.is_null() || err != CL_SUCCESS {
+                return None;
+            }
+            let opts = tile_options();
+            // SAFETY: program/device live; options NUL-terminated; no
+            // callback, so the call blocks until the build finishes.
+            if unsafe {
+                (api.build_program)(
+                    program,
+                    1,
+                    &device,
+                    opts.as_ptr(),
+                    std::ptr::null(),
+                    std::ptr::null_mut(),
+                )
+            } != CL_SUCCESS
+            {
+                return None;
+            }
+            // SAFETY: built program; kernel name NUL-terminated.
+            let kernel = unsafe { (api.create_kernel)(program, c"gemm_int8".as_ptr(), &mut err) };
+            if kernel.is_null() || err != CL_SUCCESS {
+                return None;
+            }
+
+            Some(OpenClBackend {
+                exec: Mutex::new(ClExec {
+                    api,
+                    context,
+                    queue,
+                    kernel,
+                }),
+            })
+        }
+    }
+
+    /// Runs one scaled int8 GEMM on the device. `None` on any runtime
+    /// error (the caller falls back to the host path for the same mode).
+    fn gemm_device(&self, a: &Matrix<f32>, b: &Matrix<f32>) -> Option<Matrix<f32>> {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        if m == 0 || n == 0 || k == 0 {
+            return Some(Matrix::zeros(m, n));
+        }
+        let sa = symmetric_scale(a.as_slice())?;
+        let sb = symmetric_scale(b.as_slice())?;
+        let qa: Vec<i8> = a.as_slice().iter().map(|&v| (v * sa).round() as i8).collect();
+        let qb: Vec<i8> = b.as_slice().iter().map(|&v| (v * sb).round() as i8).collect();
+        let mut acc = vec![0i32; m * n];
+
+        let exec = self.exec.lock().ok()?;
+        let api = &exec.api;
+        let mut err = 0i32;
+        // SAFETY: context is live under the lock; COPY_HOST_PTR snapshots
+        // the host slices, which outlive the call.
+        let buf_a = unsafe {
+            (api.create_buffer)(
+                exec.context,
+                CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                qa.len(),
+                qa.as_ptr() as *mut c_void,
+                &mut err,
+            )
+        };
+        if buf_a.is_null() || err != CL_SUCCESS {
+            return None;
+        }
+        let release = |mems: &[ClMem]| {
+            for &mem in mems {
+                if !mem.is_null() {
+                    // SAFETY: mem came from create_buffer under this lock.
+                    unsafe { (api.release_mem)(mem) };
+                }
+            }
+        };
+        // SAFETY: as buf_a.
+        let buf_b = unsafe {
+            (api.create_buffer)(
+                exec.context,
+                CL_MEM_READ_ONLY | CL_MEM_COPY_HOST_PTR,
+                qb.len(),
+                qb.as_ptr() as *mut c_void,
+                &mut err,
+            )
+        };
+        if buf_b.is_null() || err != CL_SUCCESS {
+            release(&[buf_a]);
+            return None;
+        }
+        // SAFETY: write-only output buffer of m*n i32.
+        let buf_y = unsafe {
+            (api.create_buffer)(
+                exec.context,
+                CL_MEM_WRITE_ONLY,
+                acc.len() * 4,
+                std::ptr::null_mut(),
+                &mut err,
+            )
+        };
+        if buf_y.is_null() || err != CL_SUCCESS {
+            release(&[buf_a, buf_b]);
+            return None;
+        }
+
+        let (mi, ni, ki) = (m as i32, n as i32, k as i32);
+        let args: [(usize, *const c_void); 6] = [
+            (std::mem::size_of::<ClMem>(), &buf_a as *const _ as *const c_void),
+            (std::mem::size_of::<ClMem>(), &buf_b as *const _ as *const c_void),
+            (std::mem::size_of::<ClMem>(), &buf_y as *const _ as *const c_void),
+            (4, &mi as *const _ as *const c_void),
+            (4, &ni as *const _ as *const c_void),
+            (4, &ki as *const _ as *const c_void),
+        ];
+        for (idx, (size, ptr)) in args.iter().enumerate() {
+            // SAFETY: kernel is live under the lock; each pointer
+            // references a live local of the declared size.
+            if unsafe { (api.set_kernel_arg)(exec.kernel, idx as u32, *size, *ptr) } != CL_SUCCESS {
+                release(&[buf_a, buf_b, buf_y]);
+                return None;
+            }
+        }
+
+        // One work item per TM x TN output tile; default tiles are 4x4
+        // and the kernel guards ragged edges itself.
+        let (tm, tn) = (tile_env("PSML_CL_TM", 4), tile_env("PSML_CL_TN", 4));
+        let global = [m.div_ceil(tm), n.div_ceil(tn)];
+        // SAFETY: 2-D range over the sizes above; no local size (runtime
+        // picks); no events.
+        let launched = unsafe {
+            (api.enqueue_ndrange)(
+                exec.queue,
+                exec.kernel,
+                2,
+                std::ptr::null(),
+                global.as_ptr(),
+                std::ptr::null(),
+                0,
+                std::ptr::null(),
+                std::ptr::null_mut(),
+            )
+        } == CL_SUCCESS;
+        let read = launched && {
+            // SAFETY: blocking read of exactly the buffer's byte length
+            // into the live `acc` allocation.
+            let rc = unsafe {
+                (api.enqueue_read)(
+                    exec.queue,
+                    buf_y,
+                    CL_TRUE,
+                    0,
+                    acc.len() * 4,
+                    acc.as_mut_ptr() as *mut c_void,
+                    0,
+                    std::ptr::null(),
+                    std::ptr::null_mut(),
+                )
+            };
+            rc == CL_SUCCESS
+        };
+        // SAFETY: queue is live; drains the device before releasing.
+        let ok = read && unsafe { (api.finish)(exec.queue) } == CL_SUCCESS;
+        release(&[buf_a, buf_b, buf_y]);
+        if !ok {
+            return None;
+        }
+
+        let inv = 1.0 / (sa * sb);
+        Some(Matrix::from_fn(m, n, |r, c| acc[r * n + c] as f32 * inv))
+    }
+}
+
+fn tile_env(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&x| x >= 1)
+        .unwrap_or(default)
+}
+
+/// Symmetric int8 calibration scale; `None` when the operand has no
+/// finite nonzero value (degenerate inputs stay on the exact host path).
+fn symmetric_scale(s: &[f32]) -> Option<f32> {
+    let max = s.iter().fold(0.0f32, |m, &v| if v.abs() > m { v.abs() } else { m });
+    (max.is_finite() && max > 0.0).then_some(127.0 / max)
+}
+
+impl Backend<f32> for OpenClBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::OpenCl
+    }
+
+    fn gemm(&self, a: &Matrix<f32>, b: &Matrix<f32>, mode: GemmMode) -> Matrix<f32> {
+        match mode {
+            // Exact-f32 contract: the int8 device kernel cannot honor it.
+            GemmMode::Fp32 => psml_tensor::gemm_auto(a, b),
+            GemmMode::TensorCore | GemmMode::QuantizedRing => self
+                .gemm_device(a, b)
+                .unwrap_or_else(|| HostBackend.gemm(a, b, mode)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_degrades_gracefully_without_a_device() {
+        // On hosts with no ICD loader (this CI) probe returns None; on
+        // hosts with one it returns a working backend. Either way it must
+        // not panic, and the selection layer must still hand out a
+        // backend for f32.
+        let _ = OpenClBackend::probe();
+        let be = crate::backend::backend_for::<f32>(BackendKind::OpenCl);
+        let a = Matrix::from_fn(5, 7, |r, c| (r as f32) - (c as f32) * 0.5);
+        let b = Matrix::from_fn(7, 3, |r, c| ((r + c) % 4) as f32 * 0.25);
+        // Fp32 stays exact on every backend.
+        assert_eq!(be.gemm(&a, &b, GemmMode::Fp32), psml_tensor::gemm_auto(&a, &b));
+    }
+
+    #[test]
+    fn scale_rejects_degenerate_operands() {
+        assert_eq!(symmetric_scale(&[0.0, -0.0]), None);
+        assert_eq!(symmetric_scale(&[f32::INFINITY]), None);
+        assert_eq!(symmetric_scale(&[]), None);
+        assert_eq!(symmetric_scale(&[-2.0, 1.0]), Some(63.5));
+    }
+
+    #[test]
+    fn tile_options_parse_only_positive_integers() {
+        // Uses the ambient env (unset in tests): defaults come back.
+        assert_eq!(tile_env("PSML_CL_DEFINITELY_UNSET", 4), 4);
+    }
+}

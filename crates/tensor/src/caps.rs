@@ -1,0 +1,78 @@
+//! Once-per-process host capability probe.
+//!
+//! Backend selection needs to know what the host can actually execute:
+//! the AMX INT8 tile unit (CPUID, the kernel's xstate opt-in, *and* a
+//! correctness cross-check — see [`crate::quant`]), the F16C f16
+//! conversion unit, and the AVX2 vector unit the packed kernels dispatch
+//! on. Probing at every call site is wasted work, and probing in several
+//! places lets the answers drift (one site honoring `PSML_NO_QUANT`,
+//! another not). This module runs every probe exactly once and caches an
+//! immutable [`HostCaps`] for the process lifetime; every availability
+//! question in the workspace reads from here.
+//!
+//! `PSML_NO_QUANT=1` (read once, at probe time) forces the tile unit off —
+//! benches use it for A/B runs. Because the probe is once-per-process,
+//! setting the variable after the first capability query has no effect,
+//! which is exactly the property simulated reports need: the answer can
+//! never change mid-run.
+
+use std::sync::OnceLock;
+
+/// What this host's hardware can run, probed once per process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HostCaps {
+    /// The AMX INT8 tile backend is usable: CPUID advertises
+    /// `amx-tile`+`amx-int8`, the kernel granted tile state, the tile
+    /// kernel cross-checked bit-identical against the portable model, and
+    /// `PSML_NO_QUANT` is unset.
+    pub quant_ring: bool,
+    /// The F16C conversion unit (`vcvtps2ph`/`vcvtph2ps`) is present, so
+    /// f16 rounding runs 8 lanes per instruction instead of through the
+    /// scalar emulation (bit-identical either way).
+    pub f16c: bool,
+    /// AVX2+FMA are present (the packed GEMM kernels' wide path).
+    pub avx2: bool,
+}
+
+/// The cached process-wide capability set.
+pub fn host_caps() -> &'static HostCaps {
+    static CAPS: OnceLock<HostCaps> = OnceLock::new();
+    CAPS.get_or_init(|| HostCaps {
+        quant_ring: crate::quant::probe_quant_ring(),
+        f16c: probe_feature("f16c"),
+        avx2: probe_feature("avx2") && probe_feature("fma"),
+    })
+}
+
+#[cfg(target_arch = "x86_64")]
+fn probe_feature(name: &str) -> bool {
+    match name {
+        "f16c" => std::arch::is_x86_feature_detected!("f16c"),
+        "avx2" => std::arch::is_x86_feature_detected!("avx2"),
+        "fma" => std::arch::is_x86_feature_detected!("fma"),
+        _ => false,
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn probe_feature(_name: &str) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_are_stable_within_the_process() {
+        let a = *host_caps();
+        let b = *host_caps();
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(host_caps(), host_caps()));
+    }
+
+    #[test]
+    fn quant_ring_cap_agrees_with_the_public_predicate() {
+        assert_eq!(host_caps().quant_ring, crate::quant::quant_ring_available());
+    }
+}

@@ -1,0 +1,219 @@
+//! Real mixed-precision host GEMM paths.
+//!
+//! The simulated device defines its Tensor-Core GEMM as "round both
+//! operands through binary16, accumulate in f32" — the numerics of
+//! `cublasSgemmEx` under `CUBLAS_TENSOR_OP_MATH`. This module *executes*
+//! that contract on host silicon:
+//!
+//! - [`gemm_f16`]: rounds operands through f16 on the F16C conversion
+//!   unit (`vcvtps2ph`/`vcvtph2ps`, 8 lanes per instruction) when the
+//!   host has one, then runs the packed f32 GEMM. The hardware
+//!   conversion is round-to-nearest-even, the same function as the
+//!   scalar emulation in [`crate::half`] — bit-identical by test across
+//!   every finite f16 pattern and the rounding corner cases — so results
+//!   cannot depend on which unit did the rounding.
+//! - [`gemm_int8_scaled`]: symmetric per-matrix int8 quantization over
+//!   the AMX tile pipeline ([`crate::quant::gemm_i8_i32`]) with an f32
+//!   dequantize. Approximate (unlike every ring path in this crate) but
+//!   fast; the error bound is documented on the function.
+
+use crate::caps::host_caps;
+use crate::gemm::gemm_auto;
+use crate::half::quantize_f16;
+use crate::matrix::Matrix;
+use crate::quant::gemm_i8_i32;
+
+/// Rounds every element through binary16 (RNE), using the F16C unit when
+/// the host has one and the scalar emulation otherwise. Both produce the
+/// identical bit pattern for every input, so callers never observe which
+/// path ran.
+pub fn quantize_f16_slice(s: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if host_caps().f16c {
+        // SAFETY: the f16c feature was detected by the process-wide
+        // capability probe.
+        unsafe { quantize_f16_slice_f16c(s) };
+        return;
+    }
+    for x in s.iter_mut() {
+        *x = quantize_f16(*x);
+    }
+}
+
+/// F16C vector path: `vcvtps2ph` with round-to-nearest-even, then
+/// `vcvtph2ps` back — exactly [`quantize_f16`] per lane.
+///
+/// # Safety
+///
+/// The CPU must support the `f16c` feature.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "f16c")]
+unsafe fn quantize_f16_slice_f16c(s: &mut [f32]) {
+    use std::arch::x86_64::{
+        _mm256_cvtph_ps, _mm256_cvtps_ph, _mm256_loadu_ps, _mm256_storeu_ps,
+        _MM_FROUND_TO_NEAREST_INT,
+    };
+    let mut i = 0;
+    while i + 8 <= s.len() {
+        // SAFETY: i + 8 <= len, so the unaligned load/store stay in
+        // bounds; f16c is enabled on this fn by contract.
+        unsafe {
+            let v = _mm256_loadu_ps(s.as_ptr().add(i));
+            let h = _mm256_cvtps_ph::<_MM_FROUND_TO_NEAREST_INT>(v);
+            _mm256_storeu_ps(s.as_mut_ptr().add(i), _mm256_cvtph_ps(h));
+        }
+        i += 8;
+    }
+    for x in &mut s[i..] {
+        *x = quantize_f16(*x);
+    }
+}
+
+/// Rounds a matrix through binary16 (see [`quantize_f16_slice`]).
+pub fn quantize_f16_matrix(a: &Matrix<f32>) -> Matrix<f32> {
+    let mut out = a.clone();
+    quantize_f16_slice(out.as_mut_slice());
+    out
+}
+
+/// The Tensor-Core GEMM contract on host silicon: operands rounded
+/// through binary16 (F16C where available), f32 accumulation via the
+/// packed GEMM hierarchy. Bit-identical to the simulated kernel
+/// `psml_gpu::kernels::gemm(…, TensorCore)` — both compute
+/// `gemm_auto(quantize(a), quantize(b))` with the same rounding.
+pub fn gemm_f16(a: &Matrix<f32>, b: &Matrix<f32>) -> Matrix<f32> {
+    let aq = quantize_f16_matrix(a);
+    let bq = quantize_f16_matrix(b);
+    gemm_auto(&aq, &bq)
+}
+
+/// Symmetric scale for int8 quantization: maps `[-max, max]` onto
+/// `[-127, 127]`. `None` when the operand has no finite nonzero value to
+/// calibrate on.
+fn int8_scale(s: &[f32]) -> Option<f32> {
+    let max = s.iter().fold(0.0f32, |m, &v| if v.abs() > m { v.abs() } else { m });
+    (max.is_finite() && max > 0.0).then_some(127.0 / max)
+}
+
+/// Approximate f32 GEMM over the int8 tile pipeline: each operand is
+/// quantized symmetrically (`q = round(v · 127 / max|v|)`), multiplied
+/// exactly in i8×i8→i32 on AMX (portable model otherwise), and the i32
+/// sums dequantized back to f32.
+///
+/// **Error bound:** quantization perturbs each element by at most half a
+/// step, `|δ| ≤ max/254`, so each output entry differs from the exact
+/// product by at most `k · maxA · maxB · (1/254 + 1/254 + 1/254²) <
+/// k · maxA · maxB / 126` — linear in the inner dimension, like the f16
+/// path's bound but with 8-bit instead of 11-bit significands. The i32
+/// accumulation itself is exact for `k ≤ 2^17` (see
+/// [`crate::quant::gemm_i8_i32`]); beyond that this function falls back
+/// to [`gemm_auto`]. Degenerate calibrations (all-zero or non-finite
+/// operands) also fall back, so the function is total.
+pub fn gemm_int8_scaled(a: &Matrix<f32>, b: &Matrix<f32>) -> Matrix<f32> {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "gemm shape mismatch: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    if m == 0 || n == 0 || k == 0 {
+        return Matrix::zeros(m, n);
+    }
+    let (Some(sa), Some(sb)) = (int8_scale(a.as_slice()), int8_scale(b.as_slice())) else {
+        return gemm_auto(a, b);
+    };
+    if k > 1 << 17 {
+        return gemm_auto(a, b);
+    }
+    let qa: Vec<i8> = a.as_slice().iter().map(|&v| (v * sa).round() as i8).collect();
+    let qb: Vec<i8> = b.as_slice().iter().map(|&v| (v * sb).round() as i8).collect();
+    let acc = gemm_i8_i32(m, k, n, &qa, &qb);
+    let inv = 1.0 / (sa * sb);
+    Matrix::from_fn(m, n, |r, c| acc[r * n + c] as f32 * inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fmat(rows: usize, cols: usize, seed: u32) -> Matrix<f32> {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let x = (r as u32)
+                .wrapping_mul(2654435761)
+                .wrapping_add(c as u32)
+                .wrapping_mul(seed | 1);
+            (x >> 8) as f32 / (1u32 << 23) as f32 * 2.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn f16c_path_is_bit_identical_to_scalar_emulation() {
+        // Every finite f16 pattern, expanded to f32, plus rounding corner
+        // cases that are *not* f16-representable.
+        let mut vals: Vec<f32> = (0u16..=0xFFFF)
+            .filter(|h| (h >> 10) & 0x1F != 0x1F)
+            .map(crate::half::f16_bits_to_f32)
+            .collect();
+        vals.extend([
+            1.0 + 2.0f32.powi(-11), // RNE tie
+            1.0 + 3.0 * 2.0f32.powi(-11),
+            70000.0,  // overflow to inf
+            -70000.0,
+            1e-10,    // underflow to zero
+            -1e-10,
+            2.0f32.powi(-25), // subnormal tie
+            f32::MAX,
+            f32::MIN_POSITIVE,
+        ]);
+        let mut hw = vals.clone();
+        quantize_f16_slice(&mut hw);
+        for (orig, got) in vals.iter().zip(&hw) {
+            let want = quantize_f16(*orig);
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "f16 rounding diverged on {orig} ({:#x})",
+                orig.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_f16_matches_quantize_then_auto() {
+        let a = fmat(23, 37, 5);
+        let b = fmat(37, 19, 9);
+        let expect = gemm_auto(&a.map(quantize_f16), &b.map(quantize_f16));
+        assert_eq!(gemm_f16(&a, &b), expect);
+    }
+
+    #[test]
+    fn int8_error_is_within_documented_bound() {
+        for &(m, k, n) in &[(16, 64, 16), (33, 100, 17), (64, 256, 64)] {
+            let a = fmat(m, k, 3);
+            let b = fmat(k, n, 7);
+            let exact = gemm_auto(&a, &b);
+            let approx = gemm_int8_scaled(&a, &b);
+            let max_a = a.as_slice().iter().fold(0.0f32, |acc, v| acc.max(v.abs()));
+            let max_b = b.as_slice().iter().fold(0.0f32, |acc, v| acc.max(v.abs()));
+            let bound = k as f32 * max_a * max_b / 126.0;
+            let err = exact.max_abs_diff(&approx);
+            assert!(err <= bound, "{m}x{k}x{n}: err {err} > bound {bound}");
+            assert!(err > 0.0 || exact == approx);
+        }
+    }
+
+    #[test]
+    fn int8_degenerate_inputs_fall_back_exactly() {
+        let z = Matrix::<f32>::zeros(4, 6);
+        let b = fmat(6, 3, 1);
+        assert_eq!(gemm_int8_scaled(&z, &b), gemm_auto(&z, &b));
+        let inf = Matrix::from_fn(4, 6, |_, _| f32::INFINITY);
+        let ones = Matrix::from_fn(6, 3, |_, _| 1.0f32);
+        // Non-finite calibration falls back to the exact path (all-+inf
+        // times all-ones is +inf everywhere, comparable by Eq).
+        assert_eq!(gemm_int8_scaled(&inf, &ones), gemm_auto(&inf, &ones));
+        assert_eq!(gemm_int8_scaled(&z, &Matrix::zeros(6, 0)).shape(), (4, 0));
+    }
+}

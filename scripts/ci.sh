@@ -86,6 +86,22 @@ PSML_SMOKE=1 cargo bench --offline -p psml-bench --bench gemm
 rm -f BENCH_gemm.smoke.json
 ./target/release/psml validate BENCH_gemm.json
 
+# Backend-selection gate: the optional `gpu` feature (dlopen-loaded
+# OpenCL int8 backend) must compile and pass its tests on every host —
+# machines without an OpenCL loader or device exercise the probe-failure
+# path, which degrades to the host backend rather than skipping — and a
+# `PSML_BACKEND=host` run must produce the same weights digest as the
+# default simulated backend (the Backend trait's ring-exactness
+# contract: real host execution is bit-identical, so the digest is too).
+cargo test -q --offline -p psml-gpu --features gpu
+host_digest="$(PSML_BACKEND=host ./target/release/psml train --model mlp \
+    --dataset synthetic --batch 8 --batches 1 --epochs 2 --seed 42 \
+    | awk '/weights digest/ {print $4}')"
+[ -n "$host_digest" ] && [ "$host_digest" = "$train_digest" ] || {
+    echo "ci: PSML_BACKEND=host digest $host_digest != simulated $train_digest" >&2
+    exit 1
+}
+
 # Serving gate: the multi-tenant micro-batcher must reveal exactly the
 # bytes a sequential run reveals (digest equality over tag-sorted
 # outputs), its JSON report must validate against psml.serve.v1, and a

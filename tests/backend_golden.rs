@@ -1,0 +1,63 @@
+//! Golden pin: default-configuration runs must keep producing
+//! byte-identical `RunReport`s across backend-layer refactors.
+//!
+//! The simulated backend is the default compute backend, and every
+//! committed experiment/report in this repository was produced under it.
+//! This test freezes the full `Debug` rendering of the reports from a
+//! fixed protocol workload under each preset; any change to kernel
+//! routing, profiler charging, or timeline scheduling that perturbs a
+//! default-config report — even by one simulated nanosecond — fails here.
+//!
+//! Regenerate (only for an *intentional* cost-model change, with the why
+//! recorded in the commit):
+//!
+//! ```text
+//! PSML_BLESS_GOLDEN=1 cargo test --test backend_golden
+//! ```
+
+use parsecureml::prelude::*;
+use std::path::Path;
+
+const GOLDEN: &str = "tests/golden/default_run_reports.txt";
+
+/// The pinned workload: two secure matmuls per preset — one small shape
+/// the adaptive engine keeps on the CPU, one large enough to offload —
+/// so both placements, the pipeline, and compression all appear in the
+/// report. Shapes and seed are part of the pin; do not change them.
+fn reports() -> String {
+    let mut out = String::new();
+    for (name, cfg) in [
+        ("parsecureml", EngineConfig::parsecureml()),
+        ("parsecureml_unoptimized", EngineConfig::parsecureml_unoptimized()),
+        ("secureml", EngineConfig::secureml()),
+    ] {
+        let mut ctx = SecureContext::<Fixed64>::new(cfg, 42);
+        let a_small = PlainMatrix::from_fn(12, 16, |r, c| ((r * 7 + c) % 11) as f64 * 0.25 - 1.0);
+        let b_small = PlainMatrix::from_fn(16, 8, |r, c| ((r + 3 * c) % 13) as f64 * 0.125 - 0.75);
+        let _ = ctx.secure_matmul_plain(&a_small, &b_small).unwrap();
+        let a_big = PlainMatrix::from_fn(96, 128, |r, c| ((r * 31 + c * 17) % 23) as f64 * 0.0625);
+        let b_big = PlainMatrix::from_fn(128, 64, |r, c| ((r * 13 + c * 29) % 19) as f64 * 0.03125);
+        let _ = ctx.secure_matmul_plain(&a_big, &b_big).unwrap();
+        out.push_str(name);
+        out.push('\n');
+        out.push_str(&format!("{:?}\n", ctx.report()));
+    }
+    out
+}
+
+#[test]
+fn default_config_run_reports_are_unchanged() {
+    let produced = reports();
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN);
+    if std::env::var_os("PSML_BLESS_GOLDEN").is_some() {
+        std::fs::write(&path, &produced).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden file missing; run with PSML_BLESS_GOLDEN=1 to create it");
+    assert_eq!(
+        produced, golden,
+        "default-config RunReport drifted from the committed golden; \
+         the simulated backend must stay byte-identical by default"
+    );
+}
