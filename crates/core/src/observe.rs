@@ -112,6 +112,13 @@ const SCHEMAS: &[(&str, &[&str])] = &[
         "psml.lint.v1",
         &["tool", "files_scanned", "rules", "findings", "summary"],
     ),
+    // v2 adds per-finding `fingerprint` and `evidence` fields (inside the
+    // findings array, which the header check does not descend into); the
+    // top-level shape is unchanged, and v1 documents stay accepted.
+    (
+        "psml.lint.v2",
+        &["tool", "files_scanned", "rules", "findings", "summary"],
+    ),
     // Session-scoped documents: run_id/generation live in the shared
     // document header (checked by `check_document_header`), so they are
     // not repeated in the per-schema key lists.

@@ -1,0 +1,28 @@
+//@ crate: parallel
+//@ module: parallel::pool
+//@ context: lib
+//@ expect: concurrency.lock-order-inversion@26
+
+//! Two functions acquire the same pair of locks in opposite orders; the
+//! finding lands on the lexicographically inverted edge (`beta` before
+//! `alpha`) so the report is deterministic no matter which function the
+//! walk sees first.
+
+use std::sync::Mutex;
+
+pub struct Queues {
+    pub alpha: Mutex<u64>,
+    pub beta: Mutex<u64>,
+}
+
+pub fn forward(q: &Queues) {
+    let a = q.alpha.lock().unwrap();
+    let b = q.beta.lock().unwrap();
+    let _ = *a + *b;
+}
+
+pub fn backward(q: &Queues) {
+    let b = q.beta.lock().unwrap();
+    let a = q.alpha.lock().unwrap();
+    let _ = *a + *b;
+}

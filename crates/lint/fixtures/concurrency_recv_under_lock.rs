@@ -1,0 +1,16 @@
+//@ crate: core
+//@ module: core::provider
+//@ context: lib
+//@ expect: concurrency.recv-under-lock@14
+
+//! Blocking channel receive while holding a mutex guard: a sender that
+//! needs the same lock can never run, so the receive never completes.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub fn drain(m: &Mutex<u64>, rx: &Receiver<u64>) -> u64 {
+    let g = m.lock().unwrap();
+    let v = rx.recv().unwrap();
+    *g + v
+}

@@ -1,0 +1,24 @@
+//@ crate: mpc
+//@ module: mpc::online
+//@ context: lib
+//@ expect: timing.allow-unjustified@22
+
+//! Suppression-comment policy: a justified allow silences the branch
+//! finding; a bare allow is itself a (different) finding, so the gate
+//! stays red until the justification is written down.
+
+#[doc = "psml-secret"]
+pub struct MaskedBit {
+    pub b: u64,
+    pub rows: usize,
+}
+
+pub fn justified(m: &MaskedBit) -> u64 {
+    // psml-lint: allow(timing, "b is re-randomized before this check")
+    if m.b == 0 { 1 } else { 0 }
+}
+
+pub fn unjustified(m: &MaskedBit) -> u64 {
+    // psml-lint: allow(timing)
+    if m.b == 0 { 1 } else { 0 }
+}

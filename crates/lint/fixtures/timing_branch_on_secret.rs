@@ -1,0 +1,20 @@
+//@ crate: mpc
+//@ module: mpc::online
+//@ context: lib
+//@ expect: timing.branch-on-secret@15
+
+//! Branch on a secret-derived value in an online-path module.
+
+#[doc = "psml-secret"]
+pub struct MaskedVal {
+    pub v: u64,
+    pub rows: usize,
+}
+
+pub fn step(m: &MaskedVal) -> u64 {
+    if m.v > 7 {
+        1
+    } else {
+        0
+    }
+}

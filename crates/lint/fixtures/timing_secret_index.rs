@@ -1,0 +1,17 @@
+//@ crate: core
+//@ module: core::engine
+//@ context: lib
+//@ expect: timing.secret-index@16
+
+//! Memory access pattern keyed on a secret-derived index.
+
+#[doc = "psml-secret"]
+pub struct ShareBuf {
+    pub data: Vec<u64>,
+    pub rows: usize,
+}
+
+pub fn gather(s: &ShareBuf, table: &[u64]) -> u64 {
+    let idx = s.data[0] as usize;
+    table[idx]
+}

@@ -2,14 +2,19 @@
 //!
 //! ```text
 //! psml-lint [--root DIR] [--deny all|FAMILY[,FAMILY..]] [--json FILE]
-//!           [--quiet] [--list-rules]
+//!           [--crate NAME] [--quiet] [--list-rules]
 //! ```
 //!
 //! Scans the workspace (default: the nearest ancestor of the current
 //! directory containing `Cargo.toml` + `crates/`), prints one diagnostic
-//! per finding, and optionally writes the versioned `psml.lint.v1`
+//! per finding, and optionally writes the versioned `psml.lint.v2`
 //! document. With `--deny`, findings in the named families (or any
 //! finding, for `all`) make the exit status 1 — that is the CI gate.
+//!
+//! `--crate NAME` keeps only findings in `crates/NAME/` (the self-scan
+//! job uses `--crate lint`). The *scan* still covers the whole workspace:
+//! the inter-procedural passes need every crate's symbols to resolve
+//! cross-crate calls, so narrowing the scan would weaken the analysis.
 
 use psml_lint::{lint_workspace, RuleId};
 use std::path::PathBuf;
@@ -18,7 +23,7 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: psml-lint [--root DIR] [--deny all|FAMILY[,FAMILY..]] \
-         [--json FILE] [--quiet] [--list-rules]"
+         [--json FILE] [--crate NAME] [--quiet] [--list-rules]"
     );
     std::process::exit(2);
 }
@@ -40,6 +45,7 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut deny: Vec<String> = Vec::new();
     let mut json_path: Option<PathBuf> = None;
+    let mut crate_filter: Option<String> = None;
     let mut quiet = false;
 
     let mut args = std::env::args().skip(1);
@@ -51,6 +57,7 @@ fn main() -> ExitCode {
                 deny.extend(v.split(',').map(str::to_string));
             }
             "--json" => json_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--crate" => crate_filter = Some(args.next().unwrap_or_else(|| usage())),
             "--quiet" => quiet = true,
             "--list-rules" => {
                 for r in RuleId::ALL {
@@ -66,12 +73,11 @@ fn main() -> ExitCode {
         }
     }
 
-    let families: Vec<&str> = ["unsafe", "rng", "secrecy", "determinism"].to_vec();
     for d in &deny {
-        if d != "all" && !families.contains(&d.as_str()) {
+        if d != "all" && !RuleId::FAMILIES.contains(&d.as_str()) {
             eprintln!(
                 "psml-lint: unknown --deny family '{d}' (expected all, {})",
-                families.join(", ")
+                RuleId::FAMILIES.join(", ")
             );
             return ExitCode::from(2);
         }
@@ -79,13 +85,17 @@ fn main() -> ExitCode {
 
     let root = root
         .unwrap_or_else(|| find_root(std::env::current_dir().unwrap_or_else(|_| ".".into())));
-    let report = match lint_workspace(&root) {
+    let mut report = match lint_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("psml-lint: scan failed under {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+    if let Some(name) = &crate_filter {
+        let prefix = format!("crates/{name}/");
+        report.findings.retain(|f| f.file.starts_with(&prefix));
+    }
 
     if let Some(path) = &json_path {
         if let Err(e) = std::fs::write(path, report.to_json()) {

@@ -177,3 +177,73 @@ pub const HASHMAP_ITER_METHODS: &[&str] = &[
     "into_keys",
     "into_values",
 ];
+
+/// Struct fields of secret types whose values are *metadata*, not limb
+/// material — the field-access twin of [`METADATA_ACCESSORS`]. Reading
+/// `pair.rows` is shape information; reading `pair.shares` is the secret.
+pub const METADATA_FIELDS: &[&str] = &["rows", "cols", "ring", "party", "seq", "spec"];
+
+/// Declassification points: calling one of these on a secret-derived value
+/// is the *sanctioned* transition out of the masked domain (the protocol's
+/// reveal step — reconstructing public `E`/`F`, decoding a merged output).
+/// Taint does not propagate through their results. A new reveal surface
+/// must be added here deliberately, which is exactly the review moment the
+/// analyzer exists to force.
+pub const DECLASSIFY_CALLS: &[&str] = &[
+    "reconstruct",
+    "reconstruct_ring",
+    "reconstruct_public",
+    "decode",
+    "decode_matrix",
+    "reveal",
+    "reveal_insecure",
+];
+
+/// Online-path modules that must stay data-oblivious: the paper's Sec. 4
+/// triplet protocol assumes servers whose control flow is independent of
+/// secret values, so an `if`/`match`/short-circuit/index conditioned on
+/// secret-derived data is a timing side channel. Suppressible per-site
+/// with `// psml-lint: allow(timing, "why this value is public")`.
+pub const TIMING_MODULES: &[&str] = &["mpc::*", "core::engine"];
+
+/// Modules whose lock usage the concurrency rules audit: the thread-pool
+/// job queue, the triple-provider prefetch queue, and the TCP supervisor's
+/// shared writer table — the three places our threads actually interleave.
+pub const CONCURRENCY_MODULES: &[&str] = &[
+    "parallel::pool",
+    "core::provider",
+    "net-sim::supervise",
+];
+
+/// Lock-acquisition methods (`Mutex::lock`, `RwLock::read`/`write`).
+pub const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Method names that collide with the std prelude (`str::split`,
+/// `Mutex::lock`, `Iterator::map`, ...). The call graph's receiver-blind
+/// fallback — "exactly one workspace type defines this method" — must
+/// never fire for these: `args.split(' ')` on a `&str` is not the MPC
+/// crate's share-splitting `split`, even if the latter is the only
+/// workspace definition of the name.
+pub const STD_METHODS: &[&str] = &[
+    "clear", "clone", "contains", "drain", "extend", "filter", "find",
+    "first", "get", "insert", "is_empty", "iter", "join", "last", "len",
+    "lock", "map", "new", "next", "parse", "pop", "push", "read", "recv",
+    "remove", "send", "split", "take", "write",
+];
+
+/// Import-prefix to lint-crate-name mapping for cross-crate `use`
+/// resolution (package names use `psml_` prefixes and underscores; the
+/// analyzer's crate identities are the `crates/` directory names).
+pub const CRATE_PREFIXES: &[(&str, &str)] = &[
+    ("psml_tensor", "tensor"),
+    ("psml_parallel", "parallel"),
+    ("psml_mpc", "mpc"),
+    ("psml_net", "net-sim"),
+    ("psml_gpu", "gpu-sim"),
+    ("psml_trace", "trace"),
+    ("psml_simtime", "simtime"),
+    ("psml_datasets", "datasets"),
+    ("psml_lint", "lint"),
+    ("psml_bench", "bench"),
+    ("parsecureml", "core"),
+];

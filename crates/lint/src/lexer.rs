@@ -185,7 +185,15 @@ impl Lexer<'_> {
         let start = self.i;
         while self.i < self.b.len() {
             match self.b[self.i] {
-                b'\\' => self.i += 2,
+                b'\\' => {
+                    // An escaped newline (line continuation) still ends a
+                    // source line — skipping it blind desyncs every token
+                    // line after the literal.
+                    if self.peek(1) == b'\n' {
+                        self.line += 1;
+                    }
+                    self.i += 2;
+                }
                 b'\n' => {
                     self.line += 1;
                     self.i += 1;
@@ -255,7 +263,12 @@ impl Lexer<'_> {
         let start = self.i;
         while self.i < self.b.len() {
             match self.b[self.i] {
-                b'\\' => self.i += 2,
+                b'\\' => {
+                    if self.peek(1) == b'\n' {
+                        self.line += 1;
+                    }
+                    self.i += 2;
+                }
                 b'\'' => break,
                 b'\n' => {
                     self.line += 1;

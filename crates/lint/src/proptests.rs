@@ -1,0 +1,87 @@
+//! Property-based tests for the lexer's line accounting.
+//!
+//! Every rule in this crate reports findings *by line*, and the dataflow
+//! passes match suppression comments by line — so a lexer that drifts
+//! even one line after a tricky literal (raw string, escaped newline,
+//! nested block comment) silently mislabels every finding below it.
+//! These properties pin the accounting against a ground truth computed
+//! directly from the generated source text.
+
+use crate::lexer::{lex, TokKind};
+use proptest::prelude::*;
+
+/// Fragment palette: each entry is a line-accounting hazard. The expected
+/// newline count is *derived* from the text, so the palette can grow
+/// without touching the checking logic.
+const FRAGMENTS: &[&str] = &[
+    "let a = 1;",
+    "let s = \"esc \\\" quote\";",
+    "let s = \"cont \\\n rest\";",
+    "let r = r#\"raw \" x\"#;",
+    "let r = r##\"raw \"# y\"##;",
+    "let m = r#\"multi\nline\"#;",
+    "/* nested /* deep\n */ out\n*/",
+    "// trailing comment",
+    "let c = '\\n'; let l: &'static str = \"x\";",
+    "let b = b\"bytes\"; let bc = b'\\\\';",
+    "let t = 'x'; let lt = 'a';",
+];
+
+proptest! {
+    /// Interleaves arbitrary hazard fragments with uniquely named marker
+    /// identifiers and checks that the lexer reports each marker on
+    /// exactly the line the construction placed it on.
+    #[test]
+    fn token_lines_match_ground_truth(
+        picks in prop::collection::vec(prop::sample::select((0..FRAGMENTS.len()).collect::<Vec<_>>()), 1..12)
+    ) {
+        let mut src = String::new();
+        let mut line = 1u32;
+        let mut expected: Vec<(String, u32)> = Vec::new();
+        for (i, &pick) in picks.iter().enumerate() {
+            let frag = FRAGMENTS[pick];
+            src.push_str(frag);
+            line += frag.matches('\n').count() as u32;
+            src.push('\n');
+            line += 1;
+            let marker = format!("zmarker{i}");
+            src.push_str(&marker);
+            expected.push((marker, line));
+            src.push('\n');
+            line += 1;
+        }
+        let lexed = lex(&src);
+        for (marker, want) in &expected {
+            let tok = lexed
+                .toks
+                .iter()
+                .find(|t| t.kind == TokKind::Ident && &t.text == marker);
+            prop_assert!(tok.is_some(), "marker {marker} lost by the lexer");
+            prop_assert_eq!(tok.unwrap().line, *want, "marker {} drifted", marker);
+        }
+        // Comments were stripped, with sane spans.
+        let total_lines = 1 + src.matches('\n').count() as u32;
+        for c in &lexed.comments {
+            prop_assert!(c.line <= c.end_line && c.end_line <= total_lines);
+        }
+    }
+
+    /// The lexer is total over arbitrary byte soup: it never panics, token
+    /// lines are nondecreasing, and no token claims a line past the file's
+    /// actual newline count.
+    #[test]
+    fn arbitrary_bytes_lex_with_monotone_lines(
+        words in prop::collection::vec(any::<u64>(), 0..24)
+    ) {
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let lexed = lex(&src);
+        let total_lines = 1 + src.matches('\n').count() as u32;
+        let mut prev = 1u32;
+        for t in &lexed.toks {
+            prop_assert!(t.line >= prev, "token lines went backwards");
+            prop_assert!(t.line <= total_lines, "token past end of file");
+            prev = t.line;
+        }
+    }
+}

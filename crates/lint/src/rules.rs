@@ -1,4 +1,8 @@
-//! The four rule families, implemented as token-pattern scans.
+//! The per-file rule families (unsafe, rng, secrecy, determinism),
+//! implemented as token-pattern scans. The inter-procedural families
+//! (cross-function secrecy, timing, concurrency) live in
+//! [`crate::taint`] / [`crate::timing`] / [`crate::concurrency`] on top
+//! of the workspace-wide symbol table and call graph.
 //!
 //! Each rule is a linear walk over [`SourceFile::toks`] looking for a
 //! short token pattern (the lexer already stripped comments and literal
@@ -113,12 +117,7 @@ pub fn lint_file(f: &SourceFile, secrets: &SecretRegistry) -> Vec<Finding> {
 }
 
 fn finding(f: &SourceFile, rule: RuleId, line: u32, message: String) -> Finding {
-    Finding {
-        rule,
-        file: f.path.clone(),
-        line,
-        message,
-    }
+    Finding::new(rule, &f.path, line, message, f.line_text(line))
 }
 
 // ---------------------------------------------------------------- unsafe --

@@ -1,0 +1,692 @@
+//! Workspace symbol table: every `fn` definition (free functions and
+//! inherent/trait methods with their receiver type), struct fields, and
+//! the per-file `use` import map. Built by one token walk per file on top
+//! of the existing lexer — no syn, no rustc, keeping the crate's
+//! zero-dependency guarantee. The call graph ([`crate::callgraph`]) and
+//! the inter-procedural passes resolve names against this table.
+
+use crate::config::CRATE_PREFIXES;
+use crate::lexer::{Tok, TokKind};
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+/// One declared parameter.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Binding name (`self` for receivers; empty for pattern params the
+    /// token walk cannot name).
+    pub name: String,
+    /// Declared type, as token texts (`&`, `mut`, lifetimes stripped at
+    /// the front; the receiver's type is the impl target).
+    pub ty: Vec<String>,
+}
+
+/// One `fn` definition.
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    /// Index into the scanned source list.
+    pub file: usize,
+    /// Bare function name.
+    pub name: String,
+    /// Receiver type when defined inside `impl Type` / `impl Trait for
+    /// Type`.
+    pub impl_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Declared parameters in order.
+    pub params: Vec<Param>,
+    /// Return-type tokens (empty for `()` / no arrow).
+    pub ret: Vec<String>,
+    /// Token-index range of the body: `(open, after_close)` such that the
+    /// body tokens are `toks[open + 1 .. after_close - 1]`. `None` for
+    /// bodyless trait declarations.
+    pub body: Option<(usize, usize)>,
+}
+
+/// Where a `use`-imported name points.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UseTarget {
+    /// Resolved `crate::module...` path of the defining module (the crate
+    /// root is just the crate name); `None` when the path leads outside
+    /// the workspace (std, vendored shims).
+    pub module: Option<String>,
+    /// The imported item name (pre-alias).
+    pub item: String,
+}
+
+/// The whole-workspace symbol table.
+#[derive(Default)]
+pub struct SymbolTable {
+    /// Every function, in file-then-position order.
+    pub fns: Vec<FnDef>,
+    /// Free functions by (defining module, name).
+    pub free_by_module: BTreeMap<(String, String), usize>,
+    /// Methods by (receiver type, name) — multiple impls (trait + inherent,
+    /// or same-named types in two crates) keep every candidate.
+    pub methods: BTreeMap<(String, String), Vec<usize>>,
+    /// Free functions by bare name (workspace-wide fallback).
+    pub free_by_name: BTreeMap<String, Vec<usize>>,
+    /// Methods by bare name (receiver-blind fallback).
+    pub methods_by_name: BTreeMap<String, Vec<usize>>,
+    /// Struct fields: type name -> field name -> declared type tokens.
+    pub fields: BTreeMap<String, BTreeMap<String, Vec<String>>>,
+    /// Per-file import map: local alias -> target.
+    pub uses: Vec<BTreeMap<String, UseTarget>>,
+}
+
+impl SymbolTable {
+    /// Builds the table over all `sources`.
+    pub fn build(sources: &[SourceFile]) -> SymbolTable {
+        let mut table = SymbolTable::default();
+        for (file_idx, f) in sources.iter().enumerate() {
+            scan_file(file_idx, f, &mut table);
+            table.uses.push(collect_uses(f));
+        }
+        for (id, d) in table.fns.iter().enumerate() {
+            let module = sources[d.file].module.clone();
+            match &d.impl_type {
+                Some(ty) => {
+                    table
+                        .methods
+                        .entry((ty.clone(), d.name.clone()))
+                        .or_default()
+                        .push(id);
+                    table
+                        .methods_by_name
+                        .entry(d.name.clone())
+                        .or_default()
+                        .push(id);
+                }
+                None => {
+                    table
+                        .free_by_module
+                        .entry((module, d.name.clone()))
+                        .or_insert(id);
+                    table
+                        .free_by_name
+                        .entry(d.name.clone())
+                        .or_default()
+                        .push(id);
+                }
+            }
+        }
+        table
+    }
+}
+
+/// Whether the token at `i` has exactly the text `s`.
+pub fn tok_is(t: &[Tok], i: usize, s: &str) -> bool {
+    t.get(i).map(|x| x.text.as_str()) == Some(s)
+}
+
+fn is_ident(t: &[Tok], i: usize) -> bool {
+    t.get(i).map(|x| x.kind) == Some(TokKind::Ident)
+}
+
+/// Skips a `< ... >` generic group starting at the `<`; returns the index
+/// after the matching `>`. `->`'s `>` (function-trait bounds like
+/// `F: Fn() -> u64`) does not close a group.
+pub fn skip_angles(t: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < t.len() {
+        match t[j].text.as_str() {
+            "<" => depth += 1,
+            ">" if j > 0 && t[j - 1].text == "-" => {}
+            ">" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            "{" | ";" => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Skips a balanced delimiter run starting at the opener; returns the
+/// index after the matching closer.
+pub fn skip_balanced(t: &[Tok], open_idx: usize, open: &str, close: &str) -> usize {
+    let mut depth = 0usize;
+    let mut j = open_idx;
+    while j < t.len() {
+        if t[j].text == open {
+            depth += 1;
+        } else if t[j].text == close {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    t.len()
+}
+
+/// One pass over a file's tokens: `impl` targets (a depth-tracked stack),
+/// `fn` definitions, and `struct` fields.
+fn scan_file(file_idx: usize, f: &SourceFile, table: &mut SymbolTable) {
+    let t = &f.toks;
+    let mut depth = 0i64;
+    // (depth at which the impl body opened, target type)
+    let mut impl_stack: Vec<(i64, String)> = Vec::new();
+    let mut i = 0;
+    while i < t.len() {
+        match t[i].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                while impl_stack.last().is_some_and(|&(d, _)| d > depth) {
+                    impl_stack.pop();
+                }
+            }
+            "impl" if t[i].kind == TokKind::Ident => {
+                if let Some((target, open)) = parse_impl_target(t, i) {
+                    // The body opens at `open`; record the depth inside it.
+                    impl_stack.push((depth + 1, target));
+                    depth += 1;
+                    i = open + 1;
+                    continue;
+                }
+            }
+            "fn" if t[i].kind == TokKind::Ident && is_ident(t, i + 1) => {
+                let impl_type = impl_stack.last().map(|(_, ty)| ty.clone());
+                if let Some((def, next)) = parse_fn(file_idx, t, i, impl_type) {
+                    // Resume at the body's opening brace so the walk
+                    // descends into it (nested fns are definitions too);
+                    // the depth tracker handles the brace itself.
+                    let resume = def.body.map(|(open, _)| open).unwrap_or(next);
+                    table.fns.push(def);
+                    i = resume;
+                    continue;
+                }
+            }
+            "struct" if t[i].kind == TokKind::Ident && is_ident(t, i + 1) => {
+                parse_struct(t, i, table);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Parses `impl [<..>] Path [for Path] [where ..] {`: returns the target
+/// type (last path segment, after `for` when present) and the index of
+/// the opening brace.
+fn parse_impl_target(t: &[Tok], i: usize) -> Option<(String, usize)> {
+    let mut j = i + 1;
+    if tok_is(t, j, "<") {
+        j = skip_angles(t, j);
+    }
+    let mut target: Option<String> = None;
+    while j < t.len() {
+        match t[j].text.as_str() {
+            "{" => return target.map(|ty| (ty, j)),
+            ";" => return None, // `impl Trait for Type;` does not exist; bail
+            "for" => {
+                target = None;
+                j += 1;
+            }
+            "where" => {
+                // Skip the where clause to the body.
+                while j < t.len() && t[j].text != "{" {
+                    j += 1;
+                }
+            }
+            "<" => j = skip_angles(t, j),
+            _ => {
+                if t[j].kind == TokKind::Ident
+                    && t[j].text != "dyn"
+                    && t[j].text != "mut"
+                    && t[j].text != "const"
+                {
+                    target = Some(t[j].text.clone());
+                }
+                j += 1;
+            }
+        }
+    }
+    None
+}
+
+/// Parses a `fn` item starting at the `fn` keyword. Returns the
+/// definition and the token index to resume scanning at (after the body
+/// or the `;`).
+fn parse_fn(
+    file_idx: usize,
+    t: &[Tok],
+    i: usize,
+    impl_type: Option<String>,
+) -> Option<(FnDef, usize)> {
+    let name = t[i + 1].text.clone();
+    let line = t[i].line;
+    let mut j = i + 2;
+    if tok_is(t, j, "<") {
+        j = skip_angles(t, j);
+    }
+    if !tok_is(t, j, "(") {
+        return None;
+    }
+    let params_end = skip_balanced(t, j, "(", ")");
+    let params = parse_params(&t[j + 1..params_end - 1], impl_type.as_deref());
+    j = params_end;
+    let mut ret = Vec::new();
+    if tok_is(t, j, "-") && tok_is(t, j + 1, ">") {
+        j += 2;
+        while j < t.len() {
+            match t[j].text.as_str() {
+                "{" | ";" | "where" => break,
+                _ => {
+                    ret.push(t[j].text.clone());
+                    j += 1;
+                }
+            }
+        }
+    }
+    while j < t.len() && t[j].text != "{" && t[j].text != ";" {
+        j += 1;
+    }
+    let body = if tok_is(t, j, "{") {
+        let end = skip_balanced(t, j, "{", "}");
+        let span = Some((j, end));
+        j = end;
+        span
+    } else {
+        j += 1;
+        None
+    };
+    Some((
+        FnDef {
+            file: file_idx,
+            name,
+            impl_type,
+            line,
+            params,
+            ret,
+            body,
+        },
+        j,
+    ))
+}
+
+/// Splits a parameter token slice on top-level commas and extracts
+/// `name: Type` pairs (plus the `self` receiver).
+fn parse_params(toks: &[Tok], impl_type: Option<&str>) -> Vec<Param> {
+    let mut params = Vec::new();
+    for group in split_top_level(toks) {
+        if group.is_empty() {
+            continue;
+        }
+        // Receiver: `self`, `&self`, `&'a mut self` — `self` with only
+        // reference/lifetime/mut sugar before it.
+        let lead: Vec<&str> = group
+            .iter()
+            .take_while(|x| {
+                x.text == "&" || x.text == "mut" || x.kind == TokKind::Lifetime
+            })
+            .map(|x| x.text.as_str())
+            .collect();
+        if group
+            .get(lead.len())
+            .is_some_and(|x| x.text == "self")
+        {
+            params.push(Param {
+                name: "self".into(),
+                ty: impl_type.map(|s| vec![s.to_string()]).unwrap_or_default(),
+            });
+            continue;
+        }
+        // `name: Type` — the name is the ident directly before the first
+        // top-level `:` (skipping `mut`); pattern params keep an empty
+        // name but still carry their type.
+        let colon = find_top_level_colon(group);
+        let Some(c) = colon else { continue };
+        let name = if c >= 1 && group[c - 1].kind == TokKind::Ident {
+            group[c - 1].text.clone()
+        } else {
+            String::new()
+        };
+        let mut ty: Vec<String> = group[c + 1..]
+            .iter()
+            .map(|x| x.text.clone())
+            .collect();
+        while ty
+            .first()
+            .is_some_and(|s| s == "&" || s == "mut" || s.starts_with('\''))
+        {
+            ty.remove(0);
+        }
+        params.push(Param { name, ty });
+    }
+    params
+}
+
+/// Splits on commas at zero paren/bracket/brace/angle depth.
+fn split_top_level(toks: &[Tok]) -> Vec<&[Tok]> {
+    let mut out = Vec::new();
+    let (mut d, mut a) = (0i64, 0i64);
+    let mut start = 0usize;
+    for (k, x) in toks.iter().enumerate() {
+        match x.text.as_str() {
+            "(" | "[" | "{" => d += 1,
+            ")" | "]" | "}" => d -= 1,
+            "<" => a += 1,
+            ">" if k > 0 && toks[k - 1].text == "-" => {}
+            ">" => a = (a - 1).max(0),
+            "," if d == 0 && a == 0 => {
+                out.push(&toks[start..k]);
+                start = k + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < toks.len() {
+        out.push(&toks[start..]);
+    }
+    out
+}
+
+/// Index of the first `:` at zero depth that is not part of `::`.
+fn find_top_level_colon(toks: &[Tok]) -> Option<usize> {
+    let (mut d, mut a) = (0i64, 0i64);
+    let mut k = 0;
+    while k < toks.len() {
+        match toks[k].text.as_str() {
+            "(" | "[" | "{" => d += 1,
+            ")" | "]" | "}" => d -= 1,
+            "<" => a += 1,
+            ">" if k > 0 && toks[k - 1].text == "-" => {}
+            ">" => a = (a - 1).max(0),
+            ":" if d == 0 && a == 0 => {
+                if toks.get(k + 1).map(|x| x.text.as_str()) == Some(":") {
+                    k += 2;
+                    continue;
+                }
+                return Some(k);
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Records a struct's named fields (tuple/unit structs have none worth
+/// tracking at token granularity).
+fn parse_struct(t: &[Tok], i: usize, table: &mut SymbolTable) {
+    let name = t[i + 1].text.clone();
+    let mut j = i + 2;
+    if tok_is(t, j, "<") {
+        j = skip_angles(t, j);
+    }
+    while j < t.len() && t[j].text != "{" && t[j].text != "(" && t[j].text != ";" {
+        j += 1;
+    }
+    if !tok_is(t, j, "{") {
+        return;
+    }
+    let end = skip_balanced(t, j, "{", "}");
+    let mut fields = BTreeMap::new();
+    for group in split_top_level(&t[j + 1..end - 1]) {
+        // Skip attributes and visibility on the field.
+        let mut k = 0;
+        while k < group.len() {
+            match group[k].text.as_str() {
+                "#" => {
+                    if group.get(k + 1).map(|x| x.text.as_str()) == Some("[") {
+                        let mut d = 0usize;
+                        k += 1;
+                        while k < group.len() {
+                            match group[k].text.as_str() {
+                                "[" => d += 1,
+                                "]" => {
+                                    d -= 1;
+                                    if d == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        k += 1;
+                    } else {
+                        k += 1;
+                    }
+                }
+                "pub" => {
+                    k += 1;
+                    if group.get(k).map(|x| x.text.as_str()) == Some("(") {
+                        let mut d = 0usize;
+                        while k < group.len() {
+                            match group[k].text.as_str() {
+                                "(" => d += 1,
+                                ")" => {
+                                    d -= 1;
+                                    if d == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        k += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let rest = &group[k.min(group.len())..];
+        if rest.len() >= 2 && rest[0].kind == TokKind::Ident && rest[1].text == ":" {
+            let ty: Vec<String> = rest[2..].iter().map(|x| x.text.clone()).collect();
+            fields.insert(rest[0].text.clone(), ty);
+        }
+    }
+    table.fields.entry(name).or_insert(fields);
+}
+
+/// Maps a use-path's leading segment to a workspace module prefix:
+/// `psml_mpc` -> `mpc`, `crate`/`self`/`super` -> the current crate.
+/// `None` for std/external paths.
+pub fn resolve_path_root(seg: &str, crate_name: &str) -> Option<String> {
+    if seg == "crate" || seg == "self" || seg == "super" {
+        return Some(crate_name.to_string());
+    }
+    CRATE_PREFIXES
+        .iter()
+        .find(|(pkg, _)| *pkg == seg)
+        .map(|(_, dir)| dir.to_string())
+}
+
+/// Collects every `use` item in the file into an alias -> target map.
+fn collect_uses(f: &SourceFile) -> BTreeMap<String, UseTarget> {
+    let t = &f.toks;
+    let mut map = BTreeMap::new();
+    let mut i = 0;
+    while i < t.len() {
+        if t[i].kind == TokKind::Ident && t[i].text == "use" {
+            let mut entries = Vec::new();
+            let end = parse_use_tree(t, i + 1, &[], &mut entries);
+            for (alias, segs) in entries {
+                if segs.len() < 2 {
+                    continue;
+                }
+                let Some(root) = resolve_path_root(&segs[0], &f.crate_name) else {
+                    continue;
+                };
+                // The defining module is the path minus the item; a
+                // two-segment path (`psml_mpc::SharePair`) points at the
+                // crate root re-export.
+                let module = if segs.len() == 2 {
+                    root
+                } else {
+                    format!("{root}::{}", segs[1..segs.len() - 1].join("::"))
+                };
+                map.insert(
+                    alias,
+                    UseTarget {
+                        module: Some(module),
+                        item: segs.last().unwrap().clone(),
+                    },
+                );
+            }
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    map
+}
+
+/// Parses one use-tree starting at `i` (after `use` or a group comma),
+/// appending `(alias, full path)` pairs. Returns the index after the
+/// terminating `;` / `,` / `}`.
+fn parse_use_tree(
+    t: &[Tok],
+    mut i: usize,
+    prefix: &[String],
+    out: &mut Vec<(String, Vec<String>)>,
+) -> usize {
+    let mut segs = prefix.to_vec();
+    while i < t.len() {
+        match t[i].text.as_str() {
+            "{" => {
+                // Group: recurse per comma-separated branch.
+                i += 1;
+                loop {
+                    i = parse_use_tree(t, i, &segs, out);
+                    if tok_is(t, i.wrapping_sub(1), "}") || i >= t.len() {
+                        break;
+                    }
+                }
+                // After the group closes, expect `;` or `,`/`}` upstream.
+                if tok_is(t, i, ";") || tok_is(t, i, ",") {
+                    i += 1;
+                }
+                return i;
+            }
+            "}" | ";" | "," => {
+                if let Some(item) = segs.last() {
+                    if segs.len() > prefix.len() && item != "*" {
+                        out.push((item.clone(), segs.clone()));
+                    }
+                }
+                return i + 1;
+            }
+            "as" => {
+                // `path as Alias`
+                if let Some(alias) = t.get(i + 1) {
+                    out.push((alias.text.clone(), segs.clone()));
+                }
+                i += 2;
+                // Consume the terminator for this branch.
+                if tok_is(t, i, ";") || tok_is(t, i, ",") || tok_is(t, i, "}") {
+                    return i + 1;
+                }
+                return i;
+            }
+            ":" => i += 1,
+            _ => {
+                if t[i].kind == TokKind::Ident || t[i].text == "*" {
+                    segs.push(t[i].text.clone());
+                }
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Context;
+
+    fn parse(src: &str) -> (Vec<SourceFile>, SymbolTable) {
+        let f = SourceFile::parse("a.rs", "mpc", "mpc::share", Context::Lib, src);
+        let sources = vec![f];
+        let table = SymbolTable::build(&sources);
+        (sources, table)
+    }
+
+    #[test]
+    fn free_fn_and_method_are_separated() {
+        let (_, t) = parse(
+            "fn free(x: u64) -> u64 { x }\n\
+             struct S { v: u64 }\n\
+             impl S { fn get(&self) -> u64 { self.v } }\n",
+        );
+        assert_eq!(t.fns.len(), 2);
+        assert!(t.free_by_module.contains_key(&("mpc::share".into(), "free".into())));
+        let m = &t.methods[&("S".to_string(), "get".to_string())];
+        assert_eq!(m.len(), 1);
+        assert_eq!(t.fns[m[0]].params[0].name, "self");
+        assert_eq!(t.fns[m[0]].params[0].ty, vec!["S".to_string()]);
+        assert_eq!(t.fields["S"]["v"], vec!["u64".to_string()]);
+    }
+
+    #[test]
+    fn impl_for_targets_the_type_not_the_trait() {
+        let (_, t) = parse(
+            "struct W;\nimpl std::fmt::Debug for W {\n  fn fmt(&self) -> u8 { 0 }\n}\n",
+        );
+        assert!(t.methods.contains_key(&("W".to_string(), "fmt".to_string())));
+    }
+
+    #[test]
+    fn generic_fn_params_and_return_survive_angles() {
+        let (_, t) = parse(
+            "fn gemm<R: Num, F: Fn() -> u64>(a: &Matrix<R>, n: usize) -> Matrix<R> { a.clone() }\n",
+        );
+        let d = &t.fns[0];
+        assert_eq!(d.name, "gemm");
+        assert_eq!(d.params.len(), 2);
+        assert_eq!(d.params[0].name, "a");
+        assert_eq!(d.params[0].ty[0], "Matrix");
+        assert_eq!(d.params[1].name, "n");
+        assert_eq!(d.ret[0], "Matrix");
+        assert!(d.body.is_some());
+    }
+
+    #[test]
+    fn use_groups_aliases_and_crate_paths_resolve() {
+        let (_, t) = parse(
+            "use psml_tensor::matrix::{Matrix, Shape as S};\n\
+             use crate::triple::gen_triple;\n\
+             use std::collections::HashMap;\n\
+             fn f() {}\n",
+        );
+        let uses = &t.uses[0];
+        assert_eq!(
+            uses["Matrix"],
+            UseTarget { module: Some("tensor::matrix".into()), item: "Matrix".into() }
+        );
+        assert_eq!(
+            uses["S"],
+            UseTarget { module: Some("tensor::matrix".into()), item: "Shape".into() }
+        );
+        assert_eq!(
+            uses["gen_triple"],
+            UseTarget { module: Some("mpc::triple".into()), item: "gen_triple".into() }
+        );
+        assert!(!uses.contains_key("HashMap"), "std paths are not workspace targets");
+    }
+
+    #[test]
+    fn nested_fns_and_trait_decls() {
+        let (_, t) = parse(
+            "trait T { fn decl(&self, x: u64) -> u64; }\n\
+             fn outer() { fn inner(y: u8) {} }\n",
+        );
+        let names: Vec<&str> = t.fns.iter().map(|d| d.name.as_str()).collect();
+        assert!(names.contains(&"decl"));
+        assert!(names.contains(&"outer"));
+        assert!(names.contains(&"inner"));
+        let decl = t.fns.iter().find(|d| d.name == "decl").unwrap();
+        assert!(decl.body.is_none());
+    }
+}

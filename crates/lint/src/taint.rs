@@ -1,0 +1,837 @@
+//! Inter-procedural secret taint.
+//!
+//! Per function the pass tracks which locals/params hold secret-derived
+//! values; per-function *summaries* (`returns_secret`, which parameters
+//! flow to a format sink) propagate secrecy across call edges, iterated
+//! to a fixpoint over the whole workspace. The lattice is intentionally
+//! tiny — `public < secret` per binding, plus a `cross` bit recording
+//! whether the taint crossed a function boundary — because the rule only
+//! ever asks one question: can limb material reach a format sink?
+//!
+//! Taint *enters* at values whose declared type is in the secret registry
+//! and at calls to functions summarized as returning secrets. Taint
+//! *exits* only at the sanctioned points: metadata accessors/fields
+//! (shape, dims, ring) and the declassification methods (`reconstruct`,
+//! `reveal`, ... — the protocol's public `E`/`F` values). Everything else
+//! propagates, including through struct fields and indexing.
+//!
+//! Findings are reported as [`RuleId::SecretCrossFunctionLeak`] only when
+//! the flow actually crosses a function boundary (a call edge appears in
+//! the provenance) — single-file flows remain `secrecy.format-leak`'s
+//! business, so the two rules never double-report one site.
+
+use crate::callgraph::{CallGraph, CallSite};
+use crate::config::{DECLASSIFY_CALLS, FORMAT_MACROS, METADATA_ACCESSORS, METADATA_FIELDS};
+use crate::findings::{Evidence, Finding, RuleId};
+use crate::lexer::{Tok, TokKind};
+use crate::rules::SecretRegistry;
+use crate::source::SourceFile;
+use crate::symbols::{skip_balanced, SymbolTable};
+use std::collections::BTreeMap;
+
+/// Taint on one binding.
+#[derive(Clone, Debug)]
+pub struct Taint {
+    /// Whether the value crossed a function boundary on its way here.
+    pub cross: bool,
+    /// Provenance steps, oldest first.
+    pub src: Vec<Evidence>,
+}
+
+/// Longest provenance chain kept per value — deep call stacks truncate
+/// rather than ballooning the report.
+const MAX_EVIDENCE: usize = 6;
+
+impl Taint {
+    fn step(mut self, e: Evidence) -> Taint {
+        if self.src.len() < MAX_EVIDENCE {
+            self.src.push(e);
+        }
+        self
+    }
+}
+
+/// What the rest of the workspace needs to know about one function.
+#[derive(Clone, Default, Debug)]
+pub struct FnSummary {
+    /// The return value carries secret material.
+    pub returns_secret: bool,
+    /// Provenance of the returned secret (for evidence chains).
+    pub ret_src: Vec<Evidence>,
+    /// Parameters (by index) that reach a format sink inside this
+    /// function (directly or through further calls), with the chain to
+    /// the sink. Secret-*typed* parameters are excluded — the per-file
+    /// pass already flags those inside the callee.
+    pub leak_params: BTreeMap<usize, Vec<Evidence>>,
+}
+
+/// Fixpoint result: summaries plus each function's final taint
+/// environment (the timing pass reuses the environments).
+pub struct TaintAnalysis {
+    /// Indexed by function id.
+    pub summaries: Vec<FnSummary>,
+    /// Indexed by function id: binding name -> taint.
+    pub env: Vec<BTreeMap<String, Taint>>,
+}
+
+/// Runs the workspace fixpoint and returns the analysis plus
+/// cross-function leak findings.
+pub fn analyze(
+    sources: &[SourceFile],
+    table: &SymbolTable,
+    cg: &CallGraph,
+    secrets: &SecretRegistry,
+) -> (TaintAnalysis, Vec<Finding>) {
+    let n = table.fns.len();
+    let mut summaries = vec![FnSummary::default(); n];
+    let mut env: Vec<BTreeMap<String, Taint>> = vec![BTreeMap::new(); n];
+    // Monotone iteration: taint and summaries only grow, so this
+    // terminates; the bound is belt-and-braces against resolution bugs.
+    for _round in 0..10 {
+        let mut changed = false;
+        for id in 0..n {
+            let locals = compute_env(id, sources, table, cg, secrets, &summaries);
+            let summary = compute_summary(id, sources, table, cg, secrets, &summaries, &locals);
+            let old = &summaries[id];
+            if summary.returns_secret != old.returns_secret
+                || summary.leak_params.len() != old.leak_params.len()
+                || !summary.leak_params.keys().eq(old.leak_params.keys())
+            {
+                changed = true;
+            }
+            summaries[id] = summary;
+            env[id] = locals;
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut findings = Vec::new();
+    for (id, locals) in env.iter().enumerate() {
+        report_fn(id, sources, table, cg, secrets, &summaries, locals, &mut findings);
+    }
+    // One mention per site: an ident repeated inside a macro's argument
+    // list would otherwise produce one finding per occurrence.
+    let mut seen = std::collections::BTreeSet::new();
+    findings.retain(|fin| seen.insert((fin.file.clone(), fin.line, fin.rule, fin.message.clone())));
+    (TaintAnalysis { summaries, env }, findings)
+}
+
+fn tok_is(t: &[Tok], i: usize, s: &str) -> bool {
+    t.get(i).map(|x| x.text.as_str()) == Some(s)
+}
+
+fn is_ident(t: &[Tok], i: usize) -> bool {
+    t.get(i).map(|x| x.kind) == Some(TokKind::Ident)
+}
+
+/// Whether the identifier at `k` starts an expression chain (not a field
+/// / method / path tail position).
+fn is_base_ident(t: &[Tok], k: usize) -> bool {
+    if t[k].kind != TokKind::Ident {
+        return false;
+    }
+    if k >= 1 && t[k - 1].text == "." {
+        return false;
+    }
+    if k >= 2 && t[k - 1].text == ":" && t[k - 2].text == ":" {
+        return false;
+    }
+    true
+}
+
+/// Evaluates the taint of the postfix chain rooted at token `k` (a base
+/// identifier or a resolved call). Returns `None` when the chain result
+/// is public — including chains that end in a metadata accessor/field or
+/// pass through a declassification call.
+pub(crate) fn chain_taint(
+    f: &SourceFile,
+    k: usize,
+    env: &BTreeMap<String, Taint>,
+    secrets: &SecretRegistry,
+    sites: &BTreeMap<usize, CallSite>,
+    summaries: &[FnSummary],
+) -> Option<Taint> {
+    let t = &f.toks;
+    let name = t[k].text.as_str();
+    let mut j;
+    let mut current: Option<Taint>;
+    if let Some(site) = sites.get(&k) {
+        // Resolved call: taint iff the callee returns secret material.
+        let s = &summaries[site.callee];
+        current = if s.returns_secret {
+            let mut src = s.ret_src.clone();
+            src.truncate(MAX_EVIDENCE - 1);
+            src.push(Evidence {
+                file: f.path.clone(),
+                line: t[k].line,
+                note: format!("secret-returning call `{name}(..)`"),
+            });
+            Some(Taint { cross: true, src })
+        } else {
+            None
+        };
+        j = skip_balanced(t, site.args_open, "(", ")");
+    } else if tok_is(t, k + 1, "(") {
+        // Unresolved call: opaque, assume public result.
+        current = None;
+        j = skip_balanced(t, k + 1, "(", ")");
+    } else {
+        current = match env.get(name) {
+            Some(taint) => Some(taint.clone()),
+            None if secrets.contains(name) && tok_is(t, k + 1, "{") => {
+                // Secret type in struct-literal position. Path position
+                // (`SharedMatrix::reveal_insecure`) is deliberately NOT a
+                // taint root — there the *method* decides the result, and
+                // resolved `Type::method` calls are handled above.
+                Some(Taint {
+                    cross: false,
+                    src: vec![Evidence {
+                        file: f.path.clone(),
+                        line: t[k].line,
+                        note: format!("secret type `{name}`"),
+                    }],
+                })
+            }
+            None => None,
+        };
+        j = k + 1;
+    }
+    loop {
+        if tok_is(t, j, ".") && is_ident(t, j + 1) {
+            let m = t[j + 1].text.as_str();
+            if tok_is(t, j + 2, "(") {
+                if DECLASSIFY_CALLS.contains(&m) || METADATA_ACCESSORS.contains(&m) {
+                    return None;
+                }
+                // A resolved secret-returning method taints even a public
+                // receiver (`provider.take(spec)`).
+                if current.is_none() {
+                    if let Some(site) = sites.get(&(j + 1)) {
+                        let s = &summaries[site.callee];
+                        if s.returns_secret {
+                            let mut src = s.ret_src.clone();
+                            src.truncate(MAX_EVIDENCE - 1);
+                            src.push(Evidence {
+                                file: f.path.clone(),
+                                line: t[j + 1].line,
+                                note: format!("secret-returning call `.{m}(..)`"),
+                            });
+                            current = Some(Taint { cross: true, src });
+                        }
+                    }
+                }
+                j = skip_balanced(t, j + 2, "(", ")");
+            } else {
+                if METADATA_FIELDS.contains(&m) || METADATA_ACCESSORS.contains(&m) {
+                    return None;
+                }
+                j += 2;
+            }
+        } else if tok_is(t, j, "[") {
+            // Indexing into a secret container yields secret material.
+            j = skip_balanced(t, j, "[", "]");
+        } else if tok_is(t, j, "?") {
+            j += 1;
+        } else {
+            break;
+        }
+    }
+    current
+}
+
+/// Taint of an expression region: the join over its chain roots, with
+/// boundary-crossing provenance preferred when several are tainted.
+pub(crate) fn expr_taint(
+    f: &SourceFile,
+    range: (usize, usize),
+    env: &BTreeMap<String, Taint>,
+    secrets: &SecretRegistry,
+    sites: &BTreeMap<usize, CallSite>,
+    summaries: &[FnSummary],
+) -> Option<Taint> {
+    let t = &f.toks;
+    let mut best: Option<Taint> = None;
+    for k in range.0..range.1.min(t.len()) {
+        if !is_base_ident(t, k) && !sites.contains_key(&k) {
+            continue;
+        }
+        if let Some(taint) = chain_taint(f, k, env, secrets, sites, summaries) {
+            let better = match &best {
+                None => true,
+                Some(b) => taint.cross && !b.cross,
+            };
+            if better {
+                best = Some(taint);
+            }
+        }
+    }
+    best
+}
+
+/// One environment pass over a function body: seeds from secret-typed
+/// params, then `let`-binding propagation iterated until stable.
+fn compute_env(
+    id: usize,
+    sources: &[SourceFile],
+    table: &SymbolTable,
+    cg: &CallGraph,
+    secrets: &SecretRegistry,
+    summaries: &[FnSummary],
+) -> BTreeMap<String, Taint> {
+    let d = &table.fns[id];
+    let f = &sources[d.file];
+    let mut env: BTreeMap<String, Taint> = BTreeMap::new();
+    for p in &d.params {
+        if p.name.is_empty() {
+            continue;
+        }
+        if p.ty.iter().any(|ty| secrets.contains(ty)) {
+            env.insert(
+                p.name.clone(),
+                Taint {
+                    cross: false,
+                    src: vec![Evidence {
+                        file: f.path.clone(),
+                        line: d.line,
+                        note: format!(
+                            "secret parameter `{}` of `{}`",
+                            p.name,
+                            d.name
+                        ),
+                    }],
+                },
+            );
+        }
+    }
+    let Some((open, end)) = d.body else { return env };
+    let t = &f.toks;
+    let sites = &cg.calls[id];
+    // Flow-insensitive within the body: re-scan until no binding gains
+    // taint (handles helper-before-use orderings).
+    for _ in 0..4 {
+        let before = env.len();
+        let mut j = open + 1;
+        while j + 1 < end {
+            if t[j].text == "let" {
+                if let Some((name, rhs)) = parse_let(t, j, end) {
+                    if let Some(decl_ty) = binding_type(t, j, end) {
+                        if decl_ty.iter().any(|ty| secrets.contains(ty.as_str()))
+                            && !env.contains_key(&name)
+                        {
+                            env.insert(
+                                name.clone(),
+                                Taint {
+                                    cross: false,
+                                    src: vec![Evidence {
+                                        file: f.path.clone(),
+                                        line: t[j].line,
+                                        note: format!("`{name}` declared with secret type"),
+                                    }],
+                                },
+                            );
+                        }
+                    }
+                    if let Some(rhs) = rhs {
+                        if !env.contains_key(&name) {
+                            if let Some(taint) =
+                                expr_taint(f, rhs, &env, secrets, sites, summaries)
+                            {
+                                let taint = taint.step(Evidence {
+                                    file: f.path.clone(),
+                                    line: t[j].line,
+                                    note: format!("flows into `{name}`"),
+                                });
+                                env.insert(name, taint);
+                            }
+                        }
+                    }
+                }
+            }
+            j += 1;
+        }
+        if env.len() == before {
+            break;
+        }
+    }
+    env
+}
+
+/// Parses `let [mut] NAME [.. ] = RHS` (plus the single-binding pattern
+/// forms `let Some(x) = ..` / `let Ok(x) = ..`). Returns the bound name
+/// and the RHS token range when present.
+fn parse_let(t: &[Tok], let_idx: usize, limit: usize) -> Option<(String, Option<(usize, usize)>)> {
+    let mut m = let_idx + 1;
+    if tok_is(t, m, "mut") {
+        m += 1;
+    }
+    let name = if is_ident(t, m) && tok_is(t, m + 1, "(") && is_ident(t, m + 2) && tok_is(t, m + 3, ")")
+    {
+        // `let Some(x)` / `let Ok(x)`
+        let inner = t[m + 2].text.clone();
+        m += 4;
+        inner
+    } else if is_ident(t, m) {
+        let n = t[m].text.clone();
+        m += 1;
+        n
+    } else {
+        return None;
+    };
+    // Skip an optional `: Type` annotation to the `=`.
+    let mut depth = 0i64;
+    let mut k = m;
+    while k < limit {
+        match t[k].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                if depth == 0 {
+                    return Some((name, None));
+                }
+                depth -= 1;
+            }
+            ";" if depth == 0 => return Some((name, None)),
+            "=" if depth == 0 && !tok_is(t, k + 1, "=") && !tok_is(t, k.wrapping_sub(1), "=") =>
+            {
+                // RHS runs to the statement end (`;` at this depth) or,
+                // for `if let`/`while let`, the block opener.
+                let mut d2 = 0i64;
+                let mut e = k + 1;
+                while e < limit {
+                    match t[e].text.as_str() {
+                        "(" | "[" => d2 += 1,
+                        ")" | "]" => d2 -= 1,
+                        "{" if d2 == 0 => break,
+                        "{" => d2 += 1,
+                        "}" => d2 -= 1,
+                        ";" if d2 == 0 => break,
+                        _ => {}
+                    }
+                    e += 1;
+                }
+                return Some((name, Some((k + 1, e))));
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    Some((name, None))
+}
+
+/// The `: Type` annotation tokens of a `let` binding, when present.
+fn binding_type(t: &[Tok], let_idx: usize, limit: usize) -> Option<Vec<String>> {
+    let mut m = let_idx + 1;
+    if tok_is(t, m, "mut") {
+        m += 1;
+    }
+    if !is_ident(t, m) || !tok_is(t, m + 1, ":") || tok_is(t, m + 2, ":") {
+        return None;
+    }
+    let mut ty = Vec::new();
+    let mut k = m + 2;
+    let mut angle = 0i64;
+    while k < limit {
+        match t[k].text.as_str() {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "=" | ";" if angle <= 0 => break,
+            _ => {}
+        }
+        ty.push(t[k].text.clone());
+        k += 1;
+    }
+    Some(ty)
+}
+
+/// Summary extraction: declared/inferred secret returns and
+/// param-to-sink flows (direct and through calls).
+fn compute_summary(
+    id: usize,
+    sources: &[SourceFile],
+    table: &SymbolTable,
+    cg: &CallGraph,
+    secrets: &SecretRegistry,
+    summaries: &[FnSummary],
+    env: &BTreeMap<String, Taint>,
+) -> FnSummary {
+    let d = &table.fns[id];
+    let f = &sources[d.file];
+    let mut out = FnSummary::default();
+    if DECLASSIFY_CALLS.contains(&d.name.as_str()) {
+        // Declassification points return public values by definition.
+        return out;
+    }
+    if let Some(ty) = d.ret.iter().find(|ty| secrets.contains(ty)) {
+        out.returns_secret = true;
+        out.ret_src = vec![Evidence {
+            file: f.path.clone(),
+            line: d.line,
+            note: format!("`{}` returns secret type `{ty}`", d.name),
+        }];
+    }
+    let Some((open, end)) = d.body else { return out };
+    let t = &f.toks;
+    let sites = &cg.calls[id];
+
+    if !out.returns_secret {
+        // `return <expr>` statements...
+        let mut j = open + 1;
+        while j + 1 < end {
+            if t[j].text == "return" && t[j].kind == TokKind::Ident {
+                let mut e = j + 1;
+                let mut depth = 0i64;
+                while e < end {
+                    match t[e].text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => {
+                            if depth == 0 {
+                                break;
+                            }
+                            depth -= 1;
+                        }
+                        ";" if depth == 0 => break,
+                        _ => {}
+                    }
+                    e += 1;
+                }
+                if let Some(taint) = expr_taint(f, (j + 1, e), env, secrets, sites, summaries) {
+                    out.returns_secret = true;
+                    out.ret_src = taint
+                        .step(Evidence {
+                            file: f.path.clone(),
+                            line: t[j].line,
+                            note: format!("returned from `{}`", d.name),
+                        })
+                        .src;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    if !out.returns_secret && !d.ret.is_empty() {
+        // ...and the tail expression: tokens after the last top-level `;`
+        // or statement-level `}` (a trailing loop/block is a statement,
+        // not part of the tail — without the `}` reset, a final
+        // `for .. { secret }` loop would smear its body into the tail).
+        let mut depth = 0i64;
+        let mut tail = open + 1;
+        for (k, tok) in t.iter().enumerate().take(end - 1).skip(open + 1) {
+            match tok.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        tail = k + 1;
+                    }
+                }
+                ";" if depth == 0 => tail = k + 1,
+                _ => {}
+            }
+        }
+        if tail < end - 1 {
+            if let Some(taint) = expr_taint(f, (tail, end - 1), env, secrets, sites, summaries) {
+                out.returns_secret = true;
+                out.ret_src = taint
+                    .step(Evidence {
+                        file: f.path.clone(),
+                        line: t[tail].line,
+                        note: format!("returned from `{}`", d.name),
+                    })
+                    .src;
+            }
+        }
+    }
+
+    // Param-to-sink flows. Secret-typed params are excluded (the
+    // per-file format-leak rule already fires inside this function).
+    let param_idx: BTreeMap<&str, usize> = d
+        .params
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| !p.name.is_empty() && !p.ty.iter().any(|ty| secrets.contains(ty)))
+        .map(|(i, p)| (p.name.as_str(), i))
+        .collect();
+    if param_idx.is_empty() {
+        return out;
+    }
+    for_each_sink(f, open, end, |sink_name, args: (usize, usize), line| {
+        for k in args.0..args.1 {
+            if t[k].kind == TokKind::Str {
+                // Inline captures format the whole value — always a leak
+                // for the named parameter.
+                for name in inline_format_idents(&t[k].text) {
+                    if let Some(&pi) = param_idx.get(name.as_str()) {
+                        out.leak_params.entry(pi).or_insert_with(|| {
+                            vec![Evidence {
+                                file: f.path.clone(),
+                                line,
+                                note: format!(
+                                    "parameter `{name}` of `{}` reaches `{sink_name}`",
+                                    d.name
+                                ),
+                            }]
+                        });
+                    }
+                }
+                continue;
+            }
+            if !is_base_ident(t, k) {
+                continue;
+            }
+            if let Some(&pi) = param_idx.get(t[k].text.as_str()) {
+                // The chain must not end clean, else nothing leaks.
+                let probe: BTreeMap<String, Taint> = BTreeMap::from([(
+                    t[k].text.clone(),
+                    Taint { cross: false, src: Vec::new() },
+                )]);
+                if chain_taint(f, k, &probe, secrets, sites, summaries).is_some() {
+                    out.leak_params.entry(pi).or_insert_with(|| {
+                        vec![Evidence {
+                            file: f.path.clone(),
+                            line,
+                            note: format!(
+                                "parameter `{}` of `{}` reaches `{sink_name}`",
+                                t[k].text, d.name
+                            ),
+                        }]
+                    });
+                }
+            }
+        }
+    });
+    // Transitive: passing a param onward to a callee that leaks it.
+    for site in sites.values() {
+        let callee = &summaries[site.callee];
+        if callee.leak_params.is_empty() {
+            continue;
+        }
+        let args = CallGraph::arg_ranges(t, site.args_open);
+        for (&ci, chain) in &callee.leak_params {
+            let Some(&(a, b)) = args.get(ci) else { continue };
+            for k in a..b {
+                if !is_base_ident(t, k) {
+                    continue;
+                }
+                if let Some(&pi) = param_idx.get(t[k].text.as_str()) {
+                    out.leak_params.entry(pi).or_insert_with(|| {
+                        let mut ev = vec![Evidence {
+                            file: f.path.clone(),
+                            line: site.line,
+                            note: format!(
+                                "parameter `{}` of `{}` passed to `{}`",
+                                t[k].text, d.name, table.fns[site.callee].name
+                            ),
+                        }];
+                        ev.extend(chain.iter().take(MAX_EVIDENCE - 1).cloned());
+                        ev
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Identifiers captured inline by a format string (`"{name}"`,
+/// `"{name:?}"`). Escaped `{{` braces and positional/numbered args are
+/// skipped. The lexer hides string contents from the token stream, so the
+/// sink scans must dig these out of the literal text themselves — modern
+/// format strings capture by name more often than they pass arguments.
+fn inline_format_idents(s: &str) -> Vec<String> {
+    let b = s.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        if b[i] == b'{' {
+            if i + 1 < b.len() && b[i + 1] == b'{' {
+                i += 2;
+                continue;
+            }
+            let mut j = i + 1;
+            while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                j += 1;
+            }
+            if j > i + 1
+                && j < b.len()
+                && (b[j] == b'}' || b[j] == b':')
+                && !b[i + 1].is_ascii_digit()
+            {
+                out.push(String::from_utf8_lossy(&b[i + 1..j]).into_owned());
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Invokes `visit(sink_name, arg_range, line)` for every format-macro and
+/// `TraceSink` call in the body range.
+fn for_each_sink(
+    f: &SourceFile,
+    open: usize,
+    end: usize,
+    mut visit: impl FnMut(&str, (usize, usize), u32),
+) {
+    let t = &f.toks;
+    let mut i = open + 1;
+    while i + 1 < end {
+        let is_format_macro = t[i].kind == TokKind::Ident
+            && FORMAT_MACROS.contains(&t[i].text.as_str())
+            && tok_is(t, i + 1, "!")
+            && tok_is(t, i + 2, "(");
+        let is_trace_sink = t[i].text == "TraceSink"
+            && tok_is(t, i + 1, ":")
+            && tok_is(t, i + 2, ":")
+            && is_ident(t, i + 3)
+            && tok_is(t, i + 4, "(");
+        let args_open = if is_format_macro {
+            i + 2
+        } else if is_trace_sink {
+            i + 4
+        } else {
+            i += 1;
+            continue;
+        };
+        let close = skip_balanced(t, args_open, "(", ")");
+        visit(&t[i].text, (args_open + 1, close.saturating_sub(1)), t[i].line);
+        i = close;
+    }
+}
+
+/// Final reporting pass for one function.
+#[allow(clippy::too_many_arguments)]
+fn report_fn(
+    id: usize,
+    sources: &[SourceFile],
+    table: &SymbolTable,
+    cg: &CallGraph,
+    secrets: &SecretRegistry,
+    summaries: &[FnSummary],
+    env: &BTreeMap<String, Taint>,
+    findings: &mut Vec<Finding>,
+) {
+    let d = &table.fns[id];
+    let f = &sources[d.file];
+    let Some((open, end)) = d.body else { return };
+    let t = &f.toks;
+    let sites = &cg.calls[id];
+
+    // (a) boundary-crossing taint reaching a sink in this function —
+    // as an explicit argument token or an inline `{name}` capture.
+    let mut sink_hits: Vec<(usize, String, u32)> = Vec::new();
+    let mut inline_hits: Vec<(String, String, u32)> = Vec::new();
+    for_each_sink(f, open, end, |sink_name, args, _line| {
+        for k in args.0..args.1 {
+            if t[k].kind == TokKind::Str {
+                for name in inline_format_idents(&t[k].text) {
+                    inline_hits.push((name, sink_name.to_string(), t[k].line));
+                }
+                continue;
+            }
+            if !is_base_ident(t, k) && !sites.contains_key(&k) {
+                continue;
+            }
+            sink_hits.push((k, sink_name.to_string(), t[k].line));
+        }
+    });
+    for (name, sink_name, line) in inline_hits {
+        if f.is_test_line(line) {
+            continue;
+        }
+        let Some(taint) = env.get(&name) else { continue };
+        if !taint.cross {
+            continue;
+        }
+        let mut fin = Finding::new(
+            RuleId::SecretCrossFunctionLeak,
+            &f.path,
+            line,
+            format!(
+                "`{name}` carries secret material across a function boundary into `{sink_name}`; declassify ({}) or format metadata only",
+                DECLASSIFY_CALLS.join("/"),
+            ),
+            f.line_text(line),
+        );
+        fin.evidence = taint
+            .clone()
+            .step(Evidence {
+                file: f.path.clone(),
+                line,
+                note: format!("reaches `{sink_name}` here"),
+            })
+            .src;
+        findings.push(fin);
+    }
+    for (k, sink_name, line) in sink_hits {
+        if f.is_test_line(line) {
+            continue;
+        }
+        let Some(taint) = chain_taint(f, k, env, secrets, sites, summaries) else {
+            continue;
+        };
+        if !taint.cross {
+            continue; // same-file flows are secrecy.format-leak's job
+        }
+        let mut fin = Finding::new(
+            RuleId::SecretCrossFunctionLeak,
+            &f.path,
+            line,
+            format!(
+                "`{}` carries secret material across a function boundary into `{sink_name}`; declassify ({}) or format metadata only",
+                t[k].text,
+                DECLASSIFY_CALLS.join("/"),
+            ),
+            f.line_text(line),
+        );
+        fin.evidence = taint
+            .step(Evidence {
+                file: f.path.clone(),
+                line,
+                note: format!("reaches `{sink_name}` here"),
+            })
+            .src;
+        findings.push(fin);
+    }
+
+    // (b) secret arguments handed to a callee that leaks that parameter.
+    for site in sites.values() {
+        if f.is_test_line(site.line) {
+            continue;
+        }
+        let callee_sum = &summaries[site.callee];
+        if callee_sum.leak_params.is_empty() {
+            continue;
+        }
+        let args = CallGraph::arg_ranges(t, site.args_open);
+        for (&ci, chain) in &callee_sum.leak_params {
+            let Some(&(a, b)) = args.get(ci) else { continue };
+            let Some(taint) = expr_taint(f, (a, b), env, secrets, sites, summaries) else {
+                continue;
+            };
+            let callee_name = &table.fns[site.callee].name;
+            let mut fin = Finding::new(
+                RuleId::SecretCrossFunctionLeak,
+                &f.path,
+                site.line,
+                format!(
+                    "secret value passed to `{callee_name}`, which formats its argument #{ci}",
+                ),
+                f.line_text(site.line),
+            );
+            let mut ev = taint.src;
+            ev.push(Evidence {
+                file: f.path.clone(),
+                line: site.line,
+                note: format!("passed to `{callee_name}`"),
+            });
+            ev.extend(chain.iter().cloned());
+            ev.truncate(MAX_EVIDENCE + 2);
+            fin.evidence = ev;
+            findings.push(fin);
+        }
+    }
+}

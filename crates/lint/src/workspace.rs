@@ -1,9 +1,14 @@
 //! Workspace discovery: finds every `.rs` file the analyzer owns, assigns
-//! its crate/module identity and build context, and runs the rules.
+//! its crate/module identity and build context, and runs both the
+//! per-file rules and the whole-workspace dataflow passes (symbol table,
+//! call graph, inter-procedural taint, timing, concurrency).
 
+use crate::callgraph::CallGraph;
 use crate::findings::Report;
 use crate::rules::{self, SecretRegistry};
 use crate::source::{Context, SourceFile};
+use crate::symbols::SymbolTable;
+use crate::{concurrency, taint, timing};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -60,7 +65,9 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
     Ok(lint_sources(root, sources))
 }
 
-/// Runs the rules over already-parsed sources (entry point for tests).
+/// Runs the rules over already-parsed sources (entry point for tests):
+/// the per-file token-pattern families first, then the workspace-wide
+/// dataflow passes over one shared symbol table and call graph.
 pub fn lint_sources(root: &Path, sources: Vec<SourceFile>) -> Report {
     let mut secrets = SecretRegistry::default();
     for s in &sources {
@@ -77,6 +84,14 @@ pub fn lint_sources(root: &Path, sources: Vec<SourceFile>) -> Report {
             report.findings.extend(rules::crate_policy(s));
         }
     }
+    let table = SymbolTable::build(&sources);
+    let cg = CallGraph::build(&sources, &table);
+    let (analysis, cross_findings) = taint::analyze(&sources, &table, &cg, &secrets);
+    report.findings.extend(cross_findings);
+    report
+        .findings
+        .extend(timing::run(&sources, &table, &cg, &secrets, &analysis));
+    report.findings.extend(concurrency::run(&sources, &table, &cg));
     report.sort();
     report
 }

@@ -14,7 +14,7 @@
 //! fixture violation detected by a different rule, at a different line,
 //! or accompanied by extra findings is a failure.
 
-use psml_lint::{rules, Context, RuleId, SecretRegistry, SourceFile};
+use psml_lint::{rules, Context, RuleId, SourceFile};
 use std::path::{Path, PathBuf};
 
 struct Fixture {
@@ -82,11 +82,19 @@ fn fixtures_dir() -> PathBuf {
 }
 
 fn run_fixture(fx: &Fixture) -> Vec<(RuleId, u32)> {
-    let f = SourceFile::parse(&fx.name, &fx.crate_name, &fx.module, fx.context, &fx.text);
-    let mut secrets = SecretRegistry::default();
-    secrets.collect(&f);
-    let mut findings = rules::lint_file(&f, &secrets);
+    // The full pipeline: per-file rules plus symbol table, call graph,
+    // taint, timing, and concurrency — fixtures for the inter-procedural
+    // families need the whole stack, and running every fixture through it
+    // also proves the new passes add no stray findings to the old corpus.
+    let mut findings = psml_lint::lint_str_full(
+        &fx.name,
+        &fx.crate_name,
+        &fx.module,
+        fx.context,
+        &fx.text,
+    );
     if fx.crate_root {
+        let f = SourceFile::parse(&fx.name, &fx.crate_name, &fx.module, fx.context, &fx.text);
         findings.extend(rules::crate_policy(&f));
     }
     let mut got: Vec<(RuleId, u32)> = findings.iter().map(|f| (f.rule, f.line)).collect();

@@ -1,0 +1,75 @@
+//! Regression pin for the reason the inter-procedural pass exists: the
+//! seeded cross-function leak fixture is *invisible* to the v1 file-
+//! granular taint (`lint_str`) and *caught* by the full pipeline
+//! (`lint_str_full`). If the first half of this test ever fails, v1 grew
+//! cross-function powers and the pass is redundant; if the second half
+//! fails, the flagship analysis regressed.
+
+use psml_lint::{lint_str, lint_str_full, Context, RuleId};
+use std::path::Path;
+
+fn fixture_text() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("cross_function_leak.rs");
+    std::fs::read_to_string(path).unwrap()
+}
+
+#[test]
+fn v1_file_granular_taint_misses_the_cross_function_leak() {
+    let findings = lint_str(
+        "cross_function_leak.rs",
+        "core",
+        "core::serve",
+        Context::Lib,
+        &fixture_text(),
+    );
+    assert!(
+        findings.is_empty(),
+        "v1 was expected to miss the cross-function leak, found: {:?}",
+        findings
+            .iter()
+            .map(|f| (f.rule.id(), f.line))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn full_pipeline_catches_the_cross_function_leak_with_evidence() {
+    let findings = lint_str_full(
+        "cross_function_leak.rs",
+        "core",
+        "core::serve",
+        Context::Lib,
+        &fixture_text(),
+    );
+    let leaks: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == RuleId::SecretCrossFunctionLeak)
+        .collect();
+    assert_eq!(
+        leaks.len(),
+        1,
+        "expected exactly one cross-function leak, got {:?}",
+        findings
+            .iter()
+            .map(|f| (f.rule.id(), f.line))
+            .collect::<Vec<_>>()
+    );
+    let leak = leaks[0];
+    // The evidence chain must walk the actual call path back to the type.
+    assert!(
+        leak.evidence.len() >= 3,
+        "evidence chain too short: {:?}",
+        leak.evidence
+    );
+    assert!(
+        leak.evidence.iter().any(|e| e.note.contains("LimbVec")),
+        "evidence never names the secret type: {:?}",
+        leak.evidence
+    );
+    assert!(
+        !leak.fingerprint.is_empty(),
+        "finding must carry a stable fingerprint"
+    );
+}

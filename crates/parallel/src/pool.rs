@@ -19,8 +19,8 @@
 //! variable, then [`default_workers`].
 
 use crate::chunking::{chunks, Chunk, CACHE_LINE_F32};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
@@ -63,6 +63,34 @@ where
 enum Job {
     Run(Box<dyn FnOnce() + Send + 'static>),
     Shutdown,
+}
+
+/// The shared job queue: a deque under a mutex plus a condvar to park idle
+/// workers. A `Mutex<mpsc::Receiver>` would be the textbook shape, but it
+/// blocks in `recv()` *while holding the lock* — `Condvar::wait` releases
+/// the guard for the duration of the wait, so producers never contend with
+/// a parked worker.
+#[derive(Default)]
+struct JobQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+impl JobQueue {
+    fn push(&self, job: Job) {
+        self.jobs.lock().unwrap().push_back(job);
+        self.available.notify_one();
+    }
+
+    fn pop(&self) -> Job {
+        let mut jobs = self.jobs.lock().unwrap();
+        loop {
+            if let Some(job) = jobs.pop_front() {
+                return job;
+            }
+            jobs = self.available.wait(jobs).unwrap();
+        }
+    }
 }
 
 #[derive(Default)]
@@ -121,7 +149,7 @@ impl Drop for LatchWaitGuard<'_> {
 /// Workers are spawned once and reused across all submitted jobs, so the
 /// per-region thread startup cost is paid only at construction.
 pub struct ThreadPool {
-    sender: Sender<Job>,
+    queue: Arc<JobQueue>,
     workers: Vec<JoinHandle<()>>,
     pending: Arc<PendingState>,
 }
@@ -130,21 +158,20 @@ impl ThreadPool {
     /// Spawns a pool with `n` workers (at least one).
     pub fn new(n: usize) -> Self {
         let n = n.max(1);
-        let (sender, receiver) = channel::<Job>();
-        let receiver = Arc::new(Mutex::new(receiver));
+        let queue = Arc::new(JobQueue::default());
         let pending = Arc::new(PendingState::default());
         let workers = (0..n)
             .map(|i| {
-                let receiver = Arc::clone(&receiver);
+                let queue = Arc::clone(&queue);
                 let pending = Arc::clone(&pending);
                 std::thread::Builder::new()
                     .name(format!("psml-worker-{i}"))
-                    .spawn(move || worker_loop(&receiver, &pending))
+                    .spawn(move || worker_loop(&queue, &pending))
                     .expect("failed to spawn pool worker")
             })
             .collect();
         ThreadPool {
-            sender,
+            queue,
             workers,
             pending,
         }
@@ -163,9 +190,7 @@ impl ThreadPool {
     /// Submits a job; returns immediately.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
         *self.pending.count.lock().unwrap() += 1;
-        self.sender
-            .send(Job::Run(Box::new(job)))
-            .expect("pool workers gone");
+        self.queue.push(Job::Run(Box::new(job)));
     }
 
     /// Blocks until every submitted job has finished.
@@ -200,20 +225,11 @@ pub fn in_pool_worker() -> bool {
     IN_POOL_WORKER.with(std::cell::Cell::get)
 }
 
-fn worker_loop(receiver: &Mutex<Receiver<Job>>, pending: &PendingState) {
+fn worker_loop(queue: &JobQueue, pending: &PendingState) {
     IN_POOL_WORKER.with(|flag| flag.set(true));
-    loop {
-        let job = {
-            let rx = receiver.lock().unwrap();
-            rx.recv()
-        };
-        match job {
-            Ok(Job::Run(f)) => {
-                let _open = PendingGuard(pending);
-                f();
-            }
-            Ok(Job::Shutdown) | Err(_) => break,
-        }
+    while let Job::Run(f) = queue.pop() {
+        let _open = PendingGuard(pending);
+        f();
     }
 }
 
@@ -221,7 +237,7 @@ impl Drop for ThreadPool {
     fn drop(&mut self) {
         self.join();
         for _ in &self.workers {
-            let _ = self.sender.send(Job::Shutdown);
+            self.queue.push(Job::Shutdown);
         }
         for w in self.workers.drain(..) {
             let _ = w.join();

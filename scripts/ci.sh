@@ -14,13 +14,29 @@ cargo test -q --offline --workspace
 cargo clippy --all-targets --offline
 
 # Static-analysis gate: the workspace must pass its own secrecy /
-# determinism / unsafe-hygiene analyzer, and the emitted document must
-# validate against the psml.lint.v1 schema.
+# determinism / timing / concurrency / unsafe-hygiene analyzer, and the
+# emitted document must validate against the psml.lint.v2 schema (which
+# carries per-finding fingerprints and cross-function evidence chains).
+# The whole-workspace dataflow pass is budgeted: the analyzer is meant to
+# run on every commit, so a scan creeping past 5 s wall-clock is a
+# regression in its own right, not merely an inconvenience.
 lint_json="$(mktemp)"
 profile_json="$(mktemp)"
 trap 'rm -f "$lint_json" "$profile_json"' EXIT
+lint_start_ns="$(date +%s%N)"
 ./target/release/psml-lint --deny all --json "$lint_json"
+lint_elapsed_ms="$(( ($(date +%s%N) - lint_start_ns) / 1000000 ))"
+echo "ci: psml-lint whole-workspace scan took ${lint_elapsed_ms} ms"
+[ "$lint_elapsed_ms" -lt 5000 ] || {
+    echo "ci: psml-lint scan exceeded the 5 s budget (${lint_elapsed_ms} ms)" >&2
+    exit 1
+}
 ./target/release/psml validate "$lint_json"
+# Self-scan job: the analyzer must hold itself to the rules it enforces
+# on the rest of the workspace. `--crate lint` narrows the *reported*
+# findings to the lint crate while still scanning every crate, so the
+# inter-procedural passes see the full symbol table.
+./target/release/psml-lint --crate lint --deny all
 
 # Fault-injection seed matrix: every chaos scenario must hold for any
 # plan seed, not just the default. The sweep covers both the in-process

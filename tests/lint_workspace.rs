@@ -3,8 +3,9 @@
 //! This is the in-test twin of the `psml-lint --deny all` step in
 //! `scripts/ci.sh` — a plain `cargo test` run refuses secrecy/
 //! determinism/unsafe-hygiene regressions even when nobody runs the CI
-//! script. It also pins the analyzer's JSON output to the `psml.lint.v1`
-//! schema the `psml validate` subcommand accepts.
+//! script. It also pins the analyzer's JSON output to the `psml.lint.v2`
+//! schema the `psml validate` subcommand accepts, and pins finding order
+//! (and fingerprints) as independent of directory-walk order.
 
 use std::path::Path;
 
@@ -31,10 +32,51 @@ fn live_workspace_has_no_findings() {
 }
 
 #[test]
-fn lint_document_validates_as_psml_lint_v1() {
+fn lint_document_validates_as_psml_lint_v2() {
     let report = psml_lint::lint_workspace(workspace_root()).unwrap();
     let json = report.to_json();
     let schema = parsecureml::observe::validate_document(&json)
         .expect("psml-lint JSON must satisfy its declared schema");
-    assert_eq!(schema, "psml.lint.v1");
+    assert_eq!(schema, "psml.lint.v2");
+}
+
+#[test]
+fn findings_are_deterministic_under_source_order() {
+    // Two files that violate rules *through each other* (a cross-file
+    // leak), fed to the analyzer in both orders: the JSON documents —
+    // including finding order and fingerprints — must be identical, so
+    // directory-walk order can never change a committed lint document.
+    use psml_lint::{lint_sources, Context, SourceFile};
+    let mint = || {
+        SourceFile::parse(
+            "crates/mpc/src/limb.rs",
+            "mpc",
+            "mpc::limb",
+            Context::Lib,
+            "#[doc = \"psml-secret\"]\n\
+             pub struct LimbPair { pub l: u64, pub rows: usize }\n\
+             pub fn mint_pair() -> LimbPair { LimbPair { l: 3, rows: 1 } }\n",
+        )
+    };
+    let leak = || {
+        SourceFile::parse(
+            "crates/core/src/serve.rs",
+            "core",
+            "core::serve",
+            Context::Lib,
+            "use psml_mpc::limb::mint_pair;\n\
+             pub fn audit() {\n\
+                 let p = mint_pair();\n\
+                 println!(\"{p:?}\");\n\
+             }\n",
+        )
+    };
+    let root = Path::new(".");
+    let fwd = lint_sources(root, vec![mint(), leak()]);
+    let rev = lint_sources(root, vec![leak(), mint()]);
+    assert!(
+        !fwd.findings.is_empty(),
+        "the seeded cross-file leak was not detected"
+    );
+    assert_eq!(fwd.to_json(), rev.to_json());
 }
